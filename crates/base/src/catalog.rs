@@ -1,0 +1,205 @@
+//! The catalog: attribute names, relation names, and their types.
+//!
+//! In the paper there is an infinite attribute set and, for every scheme `R`,
+//! infinitely many relation names of type `R`. A [`Catalog`] realizes the
+//! *finite, growing* portion of that universe actually in use: it interns
+//! attribute and relation names, records the type `R(η)` of every relation
+//! name, and can mint fresh relation names of any type on demand (needed by
+//! the decision procedures, which introduce scratch names `λᵢ`, and by view
+//! simplification, which introduces new view-schema names).
+//!
+//! Catalogs are deliberately cheap to clone: decision procedures clone the
+//! catalog, extend the clone with scratch names, and drop it afterwards,
+//! keeping the caller's catalog untouched.
+
+use crate::error::BaseError;
+use crate::ids::{AttrId, RelId};
+use crate::scheme::Scheme;
+use std::collections::HashMap;
+
+/// Interner for attributes and typed relation names.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    attr_names: Vec<String>,
+    attr_by_name: HashMap<String, AttrId>,
+    rel_names: Vec<String>,
+    rel_schemes: Vec<Scheme>,
+    rel_by_name: HashMap<String, RelId>,
+    fresh_counter: u32,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---------------------------------------------------------- attributes
+
+    /// Intern an attribute name, returning its id (existing or new).
+    pub fn attr(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.attr_by_name.get(name) {
+            return id;
+        }
+        let id = AttrId(self.attr_names.len() as u32);
+        self.attr_names.push(name.to_owned());
+        self.attr_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an attribute without interning.
+    pub fn lookup_attr(&self, name: &str) -> Result<AttrId, BaseError> {
+        self.attr_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| BaseError::UnknownAttr(name.to_owned()))
+    }
+
+    /// The display name of an attribute.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attr_names[id.index()]
+    }
+
+    /// Intern several attributes and return them as a scheme.
+    pub fn scheme(&mut self, names: &[&str]) -> Result<Scheme, BaseError> {
+        Scheme::new(names.iter().map(|n| self.attr(n)))
+    }
+
+    /// The union of all attributes registered so far (the working universe).
+    pub fn universe(&self) -> Scheme {
+        Scheme::collect((0..self.attr_names.len() as u32).map(AttrId))
+    }
+
+    /// Number of registered attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    // ------------------------------------------------------ relation names
+
+    /// Register a relation name of the given type.
+    ///
+    /// Errors if the name is already taken (relation names are unique).
+    pub fn add_relation(&mut self, name: &str, scheme: Scheme) -> Result<RelId, BaseError> {
+        if self.rel_by_name.contains_key(name) {
+            return Err(BaseError::DuplicateRel(name.to_owned()));
+        }
+        let id = RelId(self.rel_names.len() as u32);
+        self.rel_names.push(name.to_owned());
+        self.rel_schemes.push(scheme);
+        self.rel_by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Convenience: intern the attribute names and register the relation.
+    pub fn relation(&mut self, name: &str, attrs: &[&str]) -> Result<RelId, BaseError> {
+        let scheme = self.scheme(attrs)?;
+        self.add_relation(name, scheme)
+    }
+
+    /// Look up a relation name.
+    pub fn lookup_rel(&self, name: &str) -> Result<RelId, BaseError> {
+        self.rel_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| BaseError::UnknownRel(name.to_owned()))
+    }
+
+    /// The display name of a relation.
+    pub fn rel_name(&self, id: RelId) -> &str {
+        &self.rel_names[id.index()]
+    }
+
+    /// The type `R(η)` of a relation name.
+    pub fn scheme_of(&self, id: RelId) -> &Scheme {
+        &self.rel_schemes[id.index()]
+    }
+
+    /// Number of registered relation names.
+    pub fn rel_count(&self) -> usize {
+        self.rel_names.len()
+    }
+
+    /// Iterate all registered relation names.
+    pub fn relations(&self) -> impl ExactSizeIterator<Item = RelId> + '_ {
+        (0..self.rel_names.len() as u32).map(RelId)
+    }
+
+    /// Mint a fresh relation name of the given type.
+    ///
+    /// The paper assumes infinitely many names per type; this realizes the
+    /// next unused one. `hint` seeds the generated display name.
+    pub fn fresh_relation(&mut self, hint: &str, scheme: Scheme) -> RelId {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("{hint}${}", self.fresh_counter);
+            if !self.rel_by_name.contains_key(&name) {
+                return self
+                    .add_relation(&name, scheme)
+                    .expect("fresh name cannot collide");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_interning_is_idempotent() {
+        let mut cat = Catalog::new();
+        let a1 = cat.attr("A");
+        let a2 = cat.attr("A");
+        let b = cat.attr("B");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(cat.attr_name(a1), "A");
+        assert_eq!(cat.attr_count(), 2);
+    }
+
+    #[test]
+    fn relation_registration_and_lookup() {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B"]).unwrap();
+        assert_eq!(cat.rel_name(r), "R");
+        assert_eq!(cat.scheme_of(r).len(), 2);
+        assert_eq!(cat.lookup_rel("R").unwrap(), r);
+        assert!(cat.lookup_rel("S").is_err());
+        assert!(matches!(
+            cat.relation("R", &["A"]),
+            Err(BaseError::DuplicateRel(_))
+        ));
+    }
+
+    #[test]
+    fn fresh_relations_never_collide() {
+        let mut cat = Catalog::new();
+        let sch = cat.scheme(&["A"]).unwrap();
+        let r1 = cat.fresh_relation("v", sch.clone());
+        let r2 = cat.fresh_relation("v", sch.clone());
+        assert_ne!(r1, r2);
+        assert_ne!(cat.rel_name(r1), cat.rel_name(r2));
+        assert_eq!(cat.scheme_of(r1), &sch);
+    }
+
+    #[test]
+    fn universe_collects_all_attrs() {
+        let mut cat = Catalog::new();
+        cat.attr("A");
+        cat.attr("B");
+        cat.attr("C");
+        assert_eq!(cat.universe().len(), 3);
+    }
+
+    #[test]
+    fn clone_isolation() {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A"]).unwrap();
+        let mut scratch = cat.clone();
+        let sch = scratch.scheme(&["A"]).unwrap();
+        scratch.fresh_relation("t", sch);
+        assert_eq!(cat.rel_count(), 1);
+        assert_eq!(scratch.rel_count(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Pretty-printing of relations against a catalog.
+//!
+//! Symbols render as `attrName:ordinal` (`Name:3`), distinguished symbols
+//! as `0_Attr` — data tables in examples and the CLI read naturally.
+
+use crate::catalog::Catalog;
+use crate::relation::Relation;
+use crate::symbol::Symbol;
+use std::fmt::Write as _;
+
+/// Render a symbol as `Attr:ord` / `0_Attr`.
+pub fn display_value(s: Symbol, catalog: &Catalog) -> String {
+    let name = catalog.attr_name(s.attr());
+    if s.is_distinguished() {
+        format!("0_{name}")
+    } else {
+        format!("{name}:{}", s.ord())
+    }
+}
+
+/// Render a relation as an aligned table with a header row.
+pub fn display_relation(rel: &Relation, catalog: &Catalog) -> String {
+    let headers: Vec<&str> = rel.scheme().iter().map(|a| catalog.attr_name(a)).collect();
+    let rows: Vec<Vec<String>> = rel
+        .rows()
+        .map(|row| row.iter().map(|&s| display_value(s, catalog)).collect())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, "{h:>w$}  ", w = *w);
+    }
+    out.push('\n');
+    for row in &rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, "{cell:>w$}  ", w = *w);
+        }
+        out.push('\n');
+    }
+    if rows.is_empty() {
+        out.push_str("(empty)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AttrId;
+    use crate::scheme::Scheme;
+
+    #[test]
+    fn values_render_with_attribute_names() {
+        let mut cat = Catalog::new();
+        let a = cat.attr("Name");
+        assert_eq!(display_value(Symbol::new(a, 3), &cat), "Name:3");
+        assert_eq!(display_value(Symbol::distinguished(a), &cat), "0_Name");
+    }
+
+    #[test]
+    fn tables_align_and_handle_empty() {
+        let mut cat = Catalog::new();
+        let a = cat.attr("A");
+        let b = cat.attr("LongName");
+        let scheme = Scheme::collect([a, b]);
+        let mut rel = Relation::empty(scheme.clone());
+        assert!(display_relation(&rel, &cat).contains("(empty)"));
+        rel.insert(vec![Symbol::new(a, 1), Symbol::new(b, 22)]).unwrap();
+        let s = display_relation(&rel, &cat);
+        assert!(s.contains("LongName"));
+        assert!(s.contains("LongName:22"));
+        let _ = AttrId(0);
+    }
+}

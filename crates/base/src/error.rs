@@ -1,0 +1,73 @@
+//! Error types for the substrate crate.
+
+use crate::ids::{AttrId, RelId};
+use std::fmt;
+
+/// Errors raised while building schemas, relations, or instantiations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseError {
+    /// Relation schemes must be nonempty (paper, Section 1.1).
+    EmptyScheme,
+    /// An attribute name was registered twice with the same catalog.
+    DuplicateAttr(String),
+    /// A relation name was registered twice with the same catalog.
+    DuplicateRel(String),
+    /// Lookup of an unregistered attribute name.
+    UnknownAttr(String),
+    /// Lookup of an unregistered relation name.
+    UnknownRel(String),
+    /// A row's width or column types disagree with the relation's scheme.
+    RowSchemeMismatch {
+        /// The scheme the relation expects.
+        expected: Vec<AttrId>,
+        /// What the offending row provided (attribute of each symbol).
+        got: Vec<AttrId>,
+    },
+    /// A relation was inserted under a name of a different type.
+    RelationTypeMismatch {
+        /// The relation name being instantiated.
+        rel: RelId,
+    },
+    /// Natural join / projection called with incompatible schemes.
+    SchemeMismatch {
+        /// Human-readable description of the violated side condition.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for BaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseError::EmptyScheme => write!(f, "relation schemes must be nonempty"),
+            BaseError::DuplicateAttr(n) => write!(f, "attribute `{n}` already registered"),
+            BaseError::DuplicateRel(n) => write!(f, "relation name `{n}` already registered"),
+            BaseError::UnknownAttr(n) => write!(f, "unknown attribute `{n}`"),
+            BaseError::UnknownRel(n) => write!(f, "unknown relation name `{n}`"),
+            BaseError::RowSchemeMismatch { expected, got } => write!(
+                f,
+                "row does not match scheme: expected columns {expected:?}, got {got:?}"
+            ),
+            BaseError::RelationTypeMismatch { rel } => {
+                write!(f, "relation assigned to {rel:?} has the wrong type")
+            }
+            BaseError::SchemeMismatch { context } => {
+                write!(f, "scheme mismatch: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BaseError::UnknownAttr("Salary".into());
+        assert!(e.to_string().contains("Salary"));
+        let e = BaseError::SchemeMismatch { context: "projection target not a subset" };
+        assert!(e.to_string().contains("projection target"));
+    }
+}

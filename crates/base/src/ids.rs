@@ -1,0 +1,65 @@
+//! Compact integer identifiers for attributes and relation names.
+//!
+//! Both are `u32` newtypes: small keys hash fast and keep hot structures
+//! (rows, tagged tuples) compact, per the performance guide. Human-readable
+//! names live in the [`Catalog`](crate::Catalog).
+
+use std::fmt;
+
+/// Identifier of an attribute (a column of the universe `U`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+/// Identifier of a relation name (an element of `RN_U` in the paper).
+///
+/// Each relation name has a fixed *type* `R(η)` — a scheme — recorded in the
+/// [`Catalog`](crate::Catalog).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl AttrId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(AttrId(0) < AttrId(1));
+        assert!(RelId(3) > RelId(2));
+        assert_eq!(AttrId(7).index(), 7);
+        assert_eq!(RelId(9).index(), 9);
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", AttrId(4)), "attr#4");
+        assert_eq!(format!("{:?}", RelId(2)), "rel#2");
+    }
+}

@@ -1,0 +1,317 @@
+//! Finite relations and the two algebra operations of the paper:
+//! projection and natural join (Section 1.1).
+//!
+//! Rows are stored in a `BTreeSet`, giving set semantics and a deterministic
+//! iteration order (important for reproducible output and tests). The natural
+//! join is a hash join keyed on the common-attribute projection.
+
+use crate::error::BaseError;
+use crate::scheme::Scheme;
+use crate::symbol::Symbol;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// One tuple of a relation: symbols aligned with the owning scheme's sorted
+/// attribute order.
+pub type Row = Vec<Symbol>;
+
+/// Project a row (aligned with `scheme`) onto `target ⊆ scheme`.
+///
+/// # Panics
+/// Debug-asserts that `target ⊆ scheme`; callers validate at the boundary.
+pub fn project_row(scheme: &Scheme, row: &[Symbol], target: &Scheme) -> Row {
+    debug_assert!(target.is_subset_of(scheme));
+    target
+        .iter()
+        .map(|a| row[scheme.position(a).expect("target ⊆ scheme")])
+        .collect()
+}
+
+/// A finite relation on a scheme: a set of tuples over `Tup(R)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    scheme: Scheme,
+    rows: BTreeSet<Row>,
+}
+
+impl Relation {
+    /// The empty relation on `scheme`.
+    pub fn empty(scheme: Scheme) -> Self {
+        Relation {
+            scheme,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// Build a relation from rows, validating each against the scheme.
+    pub fn from_rows<I>(scheme: Scheme, rows: I) -> Result<Self, BaseError>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let mut rel = Relation::empty(scheme);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's scheme.
+    #[inline]
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate rows in deterministic (lexicographic) order.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &Row) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Insert a row after validating width and column domains.
+    pub fn insert(&mut self, row: Row) -> Result<bool, BaseError> {
+        let ok = row.len() == self.scheme.len()
+            && row
+                .iter()
+                .zip(self.scheme.iter())
+                .all(|(sym, attr)| sym.attr() == attr);
+        if !ok {
+            return Err(BaseError::RowSchemeMismatch {
+                expected: self.scheme.as_slice().to_vec(),
+                got: row.iter().map(|s| s.attr()).collect(),
+            });
+        }
+        Ok(self.rows.insert(row))
+    }
+
+    /// `π_X(I)`: the projection of the relation onto `X` (paper 1.1).
+    ///
+    /// Requires nonempty `X ⊆ scheme`.
+    pub fn project(&self, target: &Scheme) -> Result<Relation, BaseError> {
+        if target.is_empty() || !target.is_subset_of(&self.scheme) {
+            return Err(BaseError::SchemeMismatch {
+                context: "projection target must be a nonempty subset of the scheme",
+            });
+        }
+        let mut out = Relation::empty(target.clone());
+        for row in &self.rows {
+            out.rows.insert(project_row(&self.scheme, row, target));
+        }
+        Ok(out)
+    }
+
+    /// `I ⋈ J`: the natural join (paper 1.1).
+    ///
+    /// `{ t ∈ Tup(R ∪ Q) | t[R] ∈ I and t[Q] ∈ J }`, implemented as a hash
+    /// join on the common attributes.
+    pub fn join(&self, other: &Relation) -> Relation {
+        let out_scheme = self.scheme.union(&other.scheme);
+        let common = self.scheme.intersect(&other.scheme);
+
+        // Build side: index `other` by its common-attribute projection.
+        let mut index: HashMap<Row, Vec<&Row>> = HashMap::new();
+        for row in &other.rows {
+            index
+                .entry(project_row(&other.scheme, row, &common))
+                .or_default()
+                .push(row);
+        }
+
+        // For each output attribute, precompute where its value comes from:
+        // the left row when present there, else the right row.
+        enum Src {
+            Left(usize),
+            Right(usize),
+        }
+        let sources: Vec<Src> = out_scheme
+            .iter()
+            .map(|a| match self.scheme.position(a) {
+                Some(i) => Src::Left(i),
+                None => Src::Right(other.scheme.position(a).expect("attr from union")),
+            })
+            .collect();
+
+        let mut out = Relation::empty(out_scheme);
+        for lrow in &self.rows {
+            let key = project_row(&self.scheme, lrow, &common);
+            if let Some(matches) = index.get(&key) {
+                for rrow in matches {
+                    let merged: Row = sources
+                        .iter()
+                        .map(|s| match s {
+                            Src::Left(i) => lrow[*i],
+                            Src::Right(i) => rrow[*i],
+                        })
+                        .collect();
+                    out.rows.insert(merged);
+                }
+            }
+        }
+        out
+    }
+
+    /// Set union of two relations on the same scheme.
+    pub fn union(&self, other: &Relation) -> Result<Relation, BaseError> {
+        if self.scheme != other.scheme {
+            return Err(BaseError::SchemeMismatch {
+                context: "union requires identical schemes",
+            });
+        }
+        let mut out = self.clone();
+        out.rows.extend(other.rows.iter().cloned());
+        Ok(out)
+    }
+
+    /// Is `self ⊆ other` (same scheme assumed)?
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        self.scheme == other.scheme && self.rows.is_subset(&other.rows)
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation{:?}[", self.scheme)?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{row:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::ids::AttrId;
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+
+    fn sym(a: AttrId, o: u32) -> Symbol {
+        Symbol::new(a, o)
+    }
+
+    fn sch(ids: &[AttrId]) -> Scheme {
+        Scheme::collect(ids.iter().copied())
+    }
+
+    fn rel_ab(rows: &[(u32, u32)]) -> Relation {
+        Relation::from_rows(
+            sch(&[A, B]),
+            rows.iter().map(|&(a, b)| vec![sym(A, a), sym(B, b)]),
+        )
+        .unwrap()
+    }
+
+    fn rel_bc(rows: &[(u32, u32)]) -> Relation {
+        Relation::from_rows(
+            sch(&[B, C]),
+            rows.iter().map(|&(b, c)| vec![sym(B, b), sym(C, c)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_validates_scheme() {
+        let mut r = Relation::empty(sch(&[A, B]));
+        assert!(r.insert(vec![sym(A, 1), sym(B, 2)]).unwrap());
+        // duplicate row: set semantics
+        assert!(!r.insert(vec![sym(A, 1), sym(B, 2)]).unwrap());
+        // wrong width
+        assert!(r.insert(vec![sym(A, 1)]).is_err());
+        // wrong column domain
+        assert!(r.insert(vec![sym(A, 1), sym(C, 2)]).is_err());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let r = rel_ab(&[(1, 1), (1, 2), (2, 1)]);
+        let p = r.project(&sch(&[A])).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&vec![sym(A, 1)]));
+        assert!(p.contains(&vec![sym(A, 2)]));
+    }
+
+    #[test]
+    fn projection_validates_target() {
+        let r = rel_ab(&[(1, 1)]);
+        assert!(r.project(&Scheme::empty()).is_err());
+        assert!(r.project(&sch(&[C])).is_err());
+    }
+
+    #[test]
+    fn natural_join_on_common_attribute() {
+        let r = rel_ab(&[(1, 10), (2, 20)]);
+        let s = rel_bc(&[(10, 100), (10, 101), (30, 300)]);
+        let j = r.join(&s);
+        assert_eq!(j.scheme(), &sch(&[A, B, C]));
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&vec![sym(A, 1), sym(B, 10), sym(C, 100)]));
+        assert!(j.contains(&vec![sym(A, 1), sym(B, 10), sym(C, 101)]));
+    }
+
+    #[test]
+    fn join_with_disjoint_schemes_is_cartesian_product() {
+        let r = Relation::from_rows(sch(&[A]), [vec![sym(A, 1)], vec![sym(A, 2)]]).unwrap();
+        let s = Relation::from_rows(sch(&[C]), [vec![sym(C, 7)], vec![sym(C, 8)]]).unwrap();
+        let j = r.join(&s);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn join_on_same_scheme_is_intersection() {
+        let r = rel_ab(&[(1, 1), (2, 2)]);
+        let s = rel_ab(&[(2, 2), (3, 3)]);
+        let j = r.join(&s);
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&vec![sym(A, 2), sym(B, 2)]));
+    }
+
+    #[test]
+    fn join_decomposition_identity_can_fail() {
+        // The classic lossy-join example: π_AB ⋈ π_BC can be a strict
+        // superset of the original relation.
+        let abc = Relation::from_rows(
+            sch(&[A, B, C]),
+            [
+                vec![sym(A, 1), sym(B, 5), sym(C, 1)],
+                vec![sym(A, 2), sym(B, 5), sym(C, 2)],
+            ],
+        )
+        .unwrap();
+        let back = abc
+            .project(&sch(&[A, B]))
+            .unwrap()
+            .join(&abc.project(&sch(&[B, C])).unwrap());
+        assert!(abc.is_subset_of(&back));
+        assert_eq!(back.len(), 4); // strictly lossy
+    }
+
+    #[test]
+    fn union_requires_same_scheme() {
+        let r = rel_ab(&[(1, 1)]);
+        let s = rel_bc(&[(1, 1)]);
+        assert!(r.union(&s).is_err());
+        let t = rel_ab(&[(2, 2)]);
+        assert_eq!(r.union(&t).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the substrate: scheme set algebra and the
+//! projection/join engine.
+
+use proptest::prelude::*;
+use viewcap_base::{AttrId, Relation, Scheme, Symbol};
+
+// ---------------------------------------------------------------- schemes
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    // Subsets of 6 attributes.
+    proptest::collection::vec(0u32..6, 0..6).prop_map(|ids| {
+        Scheme::collect(ids.into_iter().map(AttrId))
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_associative(
+        a in scheme_strategy(),
+        b in scheme_strategy(),
+        c in scheme_strategy(),
+    ) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(
+        a in scheme_strategy(),
+        b in scheme_strategy(),
+        c in scheme_strategy(),
+    ) {
+        prop_assert_eq!(
+            a.intersect(&b.union(&c)),
+            a.intersect(&b).union(&a.intersect(&c))
+        );
+    }
+
+    #[test]
+    fn difference_and_intersection_partition(
+        a in scheme_strategy(),
+        b in scheme_strategy(),
+    ) {
+        let inter = a.intersect(&b);
+        let diff = a.difference(&b);
+        prop_assert_eq!(inter.union(&diff), a.clone());
+        prop_assert!(inter.intersect(&diff).is_empty());
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in scheme_strategy(), b in scheme_strategy()) {
+        prop_assert_eq!(a.is_subset_of(&b), a.union(&b) == b);
+    }
+
+    #[test]
+    fn nonempty_subsets_count_is_exponential(a in scheme_strategy()) {
+        let n = a.len();
+        prop_assert_eq!(a.nonempty_subsets().len(), (1usize << n) - 1);
+        if n > 0 {
+            prop_assert_eq!(a.proper_nonempty_subsets().len(), (1usize << n) - 2);
+        }
+    }
+}
+
+// -------------------------------------------------------------- relations
+
+const A: AttrId = AttrId(0);
+const B: AttrId = AttrId(1);
+const C: AttrId = AttrId(2);
+
+fn rel(scheme: &[AttrId], rows: &[Vec<u32>]) -> Relation {
+    let scheme = Scheme::collect(scheme.iter().copied());
+    Relation::from_rows(
+        scheme.clone(),
+        rows.iter().map(|r| {
+            scheme
+                .iter()
+                .zip(r)
+                .map(|(a, &v)| Symbol::new(a, v))
+                .collect::<Vec<_>>()
+        }),
+    )
+    .expect("rows built against the scheme")
+}
+
+fn rel_ab() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0u32..4, 0u32..4), 0..8)
+        .prop_map(|rows| rel(&[A, B], &rows.into_iter().map(|(a, b)| vec![a, b]).collect::<Vec<_>>()))
+}
+
+fn rel_bc() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0u32..4, 0u32..4), 0..8)
+        .prop_map(|rows| rel(&[B, C], &rows.into_iter().map(|(b, c)| vec![b, c]).collect::<Vec<_>>()))
+}
+
+fn rel_ac() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0u32..4, 0u32..4), 0..8)
+        .prop_map(|rows| rel(&[A, C], &rows.into_iter().map(|(a, c)| vec![a, c]).collect::<Vec<_>>()))
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(r in rel_ab(), s in rel_bc()) {
+        prop_assert_eq!(r.join(&s), s.join(&r));
+    }
+
+    #[test]
+    fn join_is_associative(r in rel_ab(), s in rel_bc(), t in rel_ac()) {
+        prop_assert_eq!(r.join(&s).join(&t), r.join(&s.join(&t)));
+    }
+
+    #[test]
+    fn join_with_self_is_identity(r in rel_ab()) {
+        prop_assert_eq!(r.join(&r), r);
+    }
+
+    #[test]
+    fn join_with_projection_of_self_is_identity(r in rel_ab()) {
+        // R ⋈ π_A(R) = R (the projection only constrains what R provides).
+        let pa = r.project(&Scheme::collect([A])).unwrap();
+        prop_assert_eq!(r.join(&pa), r);
+    }
+
+    #[test]
+    fn projection_composes(r in rel_ab()) {
+        // π_A(π_AB(R)) = π_A(R).
+        let via = r
+            .project(&Scheme::collect([A, B]))
+            .unwrap()
+            .project(&Scheme::collect([A]))
+            .unwrap();
+        prop_assert_eq!(via, r.project(&Scheme::collect([A])).unwrap());
+    }
+
+    #[test]
+    fn lossy_join_bound(r in rel_ab(), s in rel_bc()) {
+        // π_AB(R ⋈ S) ⊆ R: joins only filter the left operand's rows.
+        let j = r.join(&s);
+        if !j.is_empty() {
+            let back = j.project(&Scheme::collect([A, B])).unwrap();
+            prop_assert!(back.is_subset_of(&r));
+        }
+    }
+
+    #[test]
+    fn decomposition_contains_original(r in proptest::collection::vec((0u32..3, 0u32..3, 0u32..3), 0..8)) {
+        // R ⊆ π_AB(R) ⋈ π_BC(R): the classical lossy-join inclusion.
+        let rows: Vec<Vec<u32>> = r.into_iter().map(|(a, b, c)| vec![a, b, c]).collect();
+        let rel_abc = rel(&[A, B, C], &rows);
+        if rel_abc.is_empty() {
+            return Ok(());
+        }
+        let back = rel_abc
+            .project(&Scheme::collect([A, B]))
+            .unwrap()
+            .join(&rel_abc.project(&Scheme::collect([B, C])).unwrap());
+        prop_assert!(rel_abc.is_subset_of(&back));
+    }
+
+    #[test]
+    fn union_is_monotone_under_join(r in rel_ab(), s in rel_ab(), t in rel_bc()) {
+        // (R ∪ S) ⋈ T = (R ⋈ T) ∪ (S ⋈ T).
+        let lhs = r.union(&s).unwrap().join(&t);
+        let rhs = r.join(&t).union(&s.join(&t)).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,145 @@
+//! B8 — ablation of the search-engine design choices (DESIGN.md §5.5):
+//! semantic deduplication and intermediate reduction, measured on the same
+//! capacity-membership instance.
+//!
+//! The verdicts never change (see the unit tests); only the work changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use viewcap_base::Catalog;
+use viewcap_core::Query;
+use viewcap_expr::parse_expr;
+use viewcap_template::{
+    equivalent_templates, for_each_candidate_with, substitute, Assignment, SearchLimits,
+    SearchOptions,
+};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    let base = [
+        Query::from_expr(parse_expr("pi{A,B}(R)", &cat).unwrap(), &cat),
+        Query::from_expr(parse_expr("pi{B,C}(R)", &cat).unwrap(), &cat),
+    ];
+    // A negative goal: the search must exhaust the whole bounded frontier.
+    let goal = Query::from_expr(parse_expr("R", &cat).unwrap(), &cat);
+
+    let variants = [
+        ("dedup+reduce", SearchOptions { semantic_dedup: true, reduce_intermediates: true }),
+        ("no-dedup", SearchOptions { semantic_dedup: false, reduce_intermediates: true }),
+        ("no-reduce", SearchOptions { semantic_dedup: true, reduce_intermediates: false }),
+        ("bare", SearchOptions { semantic_dedup: false, reduce_intermediates: false }),
+    ];
+
+    // Deeper negative instance: three base queries, three-atom goal bound —
+    // where semantic dedup starts paying for itself.
+    let mut cat3 = Catalog::new();
+    cat3.relation("R", &["A", "B", "C", "D"]).unwrap();
+    let base3 = [
+        Query::from_expr(parse_expr("pi{A,B}(R)", &cat3).unwrap(), &cat3),
+        Query::from_expr(parse_expr("pi{B,C}(R)", &cat3).unwrap(), &cat3),
+        Query::from_expr(parse_expr("pi{C,D}(R)", &cat3).unwrap(), &cat3),
+    ];
+    let goal3 = Query::from_expr(
+        parse_expr("pi{A,D}(R * pi{B,D}(R))", &cat3).unwrap(),
+        &cat3,
+    );
+
+    let run = |cat: &Catalog, base: &[Query], goal: &Query, options: SearchOptions| {
+        let mut scratch = cat.clone();
+        let mut beta = Assignment::new();
+        let mut atoms = Vec::new();
+        for q in base {
+            let lam = scratch.fresh_relation("lam", q.trs());
+            beta.set(lam, q.template().clone(), &scratch).unwrap();
+            atoms.push(lam);
+        }
+        let (broke, _stats) = for_each_candidate_with(
+            &scratch,
+            &atoms,
+            goal.template().len(),
+            Some(&goal.trs()),
+            &SearchLimits::default(),
+            options,
+            &mut |_, skel| {
+                let sub = substitute(skel, &beta, &scratch).unwrap();
+                if equivalent_templates(&sub.result, goal.template()) {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )
+        .unwrap();
+        assert!(!broke, "negative instance must stay negative");
+    };
+
+    for (name, options) in variants {
+        group.bench_with_input(BenchmarkId::new("negative_k2", name), &options, |b, &options| {
+            b.iter(|| run(&cat, &base, &goal, options))
+        });
+        group.bench_with_input(BenchmarkId::new("negative_k3", name), &options, |b, &options| {
+            b.iter(|| run(&cat3, &base3, &goal3, options))
+        });
+    }
+
+    // Wide base: the `is_simple` workload shape — a member plus all its
+    // proper projections (7 queries). Dedup exists to stop the per-level
+    // part explosion here; measure the full three-atom frontier sweep with
+    // no goal and no early exit (pure engine cost).
+    {
+        let mut catw = Catalog::new();
+        catw.relation("R", &["A", "B", "C"]).unwrap();
+        let member = Query::from_expr(
+            parse_expr("pi{A,B}(R) * pi{B,C}(R)", &catw).unwrap(),
+            &catw,
+        );
+        let mut basew: Vec<Query> = vec![member.clone()];
+        for x in member.trs().proper_nonempty_subsets() {
+            basew.push(member.project(&x, &catw).unwrap());
+        }
+        let sweep = |options: SearchOptions| {
+            let mut scratch = catw.clone();
+            let mut atoms = Vec::new();
+            for q in &basew {
+                atoms.push(scratch.fresh_relation("lam", q.trs()));
+            }
+            let limits = SearchLimits {
+                max_level_parts: 2_000_000,
+                max_visits: 50_000_000,
+            };
+            let mut roots = 0u64;
+            let (_, _stats) = for_each_candidate_with(
+                &scratch,
+                &atoms,
+                3,
+                None,
+                &limits,
+                options,
+                &mut |_, _| {
+                    roots += 1;
+                    ControlFlow::Continue(())
+                },
+            )
+            .unwrap();
+            roots
+        };
+        for (name, options) in [
+            ("dedup+reduce", SearchOptions { semantic_dedup: true, reduce_intermediates: true }),
+            ("no-dedup", SearchOptions { semantic_dedup: false, reduce_intermediates: true }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new("wide_base_sweep_k3", name),
+                &options,
+                |b, &options| b.iter(|| sweep(options)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

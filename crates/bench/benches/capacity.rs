@@ -1,0 +1,73 @@
+//! B5 — capacity membership (Theorem 2.4.11): the bounded construction
+//! search. Sweeps goal size (the atom bound) and base-set size, on both
+//! positive and negative instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewcap_base::Catalog;
+use viewcap_core::{closure_contains, Query, SearchBudget};
+use viewcap_expr::parse_expr;
+
+fn world() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    cat.relation("S", &["C", "D"]).unwrap();
+    cat
+}
+
+fn q(cat: &Catalog, src: &str) -> Query {
+    Query::from_expr(parse_expr(src, cat).unwrap(), cat)
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity");
+    group.sample_size(10);
+    let cat = world();
+    let budget = SearchBudget::default();
+
+    // Goal size sweep (positive instances built from the base).
+    let base = [q(&cat, "pi{A,B}(R)"), q(&cat, "pi{B,C}(R)"), q(&cat, "S")];
+    let positive_goals = [
+        ("k1", "pi{A}(R)"),
+        ("k2", "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))"),
+        ("k3", "pi{A,D}(pi{A,B}(R) * pi{B,C}(R) * S)"),
+    ];
+    for (label, src) in positive_goals {
+        let goal = q(&cat, src);
+        group.bench_with_input(BenchmarkId::new("positive", label), &goal, |b, goal| {
+            b.iter(|| {
+                assert!(closure_contains(&base, goal, &cat, &budget)
+                    .unwrap()
+                    .is_some())
+            })
+        });
+    }
+
+    // Negative instances (exhaustive search to the bound).
+    let negative_goals = [("k1", "R"), ("k2", "R * S")];
+    for (label, src) in negative_goals {
+        let goal = q(&cat, src);
+        group.bench_with_input(BenchmarkId::new("negative", label), &goal, |b, goal| {
+            b.iter(|| {
+                assert!(closure_contains(&base, goal, &cat, &budget)
+                    .unwrap()
+                    .is_none())
+            })
+        });
+    }
+
+    // Base-set size sweep at fixed goal.
+    for n_base in [1usize, 2, 3] {
+        let base: Vec<Query> = ["pi{A,B}(R)", "pi{B,C}(R)", "S"][..n_base]
+            .iter()
+            .map(|s| q(&cat, s))
+            .collect();
+        let goal = q(&cat, "pi{B}(R)");
+        group.bench_with_input(BenchmarkId::new("base_size", n_base), &n_base, |b, _| {
+            b.iter(|| closure_contains(&base, &goal, &cat, &budget).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity);
+criterion_main!(benches);

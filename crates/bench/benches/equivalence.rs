@@ -1,0 +1,80 @@
+//! B6 — view equivalence (Theorem 2.4.12): full dominance-both-ways
+//! decisions on the paper's Example 3.1.5 family, scaled by the number of
+//! projection views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewcap_base::Catalog;
+use viewcap_core::equivalence::equivalent;
+use viewcap_core::View;
+use viewcap_expr::parse_expr;
+
+/// The Example 3.1.5 family over R(A₀…A_w): a single joined view versus
+/// the view of `w` overlapping binary projections.
+fn family(width: usize) -> (Catalog, View, View) {
+    let mut cat = Catalog::new();
+    let attr_names: Vec<String> = (0..=width).map(|i| format!("A{i}")).collect();
+    let refs: Vec<&str> = attr_names.iter().map(|s| s.as_str()).collect();
+    cat.relation("R", &refs).unwrap();
+
+    let mut projections = Vec::new();
+    for i in 0..width {
+        let src = format!("pi{{A{i},A{}}}(R)", i + 1);
+        projections.push(parse_expr(&src, &cat).unwrap());
+    }
+    let joined = viewcap_expr::Expr::join_all(projections.clone());
+
+    let jt = viewcap_core::Query::from_expr(joined.clone(), &cat);
+    let lam = cat.fresh_relation("joined", jt.trs());
+    let v = View::from_exprs(vec![(joined, lam)], &cat).unwrap();
+
+    let pairs = projections
+        .into_iter()
+        .map(|e| {
+            let q = viewcap_core::Query::from_expr(e.clone(), &cat);
+            let name = cat.fresh_relation("p", q.trs());
+            (e, name)
+        })
+        .collect();
+    let w = View::from_exprs(pairs, &cat).unwrap();
+    (cat, v, w)
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence");
+    group.sample_size(10);
+
+    for width in [2usize, 3] {
+        let (cat, v, w) = family(width);
+        group.bench_with_input(
+            BenchmarkId::new("example_3_1_5_family", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    assert!(equivalent(std::hint::black_box(&v), &w, &cat)
+                        .unwrap()
+                        .is_some())
+                })
+            },
+        );
+    }
+
+    // Non-equivalent pair: joined view vs the full relation.
+    {
+        let (mut cat, v, _) = family(2);
+        let full_q = viewcap_core::Query::from_expr(parse_expr("R", &cat).unwrap(), &cat);
+        let full_name = cat.fresh_relation("full", full_q.trs());
+        let full =
+            View::from_exprs(vec![(parse_expr("R", &cat).unwrap(), full_name)], &cat).unwrap();
+        group.bench_function("reject_strictly_stronger", |b| {
+            b.iter(|| {
+                assert!(equivalent(std::hint::black_box(&v), &full, &cat)
+                    .unwrap()
+                    .is_none())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_equivalence);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! B2 — evaluation: the template engine (α-embedding enumeration) versus
+//! direct relational evaluation of the same expression.
+//!
+//! Two sweeps on chain joins: data size at fixed arity, and arity at fixed
+//! data size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use viewcap_gen::{chain_join_expr, chain_world, random_instantiation};
+use viewcap_template::{eval_template, template_of_expr};
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation");
+    group.sample_size(20);
+
+    // Sweep rows at fixed chain length 3.
+    let w = chain_world(3);
+    let e = chain_join_expr(&w);
+    let t = template_of_expr(&e, &w.catalog);
+    for rows in [10usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(rows as u64);
+        let alpha = random_instantiation(&mut rng, &w.catalog, &w.rels, rows, 8);
+        group.bench_with_input(BenchmarkId::new("template/rows", rows), &rows, |b, _| {
+            b.iter(|| eval_template(std::hint::black_box(&t), &alpha, &w.catalog))
+        });
+        group.bench_with_input(BenchmarkId::new("expr/rows", rows), &rows, |b, _| {
+            b.iter(|| std::hint::black_box(&e).eval(&alpha, &w.catalog))
+        });
+    }
+
+    // Sweep chain length at fixed 30 rows.
+    for n in [1usize, 2, 3, 4] {
+        let w = chain_world(n);
+        let e = chain_join_expr(&w);
+        let t = template_of_expr(&e, &w.catalog);
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let alpha = random_instantiation(&mut rng, &w.catalog, &w.rels, 30, 6);
+        group.bench_with_input(BenchmarkId::new("template/links", n), &n, |b, _| {
+            b.iter(|| eval_template(std::hint::black_box(&t), &alpha, &w.catalog))
+        });
+        group.bench_with_input(BenchmarkId::new("expr/links", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(&e).eval(&alpha, &w.catalog))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);

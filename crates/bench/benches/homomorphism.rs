@@ -1,0 +1,49 @@
+//! B1 — homomorphism search (Prop 2.4.1/2.4.3) scaling.
+//!
+//! Sweeps chain-join templates: the self-test (hom exists, identity-like),
+//! the containment test with merging, and a negative test (no hom). Chain
+//! length = tuple count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewcap_gen::{chain_join_expr, chain_world};
+use viewcap_template::{find_homomorphism, template_of_expr, Template};
+
+fn bench_homomorphism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homomorphism");
+    group.sample_size(20);
+
+    for n in [2usize, 4, 6, 8] {
+        let w = chain_world(n);
+        let chain = template_of_expr(&chain_join_expr(&w), &w.catalog);
+        assert_eq!(chain.len(), n);
+
+        // Positive: self homomorphism.
+        group.bench_with_input(BenchmarkId::new("self", n), &n, |b, _| {
+            b.iter(|| {
+                assert!(find_homomorphism(std::hint::black_box(&chain), &chain).is_some());
+            })
+        });
+
+        // Positive with merging: chain ⋈ chain (disjoint symbol copies)
+        // against chain.
+        let doubled = viewcap_template::join_templates(&chain, &chain);
+        group.bench_with_input(BenchmarkId::new("merge", n), &n, |b, _| {
+            b.iter(|| {
+                assert!(find_homomorphism(std::hint::black_box(&doubled), &chain).is_some());
+            })
+        });
+
+        // Negative: the chain template has no hom into a single atom
+        // template of the first link (no targets for the other tags).
+        let atom = Template::atom(w.rels[0], &w.catalog);
+        group.bench_with_input(BenchmarkId::new("reject", n), &n, |b, _| {
+            b.iter(|| {
+                assert!(find_homomorphism(std::hint::black_box(&chain), &atom).is_none());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_homomorphism);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! B3 — template reduction (Prop 2.4.4): cost of minimizing padded
+//! templates as redundancy grows, and the fixpoint check on cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewcap_gen::{chain_join_expr, chain_world};
+use viewcap_template::{join_templates, reduce, template_of_expr};
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    group.sample_size(15);
+
+    let w = chain_world(3);
+    let base = template_of_expr(&chain_join_expr(&w), &w.catalog);
+
+    for copies in [1usize, 2, 3, 4] {
+        // k disjoint copies joined; reduction collapses them to the core.
+        let mut padded = base.clone();
+        for _ in 1..copies {
+            padded = join_templates(&padded, &base);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("chain3_copies", copies),
+            &copies,
+            |b, _| {
+                b.iter(|| {
+                    let red = reduce(std::hint::black_box(&padded));
+                    assert_eq!(red.len(), base.len());
+                })
+            },
+        );
+    }
+
+    // Reduction of already-reduced templates (pure fixpoint check).
+    for n in [2usize, 4, 6] {
+        let w = chain_world(n);
+        let t = template_of_expr(&chain_join_expr(&w), &w.catalog);
+        group.bench_with_input(BenchmarkId::new("already_reduced", n), &n, |b, _| {
+            b.iter(|| reduce(std::hint::black_box(&t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! B7 — redundancy elimination (Theorem 3.1.4) and the simplified normal
+//! form (Theorem 4.1.3): the full pipelines on curated workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use viewcap_base::Catalog;
+use viewcap_core::redundancy::nonredundant_indices;
+use viewcap_core::simplify::simplify_queries;
+use viewcap_core::{Query, SearchBudget};
+use viewcap_expr::parse_expr;
+
+fn q(cat: &Catalog, src: &str) -> Query {
+    Query::from_expr(parse_expr(src, cat).unwrap(), cat)
+}
+
+fn bench_simplification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplification");
+    group.sample_size(10);
+    let budget = SearchBudget::default();
+
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    cat.relation("S", &["C", "D"]).unwrap();
+
+    // Redundancy elimination on a padded set.
+    let padded = vec![
+        q(&cat, "pi{A,B}(R)"),
+        q(&cat, "pi{B,C}(R)"),
+        q(&cat, "pi{A,B}(R) * pi{B,C}(R)"),
+        q(&cat, "pi{B}(R)"),
+    ];
+    group.bench_function("nonredundant/padded4", |b| {
+        b.iter(|| {
+            let keep = nonredundant_indices(std::hint::black_box(&padded), &cat, &budget).unwrap();
+            assert!(keep.len() < padded.len());
+        })
+    });
+
+    // Simplification of Example 3.1.5's joined view.
+    let joined = vec![q(&cat, "pi{A,B}(R) * pi{B,C}(R)")];
+    group.bench_function("simplify/example_3_1_5", |b| {
+        b.iter(|| {
+            let s = simplify_queries(std::hint::black_box(&joined), &cat, &budget).unwrap();
+            assert_eq!(s.len(), 2);
+        })
+    });
+
+    // Simplification with a second relation in play.
+    let pair = vec![q(&cat, "pi{A,B}(R) * pi{B,C}(R)"), q(&cat, "S")];
+    group.bench_function("simplify/two_queries", |b| {
+        b.iter(|| simplify_queries(std::hint::black_box(&pair), &cat, &budget).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplification);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! B4 — template substitution `T → β` (Section 2.2): cost versus skeleton
+//! size and assigned-template size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewcap_base::{Catalog, Scheme};
+use viewcap_expr::Expr;
+use viewcap_template::{substitute, template_of_expr, Assignment, TaggedTuple, Template};
+
+/// A skeleton of `skeleton_atoms` view-name tuples, each assigned a private
+/// chain template of `inner_links` tuples.
+fn setup(skeleton_atoms: usize, inner_links: usize) -> (Catalog, Template, Assignment) {
+    let mut cat = Catalog::new();
+    let mut beta = Assignment::new();
+    let mut nus = Vec::new();
+    for v in 0..skeleton_atoms {
+        let attrs: Vec<_> = (0..=inner_links)
+            .map(|i| cat.attr(&format!("X{v}_{i}")))
+            .collect();
+        let rels: Vec<_> = (0..inner_links)
+            .map(|i| {
+                let scheme = Scheme::new([attrs[i], attrs[i + 1]]).unwrap();
+                cat.add_relation(&format!("B{v}_{i}"), scheme).unwrap()
+            })
+            .collect();
+        let inner = template_of_expr(
+            &Expr::join_all(rels.iter().map(|&r| Expr::rel(r)).collect()),
+            &cat,
+        );
+        let nu = cat.fresh_relation("nu", inner.trs());
+        beta.set(nu, inner, &cat).unwrap();
+        nus.push(nu);
+    }
+    let skeleton = Template::new(
+        nus.iter()
+            .map(|&nu| TaggedTuple::all_distinguished(nu, &cat))
+            .collect(),
+    )
+    .unwrap();
+    (cat, skeleton, beta)
+}
+
+fn bench_substitution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substitution");
+    group.sample_size(30);
+
+    for atoms in [1usize, 2, 4, 8] {
+        let (cat, skeleton, beta) = setup(atoms, 3);
+        group.bench_with_input(BenchmarkId::new("skeleton", atoms), &atoms, |b, _| {
+            b.iter(|| substitute(std::hint::black_box(&skeleton), &beta, &cat).unwrap())
+        });
+    }
+    for inner in [1usize, 3, 6, 9] {
+        let (cat, skeleton, beta) = setup(3, inner);
+        group.bench_with_input(BenchmarkId::new("inner", inner), &inner, |b, _| {
+            b.iter(|| substitute(std::hint::black_box(&skeleton), &beta, &cat).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substitution);
+criterion_main!(benches);

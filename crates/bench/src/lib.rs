@@ -1,0 +1,1 @@
+//! Benchmark harness library (intentionally empty; see benches/).

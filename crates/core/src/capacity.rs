@@ -1,0 +1,313 @@
+//! Query capacity and the membership decision procedure.
+//!
+//! **Definition (1.4).** `Cap(𝒱)` is the set of database queries `Ē` that
+//! act as surrogates for view queries. **Theorem 1.5.2** characterizes it as
+//! the *closure* of the defining query set under projection and join, and
+//! **Theorem 2.3.2** characterizes the closure constructively: `Q ∈ 𝒯̄` iff
+//! some template substitution `T → β` with an m.r.e. template `T` and
+//! `β(RN(T)) ⊆ 𝒯` realizes `Q` (a *construction*).
+//!
+//! **Theorem 2.4.11** makes membership decidable. Our procedure (justified
+//! in DESIGN.md §5.3 by the syntactic subtemplate lemma, replacing the
+//! paper's `J_k` enumeration):
+//!
+//! 1. mint a scratch relation name `λᵢ` of type `TRS(Tᵢ)` per query in `𝒯`;
+//! 2. enumerate normalized expressions over the `λᵢ` with at most
+//!    `#(reduce(Q))` atom occurrences (deduplicated semantically);
+//! 3. for each candidate skeleton, substitute `β(λᵢ) = Tᵢ` and test
+//!    equivalence with `Q` (Corollary 2.4.2).
+//!
+//! A positive answer returns a [`ClosureProof`] — the construction itself —
+//! which callers can independently validate by evaluation.
+
+use crate::error::CoreError;
+use crate::query::Query;
+use std::ops::ControlFlow;
+use viewcap_base::{Catalog, RelId};
+use viewcap_expr::Expr;
+use viewcap_template::{
+    equivalent_templates, substitute, Assignment, SearchLimits, SearchOverflow, Template,
+};
+
+use crate::view::View;
+
+/// Budget knobs for the bounded search.
+#[derive(Clone, Debug, Default)]
+pub struct SearchBudget {
+    /// Limits handed to the underlying enumeration.
+    pub limits: SearchLimits,
+    /// Override the atom bound (default: `#(reduce(Q))`, the completeness
+    /// bound of the syntactic subtemplate lemma). Raising it never changes
+    /// answers; it exists for experimentation and the ablation benches.
+    pub max_atoms_override: Option<usize>,
+}
+
+/// A construction witnessing `Q ∈ closure(𝒯)` (Theorem 2.3.2).
+#[derive(Clone, Debug)]
+pub struct ClosureProof {
+    /// The skeleton expression over the scratch names `λᵢ`.
+    pub skeleton: Expr,
+    /// The scratch catalog in which the `λᵢ` live (a clone of the caller's
+    /// catalog, extended).
+    pub catalog: Catalog,
+    /// For each `λ` used anywhere in the search: `(λ, index into 𝒯)`.
+    pub lambda_queries: Vec<(RelId, usize)>,
+    /// The skeleton's (reduced) template over the `λᵢ`.
+    pub skeleton_template: Template,
+    /// The substituted template over the underlying schema, equivalent to
+    /// the goal.
+    pub substituted: Template,
+}
+
+impl ClosureProof {
+    /// The query-set index assigned to a given `λ`.
+    pub fn query_index_of(&self, lambda: RelId) -> Option<usize> {
+        self.lambda_queries
+            .iter()
+            .find(|(l, _)| *l == lambda)
+            .map(|(_, i)| *i)
+    }
+
+    /// The skeleton with each scratch `λ` replaced by a caller-chosen name
+    /// for the corresponding query (e.g. the view-schema names) — useful
+    /// for displaying witnesses in the caller's vocabulary.
+    ///
+    /// `names[i]` must have type `TRS(queries[i])`; view-schema names always
+    /// qualify.
+    pub fn skeleton_with_names(&self, names: &[RelId]) -> Expr {
+        self.skeleton
+            .expand(
+                &|lam| {
+                    self.query_index_of(lam)
+                        .and_then(|i| names.get(i))
+                        .map(|&n| Expr::rel(n))
+                },
+                &self.catalog,
+            )
+            .expect("names share the λ types")
+    }
+}
+
+/// Decide `goal ∈ closure(queries)` and produce a construction on success.
+///
+/// `Err` means the search budget was exhausted — the answer is unknown,
+/// *not* "no".
+pub fn closure_contains(
+    queries: &[Query],
+    goal: &Query,
+    catalog: &Catalog,
+    budget: &SearchBudget,
+) -> Result<Option<ClosureProof>, SearchOverflow> {
+    if queries.is_empty() {
+        return Ok(None);
+    }
+    // Quick rejection: equivalent mappings have equal RN sets, and every
+    // construction's RN is covered by the union of the queries' RNs.
+    let union: std::collections::BTreeSet<RelId> =
+        queries.iter().flat_map(|q| q.rel_names()).collect();
+    if !goal.rel_names().iter().all(|r| union.contains(r)) {
+        return Ok(None);
+    }
+
+    // Scratch names λᵢ and the assignment β(λᵢ) = Tᵢ.
+    let mut scratch = catalog.clone();
+    let mut beta = Assignment::new();
+    let mut lambda_queries = Vec::with_capacity(queries.len());
+    let mut atoms = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let lam = scratch.fresh_relation("lam", q.trs());
+        beta.set(lam, q.template().clone(), &scratch)
+            .expect("λ type minted to match");
+        lambda_queries.push((lam, i));
+        atoms.push(lam);
+    }
+
+    let max_atoms = budget
+        .max_atoms_override
+        .unwrap_or_else(|| goal.template().len());
+    let goal_trs = goal.trs();
+
+    // RN(goal) must equal the union of the assigned queries' RNs over the
+    // skeleton's tags; precompute each λ's contribution for a cheap filter.
+    let goal_rn = goal.rel_names();
+    let rn_of_lambda: std::collections::HashMap<RelId, std::collections::BTreeSet<RelId>> =
+        lambda_queries
+            .iter()
+            .map(|&(lam, i)| (lam, queries[i].rel_names()))
+            .collect();
+
+    let mut proof = None;
+    viewcap_template::for_each_candidate(
+        &scratch,
+        &atoms,
+        max_atoms,
+        Some(&goal_trs),
+        &budget.limits,
+        &mut |expr, skel| {
+            let skel_rn: std::collections::BTreeSet<RelId> = skel
+                .rel_names()
+                .into_iter()
+                .flat_map(|lam| rn_of_lambda[&lam].iter().copied())
+                .collect();
+            if skel_rn != goal_rn {
+                return ControlFlow::Continue(());
+            }
+            let sub = substitute(skel, &beta, &scratch)
+                .expect("every λ is assigned");
+            if equivalent_templates(&sub.result, goal.template()) {
+                proof = Some(ClosureProof {
+                    skeleton: expr.clone(),
+                    catalog: scratch.clone(),
+                    lambda_queries: lambda_queries.clone(),
+                    skeleton_template: skel.clone(),
+                    substituted: sub.result,
+                });
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    )?;
+    Ok(proof)
+}
+
+/// Theorem 2.4.11: is `goal` in the query capacity of the view?
+///
+/// By Theorem 1.5.2, `Cap(𝒱)` is the closure of the defining query set.
+pub fn cap_contains(
+    view: &View,
+    goal: &Query,
+    catalog: &Catalog,
+    budget: &SearchBudget,
+) -> Result<Option<ClosureProof>, SearchOverflow> {
+    let qs = view.query_set();
+    closure_contains(qs.queries(), goal, catalog, budget)
+}
+
+/// Convenience wrapper mapping overflow into [`CoreError`].
+pub fn cap_contains_default(
+    view: &View,
+    goal: &Query,
+    catalog: &Catalog,
+) -> Result<Option<ClosureProof>, CoreError> {
+    Ok(cap_contains(view, goal, catalog, &SearchBudget::default())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewcap_expr::parse_expr;
+
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        cat
+    }
+
+    fn q(cat: &Catalog, src: &str) -> Query {
+        Query::from_expr(parse_expr(src, cat).unwrap(), cat)
+    }
+
+    #[test]
+    fn members_of_the_set_are_in_the_closure() {
+        let cat = setup();
+        let s1 = q(&cat, "pi{A,B}(R)");
+        let s2 = q(&cat, "pi{B,C}(R)");
+        let proof = closure_contains(&[s1.clone(), s2], &s1, &cat, &SearchBudget::default())
+            .unwrap()
+            .expect("S1 ∈ closure({S1,S2})");
+        assert_eq!(proof.skeleton.atom_count(), 1);
+    }
+
+    #[test]
+    fn joins_and_projections_are_in_the_closure() {
+        let cat = setup();
+        let s1 = q(&cat, "pi{A,B}(R)");
+        let s2 = q(&cat, "pi{B,C}(R)");
+        let set = [s1, s2];
+        for target in ["pi{A,B}(R) * pi{B,C}(R)", "pi{A}(R)", "pi{B}(R)", "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))"] {
+            let goal = q(&cat, target);
+            assert!(
+                closure_contains(&set, &goal, &cat, &SearchBudget::default())
+                    .unwrap()
+                    .is_some(),
+                "{target} should be in the closure"
+            );
+        }
+    }
+
+    #[test]
+    fn the_full_relation_is_not_derivable_from_projections() {
+        // The decomposition is lossy: R ∉ closure({π_AB(R), π_BC(R)}).
+        let cat = setup();
+        let s1 = q(&cat, "pi{A,B}(R)");
+        let s2 = q(&cat, "pi{B,C}(R)");
+        let goal = q(&cat, "R");
+        assert!(closure_contains(&[s1, s2], &goal, &cat, &SearchBudget::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn hidden_attributes_are_unrecoverable() {
+        // π_C(R) ∉ closure({π_AB(R)}): C never appears.
+        let cat = setup();
+        let s1 = q(&cat, "pi{A,B}(R)");
+        let goal = q(&cat, "pi{C}(R)");
+        assert!(closure_contains(&[s1], &goal, &cat, &SearchBudget::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn proof_substituted_template_is_equivalent_to_goal() {
+        let cat = setup();
+        let s1 = q(&cat, "pi{A,B}(R)");
+        let s2 = q(&cat, "pi{B,C}(R)");
+        let goal = q(&cat, "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))");
+        let proof = closure_contains(&[s1, s2], &goal, &cat, &SearchBudget::default())
+            .unwrap()
+            .unwrap();
+        assert!(equivalent_templates(&proof.substituted, goal.template()));
+        // And the skeleton only mentions λ names from the proof's table.
+        for r in proof.skeleton.rel_names() {
+            assert!(proof.query_index_of(r).is_some());
+        }
+    }
+
+    #[test]
+    fn cap_contains_goes_through_the_view() {
+        let mut cat = setup();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let bc = cat.scheme(&["B", "C"]).unwrap();
+        let v1 = cat.fresh_relation("v1", ab);
+        let v2 = cat.fresh_relation("v2", bc);
+        let view = View::from_exprs(
+            vec![
+                (parse_expr("pi{A,B}(R)", &cat).unwrap(), v1),
+                (parse_expr("pi{B,C}(R)", &cat).unwrap(), v2),
+            ],
+            &cat,
+        )
+        .unwrap();
+        let yes = q(&cat, "pi{A}(R)");
+        let no = q(&cat, "R");
+        assert!(cap_contains(&view, &yes, &cat, &SearchBudget::default())
+            .unwrap()
+            .is_some());
+        assert!(cap_contains(&view, &no, &cat, &SearchBudget::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn rn_prefilter_rejects_foreign_names() {
+        let mut cat = setup();
+        cat.relation("S", &["A", "B"]).unwrap();
+        let s1 = q(&cat, "pi{A,B}(R)");
+        let goal = q(&cat, "S");
+        assert!(closure_contains(&[s1], &goal, &cat, &SearchBudget::default())
+            .unwrap()
+            .is_none());
+    }
+}

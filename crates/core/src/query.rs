@@ -1,0 +1,242 @@
+//! Queries as semantic objects.
+//!
+//! The paper's queries are *expression mappings* — what an expression (or
+//! template) denotes, independent of its realization (Section 1.2, and the
+//! reminder opening Section 2). A [`Query`] therefore stores a **reduced
+//! template** as the canonical semantic representative, plus the originating
+//! expression when one exists (for display and for surrogate expressions).
+//!
+//! Equality of mappings is decidable (Proposition 2.4.3) and exposed as
+//! [`Query::equiv`].
+
+use std::collections::BTreeSet;
+use viewcap_base::{Catalog, Instantiation, RelId, Relation, Scheme};
+use viewcap_template::{
+    equivalent_templates, eval_template, join_templates, project_template, reduce,
+    template_of_expr, Template, TemplateError,
+};
+use viewcap_expr::Expr;
+
+/// An expression mapping: a query of a database schema.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Reduced template — the canonical semantic representative.
+    template: Template,
+    /// Expression provenance, when the query was built from an expression.
+    expr: Option<Expr>,
+}
+
+impl Query {
+    /// The query realized by an expression (Algorithm 2.1.1 + reduction).
+    pub fn from_expr(expr: Expr, catalog: &Catalog) -> Query {
+        let template = reduce(&template_of_expr(&expr, catalog));
+        Query {
+            template,
+            expr: Some(expr),
+        }
+    }
+
+    /// The query realized by a template.
+    pub fn from_template(template: &Template) -> Query {
+        Query {
+            template: reduce(template),
+            expr: None,
+        }
+    }
+
+    /// The canonical (reduced) template.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// The originating expression, if any.
+    pub fn expr(&self) -> Option<&Expr> {
+        self.expr.as_ref()
+    }
+
+    /// `TRS` of the mapping.
+    pub fn trs(&self) -> Scheme {
+        self.template.trs()
+    }
+
+    /// `RN` of the mapping.
+    pub fn rel_names(&self) -> BTreeSet<RelId> {
+        self.template.rel_names()
+    }
+
+    /// Do the two queries denote the same mapping? (Prop 2.4.3.)
+    pub fn equiv(&self, other: &Query) -> bool {
+        equivalent_templates(&self.template, &other.template)
+    }
+
+    /// Evaluate the mapping on an instantiation.
+    pub fn eval(&self, alpha: &Instantiation, catalog: &Catalog) -> Relation {
+        eval_template(&self.template, alpha, catalog)
+    }
+
+    /// `π_X ∘ Q` (requires `∅ ≠ X ⊆ TRS(Q)`).
+    ///
+    /// Expression provenance is carried through when present.
+    pub fn project(&self, x: &Scheme, catalog: &Catalog) -> Result<Query, TemplateError> {
+        let template = reduce(&project_template(&self.template, x)?);
+        let expr = self
+            .expr
+            .as_ref()
+            .and_then(|e| Expr::project(e.clone(), x.clone(), catalog).ok());
+        Ok(Query { template, expr })
+    }
+
+    /// `Q ⋈ Q'`.
+    pub fn join(&self, other: &Query) -> Query {
+        let template = reduce(&join_templates(&self.template, &other.template));
+        let expr = match (&self.expr, &other.expr) {
+            (Some(a), Some(b)) => Expr::join(vec![a.clone(), b.clone()]).ok(),
+            _ => None,
+        };
+        Query { template, expr }
+    }
+}
+
+/// A query set (Section 1.5): an ordered collection of queries with
+/// equivalence-aware helpers.
+///
+/// View definitions need positional access (pairs line up with view-schema
+/// names), so this is a thin wrapper over `Vec<Query>` rather than a
+/// deduplicating set; use [`QuerySet::dedup_equiv`] where the paper reasons
+/// modulo equivalence.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySet {
+    queries: Vec<Query>,
+}
+
+impl QuerySet {
+    /// Build from queries.
+    pub fn new(queries: Vec<Query>) -> Self {
+        QuerySet { queries }
+    }
+
+    /// The underlying queries.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Does the set contain a query equivalent to `q`?
+    pub fn contains_equiv(&self, q: &Query) -> bool {
+        self.queries.iter().any(|x| x.equiv(q))
+    }
+
+    /// Index of the first query equivalent to `q`.
+    pub fn position_equiv(&self, q: &Query) -> Option<usize> {
+        self.queries.iter().position(|x| x.equiv(q))
+    }
+
+    /// Keep the first representative of each equivalence class.
+    pub fn dedup_equiv(&self) -> QuerySet {
+        let mut out: Vec<Query> = Vec::with_capacity(self.queries.len());
+        for q in &self.queries {
+            if !out.iter().any(|x| x.equiv(q)) {
+                out.push(q.clone());
+            }
+        }
+        QuerySet { queries: out }
+    }
+
+    /// Append a query.
+    pub fn push(&mut self, q: Query) {
+        self.queries.push(q);
+    }
+
+    /// Remove and return the query at `i`.
+    pub fn remove(&mut self, i: usize) -> Query {
+        self.queries.remove(i)
+    }
+
+    /// Same queries up to pairwise equivalence (both directions)?
+    ///
+    /// This is the equality notion of Theorem 4.2.2.
+    pub fn same_modulo_equiv(&self, other: &QuerySet) -> bool {
+        self.queries.iter().all(|q| other.contains_equiv(q))
+            && other.queries.iter().all(|q| self.contains_equiv(q))
+    }
+}
+
+impl FromIterator<Query> for QuerySet {
+    fn from_iter<I: IntoIterator<Item = Query>>(iter: I) -> Self {
+        QuerySet {
+            queries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewcap_expr::parse_expr;
+
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        cat
+    }
+
+    #[test]
+    fn equivalence_sees_through_syntax() {
+        let cat = setup();
+        // R ⋈ π_AB(R) ≡ R.
+        let q1 = Query::from_expr(parse_expr("R * pi{A,B}(R)", &cat).unwrap(), &cat);
+        let q2 = Query::from_expr(parse_expr("R", &cat).unwrap(), &cat);
+        assert!(q1.equiv(&q2));
+        assert_eq!(q1.template().len(), 1); // reduction collapsed the join
+    }
+
+    #[test]
+    fn projection_and_join_compose() {
+        let cat = setup();
+        let r = Query::from_expr(parse_expr("R", &cat).unwrap(), &cat);
+        let ab = cat.scheme_of(cat.lookup_rel("R").unwrap()).clone();
+        let mut it = ab.iter();
+        let a = it.next().unwrap();
+        let b = it.next().unwrap();
+        let x = Scheme::new([a, b]).unwrap();
+        let p = r.project(&x, &cat).unwrap();
+        assert_eq!(p.trs(), x);
+        let j = p.join(&r);
+        assert!(j.equiv(&r)); // π_AB(R) ⋈ R ≡ R
+        assert!(j.expr().is_some());
+    }
+
+    #[test]
+    fn query_set_dedups_by_equivalence() {
+        let cat = setup();
+        let q1 = Query::from_expr(parse_expr("pi{A,B}(R)", &cat).unwrap(), &cat);
+        let q2 = Query::from_expr(parse_expr("pi{A,B}(R * R)", &cat).unwrap(), &cat);
+        let q3 = Query::from_expr(parse_expr("pi{B,C}(R)", &cat).unwrap(), &cat);
+        let qs = QuerySet::new(vec![q1.clone(), q2, q3.clone()]);
+        let dd = qs.dedup_equiv();
+        assert_eq!(dd.len(), 2);
+        assert!(dd.contains_equiv(&q1));
+        assert!(dd.contains_equiv(&q3));
+        assert!(qs.same_modulo_equiv(&dd));
+    }
+
+    #[test]
+    fn position_equiv_finds_first_match() {
+        let cat = setup();
+        let q1 = Query::from_expr(parse_expr("pi{A}(R)", &cat).unwrap(), &cat);
+        let q2 = Query::from_expr(parse_expr("pi{B}(R)", &cat).unwrap(), &cat);
+        let qs = QuerySet::new(vec![q1.clone(), q2.clone()]);
+        assert_eq!(qs.position_equiv(&q2), Some(1));
+        let q3 = Query::from_expr(parse_expr("pi{C}(R)", &cat).unwrap(), &cat);
+        assert_eq!(qs.position_equiv(&q3), None);
+    }
+}

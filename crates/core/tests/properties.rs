@@ -1,0 +1,128 @@
+//! Property-based tests over the decision procedures (small case counts:
+//! each case runs bounded searches).
+
+use proptest::prelude::*;
+use viewcap_base::{Catalog, RelId, Scheme};
+use viewcap_core::capacity::{closure_contains, SearchBudget};
+use viewcap_core::redundancy::nonredundant_indices;
+use viewcap_core::Query;
+use viewcap_expr::Expr;
+
+/// Fixed world: R(A,B), S(B,C).
+fn world() -> (Catalog, Vec<RelId>) {
+    let mut cat = Catalog::new();
+    let r = cat.relation("R", &["A", "B"]).unwrap();
+    let s = cat.relation("S", &["B", "C"]).unwrap();
+    (cat, vec![r, s])
+}
+
+/// Byte-program interpreter (same convention as the other crates' suites).
+fn interpret(cat: &Catalog, rels: &[RelId], program: &[u8]) -> Expr {
+    let mut stack: Vec<Expr> = Vec::new();
+    for &op in program {
+        match op % 4 {
+            0 | 1 => stack.push(Expr::rel(rels[(op as usize / 4) % rels.len()])),
+            2 => {
+                if stack.len() >= 2 {
+                    let b = stack.pop().unwrap();
+                    let a = stack.pop().unwrap();
+                    stack.push(Expr::join(vec![a, b]).unwrap());
+                }
+            }
+            _ => {
+                if let Some(e) = stack.pop() {
+                    let trs = e.trs(cat);
+                    let mask = op as usize / 4;
+                    let keep: Vec<_> = trs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, a)| a)
+                        .collect();
+                    if keep.is_empty() || keep.len() == trs.len() {
+                        stack.push(e);
+                    } else {
+                        stack.push(Expr::project(e, Scheme::new(keep).unwrap(), cat).unwrap());
+                    }
+                }
+            }
+        }
+    }
+    stack.pop().unwrap_or(Expr::rel(rels[0]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generators always belong to their own closure, and so do joins and
+    /// projections of them (Theorem 1.5.2's closure conditions).
+    #[test]
+    fn closure_is_closed_under_its_operations(
+        p1 in proptest::collection::vec(any::<u8>(), 1..8),
+        p2 in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let (cat, rels) = world();
+        let budget = SearchBudget::default();
+        let q1 = Query::from_expr(interpret(&cat, &rels, &p1), &cat);
+        let q2 = Query::from_expr(interpret(&cat, &rels, &p2), &cat);
+        let base = [q1.clone(), q2.clone()];
+        prop_assert!(closure_contains(&base, &q1, &cat, &budget).unwrap().is_some());
+        prop_assert!(closure_contains(&base, &q2, &cat, &budget).unwrap().is_some());
+        let joined = q1.join(&q2);
+        prop_assert!(closure_contains(&base, &joined, &cat, &budget).unwrap().is_some());
+        if let Some(x) = joined.trs().proper_nonempty_subsets().into_iter().next() {
+            let projected = joined.project(&x, &cat).unwrap();
+            prop_assert!(
+                closure_contains(&base, &projected, &cat, &budget).unwrap().is_some()
+            );
+        }
+    }
+
+    /// Membership is invariant under replacing the goal by an equivalent
+    /// query (it is a property of mappings, not of syntax).
+    #[test]
+    fn membership_is_semantic(
+        p1 in proptest::collection::vec(any::<u8>(), 1..8),
+        p2 in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let (cat, rels) = world();
+        let budget = SearchBudget::default();
+        let base = [Query::from_expr(interpret(&cat, &rels, &p1), &cat)];
+        let goal = Query::from_expr(interpret(&cat, &rels, &p2), &cat);
+        // A syntactically different but equivalent goal: join with itself.
+        let doubled = goal.join(&goal);
+        prop_assert!(goal.equiv(&doubled));
+        let a = closure_contains(&base, &goal, &cat, &budget).unwrap().is_some();
+        let b = closure_contains(&base, &doubled, &cat, &budget).unwrap().is_some();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Greedy redundancy removal reaches a fixpoint: running it twice keeps
+    /// the same indices.
+    #[test]
+    fn nonredundant_reduction_is_a_fixpoint(
+        p1 in proptest::collection::vec(any::<u8>(), 1..6),
+        p2 in proptest::collection::vec(any::<u8>(), 1..6),
+        p3 in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let (cat, rels) = world();
+        let budget = SearchBudget::default();
+        let base = vec![
+            Query::from_expr(interpret(&cat, &rels, &p1), &cat),
+            Query::from_expr(interpret(&cat, &rels, &p2), &cat),
+            Query::from_expr(interpret(&cat, &rels, &p3), &cat),
+        ];
+        let keep = nonredundant_indices(&base, &cat, &budget).unwrap();
+        let kept: Vec<Query> = keep.iter().map(|&i| base[i].clone()).collect();
+        let again = nonredundant_indices(&kept, &cat, &budget).unwrap();
+        prop_assert_eq!(again.len(), kept.len(), "second pass removed more");
+        // And every removed query is generated by the kept ones.
+        for (i, q) in base.iter().enumerate() {
+            if !keep.contains(&i) {
+                prop_assert!(
+                    closure_contains(&kept, q, &cat, &budget).unwrap().is_some()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Pretty-printing of expressions against a catalog.
+//!
+//! The output grammar round-trips through [`crate::parser::parse_expr`]:
+//!
+//! ```text
+//! R * S                  join
+//! pi{A,B}(R * S)         projection
+//! ```
+
+use crate::expr::Expr;
+use std::fmt::Write as _;
+use viewcap_base::{Catalog, Scheme};
+
+/// Render an expression using catalog names.
+pub fn display_expr(e: &Expr, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    write_expr(e, catalog, &mut out, false);
+    out
+}
+
+/// Render a scheme as `{A,B,C}` using catalog names.
+pub fn display_scheme(s: &Scheme, catalog: &Catalog) -> String {
+    let mut out = String::from("{");
+    for (i, a) in s.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(catalog.attr_name(a));
+    }
+    out.push('}');
+    out
+}
+
+fn write_expr(e: &Expr, catalog: &Catalog, out: &mut String, parenthesize_join: bool) {
+    match e {
+        Expr::Rel(r) => out.push_str(catalog.rel_name(*r)),
+        Expr::Project(child, x) => {
+            let _ = write!(out, "pi{}", display_scheme(x, catalog));
+            out.push('(');
+            write_expr(child, catalog, out, false);
+            out.push(')');
+        }
+        Expr::Join(es) => {
+            if parenthesize_join {
+                out.push('(');
+            }
+            for (i, child) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" * ");
+                }
+                write_expr(child, catalog, out, true);
+            }
+            if parenthesize_join {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewcap_base::Catalog;
+
+    #[test]
+    fn renders_the_paper_shapes() {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B"]).unwrap();
+        let s = cat.relation("S", &["B", "C"]).unwrap();
+        let b = cat.lookup_attr("B").unwrap();
+        let j = Expr::join(vec![Expr::rel(r), Expr::rel(s)]).unwrap();
+        assert_eq!(display_expr(&j, &cat), "R * S");
+        let p = Expr::project(j, Scheme::new([b]).unwrap(), &cat).unwrap();
+        assert_eq!(display_expr(&p, &cat), "pi{B}(R * S)");
+    }
+
+    #[test]
+    fn nested_joins_parenthesized() {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A"]).unwrap();
+        let s = cat.relation("S", &["B"]).unwrap();
+        let t = cat.relation("T", &["C"]).unwrap();
+        let inner = Expr::join(vec![Expr::rel(s), Expr::rel(t)]).unwrap();
+        let outer = Expr::join(vec![Expr::rel(r), inner]).unwrap();
+        assert_eq!(display_expr(&outer, &cat), "R * (S * T)");
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for expression construction, expansion, and parsing.
+
+use std::fmt;
+use viewcap_base::{RelId, Scheme};
+
+/// Errors raised while building or manipulating m.r. expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// Projection target must be a nonempty subset of the child's TRS.
+    BadProjection {
+        /// The requested target scheme.
+        target: Scheme,
+        /// The child's target relation scheme.
+        child_trs: Scheme,
+    },
+    /// Joins need at least two operands (paper: `n > 1`).
+    JoinTooSmall,
+    /// Expansion would substitute an expression of the wrong type for a name.
+    ExpansionTypeMismatch {
+        /// The relation name being replaced.
+        rel: RelId,
+        /// The type the name requires.
+        expected: Scheme,
+        /// The TRS of the substituted expression.
+        got: Scheme,
+    },
+    /// Expansion hit a relation name with no substitute.
+    MissingSubstitute(RelId),
+    /// Parse error with byte offset and message.
+    Parse {
+        /// Byte offset into the source string.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::BadProjection { target, child_trs } => write!(
+                f,
+                "projection target {target:?} is not a nonempty subset of TRS {child_trs:?}"
+            ),
+            ExprError::JoinTooSmall => write!(f, "join requires at least two operands"),
+            ExprError::ExpansionTypeMismatch { rel, expected, got } => write!(
+                f,
+                "cannot substitute expression of TRS {got:?} for {rel:?} of type {expected:?}"
+            ),
+            ExprError::MissingSubstitute(rel) => {
+                write!(f, "no substitute provided for relation name {rel:?}")
+            }
+            ExprError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offsets_and_schemes() {
+        let e = ExprError::Parse { at: 7, msg: "expected `)`".into() };
+        assert!(e.to_string().contains("byte 7"));
+        let e = ExprError::JoinTooSmall;
+        assert!(e.to_string().contains("two operands"));
+    }
+}

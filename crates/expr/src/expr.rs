@@ -1,0 +1,292 @@
+//! The m.r. expression AST, its validation, evaluation, and expansion.
+
+use crate::error::ExprError;
+use std::collections::BTreeSet;
+use viewcap_base::{Catalog, Instantiation, RelId, Relation, Scheme};
+
+/// A multirelational expression (paper, Section 1.2).
+///
+/// Invariants (enforced by the constructors):
+/// * `Project(e, x)`: `x` is a nonempty subset of `TRS(e)`;
+/// * `Join(es)`: at least two operands.
+///
+/// The enum is deliberately small; expressions are trees of boxed nodes with
+/// a `Vec` only at join nodes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// A relation name `η`, with `TRS(η) = R(η)`.
+    Rel(RelId),
+    /// `π_X(E)`, with `TRS = X`.
+    Project(Box<Expr>, Scheme),
+    /// `E₁ ⋈ ⋯ ⋈ Eₙ` (n ≥ 2), with `TRS = ⋃ TRS(Eᵢ)`.
+    Join(Vec<Expr>),
+}
+
+impl Expr {
+    /// The atomic expression `η`.
+    pub fn rel(rel: RelId) -> Expr {
+        Expr::Rel(rel)
+    }
+
+    /// `π_target(child)`, validating `∅ ≠ target ⊆ TRS(child)`.
+    pub fn project(child: Expr, target: Scheme, catalog: &Catalog) -> Result<Expr, ExprError> {
+        let child_trs = child.trs(catalog);
+        if target.is_empty() || !target.is_subset_of(&child_trs) {
+            return Err(ExprError::BadProjection { target, child_trs });
+        }
+        Ok(Expr::Project(Box::new(child), target))
+    }
+
+    /// `children[0] ⋈ ⋯ ⋈ children[n-1]`, validating `n ≥ 2`.
+    pub fn join(children: Vec<Expr>) -> Result<Expr, ExprError> {
+        if children.len() < 2 {
+            return Err(ExprError::JoinTooSmall);
+        }
+        Ok(Expr::Join(children))
+    }
+
+    /// Join a list that may have a single element (collapses to the element).
+    ///
+    /// Convenience for algorithmic call sites; panics on an empty list.
+    pub fn join_all(mut children: Vec<Expr>) -> Expr {
+        match children.len() {
+            0 => panic!("join_all requires at least one operand"),
+            1 => children.pop().expect("len checked"),
+            _ => Expr::Join(children),
+        }
+    }
+
+    /// `TRS(E)`: the target relation scheme (paper, Section 1.2).
+    pub fn trs(&self, catalog: &Catalog) -> Scheme {
+        match self {
+            Expr::Rel(r) => catalog.scheme_of(*r).clone(),
+            Expr::Project(_, x) => x.clone(),
+            Expr::Join(es) => es
+                .iter()
+                .fold(Scheme::empty(), |acc, e| acc.union(&e.trs(catalog))),
+        }
+    }
+
+    /// `RN(E)`: the set of relation names occurring in the expression.
+    pub fn rel_names(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        self.collect_rel_names(&mut out);
+        out
+    }
+
+    fn collect_rel_names(&self, out: &mut BTreeSet<RelId>) {
+        match self {
+            Expr::Rel(r) => {
+                out.insert(*r);
+            }
+            Expr::Project(e, _) => e.collect_rel_names(out),
+            Expr::Join(es) => es.iter().for_each(|e| e.collect_rel_names(out)),
+        }
+    }
+
+    /// Number of relation-name *occurrences* (leaves of the tree).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Expr::Rel(_) => 1,
+            Expr::Project(e, _) => e.atom_count(),
+            Expr::Join(es) => es.iter().map(Expr::atom_count).sum(),
+        }
+    }
+
+    /// Number of projections and joins (the induction measure of
+    /// Lemma 1.4.1).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Expr::Rel(_) => 0,
+            Expr::Project(e, _) => 1 + e.operator_count(),
+            Expr::Join(es) => 1 + es.iter().map(Expr::operator_count).sum::<usize>(),
+        }
+    }
+
+    /// Evaluate the expression mapping on an instantiation: `E(α)`.
+    pub fn eval(&self, alpha: &Instantiation, catalog: &Catalog) -> Relation {
+        match self {
+            Expr::Rel(r) => alpha.get(*r, catalog),
+            Expr::Project(e, x) => e
+                .eval(alpha, catalog)
+                .project(x)
+                .expect("constructor guarantees X ⊆ TRS"),
+            Expr::Join(es) => {
+                let mut it = es.iter();
+                let first = it.next().expect("joins have ≥ 2 operands");
+                it.fold(first.eval(alpha, catalog), |acc, e| {
+                    acc.join(&e.eval(alpha, catalog))
+                })
+            }
+        }
+    }
+
+    /// Expression expansion (Lemma 1.4.1): replace each relation name `η`
+    /// with `lookup(η)`.
+    ///
+    /// Every name for which `lookup` returns `Some(Ē)` is replaced by `Ē`;
+    /// the substitute's TRS must equal the name's type. Names mapped to
+    /// `None` are left in place. The result `Ē` satisfies
+    /// `Ē(α) = E(ᾱ)` whenever `ᾱ(η) = lookup(η)(α)` — the engine behind
+    /// surrogate queries (Theorem 1.4.2).
+    pub fn expand<F>(&self, lookup: &F, catalog: &Catalog) -> Result<Expr, ExprError>
+    where
+        F: Fn(RelId) -> Option<Expr>,
+    {
+        match self {
+            Expr::Rel(r) => match lookup(*r) {
+                None => Ok(Expr::Rel(*r)),
+                Some(sub) => {
+                    let expected = catalog.scheme_of(*r).clone();
+                    let got = sub.trs(catalog);
+                    if got != expected {
+                        return Err(ExprError::ExpansionTypeMismatch {
+                            rel: *r,
+                            expected,
+                            got,
+                        });
+                    }
+                    Ok(sub)
+                }
+            },
+            Expr::Project(e, x) => Ok(Expr::Project(
+                Box::new(e.expand(lookup, catalog)?),
+                x.clone(),
+            )),
+            Expr::Join(es) => Ok(Expr::Join(
+                es.iter()
+                    .map(|e| e.expand(lookup, catalog))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewcap_base::Symbol;
+
+    fn setup() -> (Catalog, RelId, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B"]).unwrap();
+        let s = cat.relation("S", &["B", "C"]).unwrap();
+        (cat, r, s)
+    }
+
+    #[test]
+    fn constructors_validate() {
+        let (cat, r, _) = setup();
+        let a = cat.lookup_attr("A").unwrap();
+        let c = cat.lookup_attr("C").unwrap();
+        assert!(Expr::project(Expr::rel(r), Scheme::new([a]).unwrap(), &cat).is_ok());
+        // C is not in TRS(R)
+        assert!(Expr::project(Expr::rel(r), Scheme::new([c]).unwrap(), &cat).is_err());
+        assert!(Expr::join(vec![Expr::rel(r)]).is_err());
+    }
+
+    #[test]
+    fn trs_follows_the_paper() {
+        let (cat, r, s) = setup();
+        let j = Expr::join(vec![Expr::rel(r), Expr::rel(s)]).unwrap();
+        assert_eq!(j.trs(&cat).len(), 3); // A, B, C
+        let a = cat.lookup_attr("A").unwrap();
+        let p = Expr::project(j.clone(), Scheme::new([a]).unwrap(), &cat).unwrap();
+        assert_eq!(p.trs(&cat).len(), 1);
+        assert_eq!(j.atom_count(), 2);
+        assert_eq!(p.operator_count(), 2);
+    }
+
+    #[test]
+    fn rel_names_is_a_set() {
+        let (_, r, _) = setup();
+        let j = Expr::join(vec![Expr::rel(r), Expr::rel(r)]).unwrap();
+        assert_eq!(j.rel_names().len(), 1);
+        assert_eq!(j.atom_count(), 2);
+    }
+
+    #[test]
+    fn eval_projection_join_pipeline() {
+        let (mut cat, r, s) = setup();
+        let a = cat.attr("A");
+        let b = cat.attr("B");
+        let c = cat.attr("C");
+        let mut alpha = Instantiation::new();
+        alpha
+            .insert_rows(
+                r,
+                [
+                    vec![Symbol::new(a, 1), Symbol::new(b, 10)],
+                    vec![Symbol::new(a, 2), Symbol::new(b, 20)],
+                ],
+                &cat,
+            )
+            .unwrap();
+        alpha
+            .insert_rows(s, [vec![Symbol::new(b, 10), Symbol::new(c, 100)]], &cat)
+            .unwrap();
+        let j = Expr::join(vec![Expr::rel(r), Expr::rel(s)]).unwrap();
+        let out = j.eval(&alpha, &cat);
+        assert_eq!(out.len(), 1);
+        let p = Expr::project(j, Scheme::new([a, c]).unwrap(), &cat).unwrap();
+        let out = p.eval(&alpha, &cat);
+        assert!(out.contains(&vec![Symbol::new(a, 1), Symbol::new(c, 100)]));
+    }
+
+    #[test]
+    fn expand_replaces_names_and_checks_types() {
+        let (mut cat, r, s) = setup();
+        // A view name ν of type {B}: substitute π_B(R) for it.
+        let b = cat.attr("B");
+        let nu = cat.fresh_relation("nu", Scheme::new([b]).unwrap());
+        let body = Expr::project(Expr::rel(r), Scheme::new([b]).unwrap(), &cat).unwrap();
+        let view_query = Expr::join(vec![Expr::rel(nu), Expr::rel(s)]).unwrap();
+
+        let expanded = view_query
+            .expand(
+                &|id| if id == nu { Some(body.clone()) } else { None },
+                &cat,
+            )
+            .unwrap();
+        // ν replaced, S untouched.
+        assert!(expanded.rel_names().contains(&r));
+        assert!(expanded.rel_names().contains(&s));
+        assert!(!expanded.rel_names().contains(&nu));
+
+        // Type mismatch is rejected.
+        let wrong = Expr::rel(r); // TRS {A,B} ≠ {B}
+        assert!(view_query
+            .expand(&|id| if id == nu { Some(wrong.clone()) } else { None }, &cat)
+            .is_err());
+    }
+
+    #[test]
+    fn expansion_semantics_lemma_1_4_1() {
+        // Ē(α) = E(ᾱ) where ᾱ(ν) = body(α).
+        let (mut cat, r, s) = setup();
+        let a = cat.attr("A");
+        let b = cat.attr("B");
+        let c = cat.attr("C");
+        let nu = cat.fresh_relation("nu", Scheme::new([a, b]).unwrap());
+        let body = Expr::rel(r); // trivial body, same type
+
+        let mut alpha = Instantiation::new();
+        alpha
+            .insert_rows(r, [vec![Symbol::new(a, 1), Symbol::new(b, 10)]], &cat)
+            .unwrap();
+        alpha
+            .insert_rows(s, [vec![Symbol::new(b, 10), Symbol::new(c, 7)]], &cat)
+            .unwrap();
+
+        let e = Expr::join(vec![Expr::rel(nu), Expr::rel(s)]).unwrap();
+        let expanded = e
+            .expand(&|id| (id == nu).then(|| body.clone()), &cat)
+            .unwrap();
+
+        // Build ᾱ with ᾱ(ν) = body(α).
+        let mut alpha_bar = alpha.clone();
+        alpha_bar.set(nu, body.eval(&alpha, &cat), &cat).unwrap();
+
+        assert_eq!(expanded.eval(&alpha, &cat), e.eval(&alpha_bar, &cat));
+    }
+}

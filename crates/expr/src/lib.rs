@@ -1,0 +1,35 @@
+//! # viewcap-expr
+//!
+//! Multirelational (m.r.) expressions — Section 1.2 of Connors (JCSS 1986).
+//!
+//! An m.r. expression is built from relation names by *projection* and
+//! *join*:
+//!
+//! ```text
+//! E ::= η  |  π_X(E)  |  E₁ ⋈ ⋯ ⋈ Eₙ   (n ≥ 2, X nonempty ⊆ TRS(E))
+//! ```
+//!
+//! Every expression has a *target relation scheme* `TRS(E)` and denotes an
+//! *expression mapping* from instantiations to relations on `TRS(E)`
+//! ([`Expr::eval`]). Queries of a database schema are expression mappings
+//! whose relation names lie in the schema.
+//!
+//! This crate also provides:
+//!
+//! * **expression expansion** (Lemma 1.4.1): substituting expressions for
+//!   relation names, the engine behind surrogate queries (Theorem 1.4.2);
+//! * **normalization**: flattening joins and collapsing projections without
+//!   changing the atom count or the induced template (used by the bounded
+//!   decision procedures);
+//! * a small **text syntax** (`pi{A,B}(R * S)`) for tests and examples.
+
+pub mod display;
+pub mod error;
+pub mod expr;
+pub mod normalize;
+pub mod parser;
+
+pub use error::ExprError;
+pub use expr::Expr;
+pub use normalize::normalize;
+pub use parser::parse_expr;

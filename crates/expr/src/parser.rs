@@ -1,0 +1,214 @@
+//! A small recursive-descent parser for the expression syntax.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr   := term ( '*' term )*                 -- join (n-ary, left list)
+//! term   := 'pi' '{' ident (',' ident)* '}' '(' expr ')'
+//!         | '(' expr ')'
+//!         | ident                              -- relation name
+//! ident  := [A-Za-z_][A-Za-z0-9_$]*
+//! ```
+//!
+//! Relation names and attributes must already exist in the catalog — parsing
+//! never mutates the schema, so typos surface as errors rather than silently
+//! minting new names.
+
+use crate::error::ExprError;
+use crate::expr::Expr;
+use viewcap_base::{Catalog, Scheme};
+
+/// Parse an expression against a catalog.
+pub fn parse_expr(src: &str, catalog: &Catalog) -> Result<Expr, ExprError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+        catalog,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    catalog: &'a Catalog,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ExprError {
+        ExprError::Parse {
+            at: self.pos,
+            msg: msg.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ExprError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ExprError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            let ok = if self.pos == start {
+                c.is_ascii_alphabetic() || c == b'_'
+            } else {
+                c.is_ascii_alphanumeric() || c == b'_' || c == b'$'
+            };
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| self.err("invalid utf8"))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ExprError> {
+        let mut terms = vec![self.term()?];
+        while self.peek() == Some(b'*') {
+            self.pos += 1;
+            terms.push(self.term()?);
+        }
+        Ok(Expr::join_all(terms))
+    }
+
+    fn term(&mut self) -> Result<Expr, ExprError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat(b')')?;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                let name = self.ident()?;
+                if name == "pi" && self.peek() == Some(b'{') {
+                    self.projection()
+                } else {
+                    match self.catalog.lookup_rel(name) {
+                        Ok(rel) => Ok(Expr::rel(rel)),
+                        Err(_) => {
+                            self.pos = start;
+                            Err(self.err(&format!("unknown relation name `{name}`")))
+                        }
+                    }
+                }
+            }
+            _ => Err(self.err("expected term")),
+        }
+    }
+
+    fn projection(&mut self) -> Result<Expr, ExprError> {
+        self.eat(b'{')?;
+        let mut attrs = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let at = self.pos;
+            let attr = self.catalog.lookup_attr(name).map_err(|_| ExprError::Parse {
+                at,
+                msg: format!("unknown attribute `{name}`"),
+            })?;
+            attrs.push(attr);
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+        self.eat(b'(')?;
+        let child = self.expr()?;
+        self.eat(b')')?;
+        let scheme = Scheme::new(attrs).map_err(|_| self.err("empty projection set"))?;
+        Expr::project(child, scheme, self.catalog).map_err(|e| ExprError::Parse {
+            at: self.pos,
+            msg: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::display_expr;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.relation("R", &["A", "B"]).unwrap();
+        c.relation("S", &["B", "C"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn parses_atoms_joins_projections() {
+        let cat = cat();
+        let e = parse_expr("pi{A,C}(R * S)", &cat).unwrap();
+        assert_eq!(e.atom_count(), 2);
+        assert_eq!(display_expr(&e, &cat), "pi{A,C}(R * S)");
+    }
+
+    #[test]
+    fn round_trips_nested_structure() {
+        let cat = cat();
+        for src in ["R", "R * S", "pi{B}(R)", "pi{B}(R) * pi{B}(S)", "R * (S * R)"] {
+            let e = parse_expr(src, &cat).unwrap();
+            let printed = display_expr(&e, &cat);
+            let e2 = parse_expr(&printed, &cat).unwrap();
+            assert_eq!(e, e2, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let cat = cat();
+        assert!(parse_expr("T", &cat).is_err());
+        assert!(parse_expr("pi{Z}(R)", &cat).is_err());
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        let cat = cat();
+        // C ∉ TRS(R)
+        assert!(parse_expr("pi{C}(R)", &cat).is_err());
+        assert!(parse_expr("R *", &cat).is_err());
+        assert!(parse_expr("R S", &cat).is_err());
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let cat = cat();
+        let a = parse_expr("pi{ A , B }( R\n* S )", &cat).unwrap();
+        let b = parse_expr("pi{A,B}(R*S)", &cat).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for expressions: a byte-program strategy drives
+//! construction, and evaluation/normalization/printing invariants are
+//! checked against the engine.
+
+use proptest::prelude::*;
+use viewcap_base::{Catalog, Instantiation, RelId, Scheme, Symbol};
+use viewcap_expr::display::display_expr;
+use viewcap_expr::{normalize, parse_expr, Expr};
+
+/// Fixed world: R(A,B), S(B,C), T(C,D).
+fn world() -> (Catalog, Vec<RelId>) {
+    let mut cat = Catalog::new();
+    let r = cat.relation("R", &["A", "B"]).unwrap();
+    let s = cat.relation("S", &["B", "C"]).unwrap();
+    let t = cat.relation("T", &["C", "D"]).unwrap();
+    (cat, vec![r, s, t])
+}
+
+/// Interpret a byte program as an expression: a tiny deterministic stack
+/// machine. Opcodes (mod 4): 0/1 push atom; 2 join top two; 3 project top
+/// by a mask. Always leaves a valid expression.
+fn interpret(cat: &Catalog, rels: &[RelId], program: &[u8]) -> Expr {
+    let mut stack: Vec<Expr> = Vec::new();
+    for &op in program {
+        match op % 4 {
+            0 | 1 => stack.push(Expr::rel(rels[(op as usize / 4) % rels.len()])),
+            2 => {
+                if stack.len() >= 2 {
+                    let b = stack.pop().unwrap();
+                    let a = stack.pop().unwrap();
+                    stack.push(Expr::join(vec![a, b]).unwrap());
+                }
+            }
+            _ => {
+                if let Some(e) = stack.pop() {
+                    let trs = e.trs(cat);
+                    let mask = op as usize / 4;
+                    let keep: Vec<_> = trs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, a)| a)
+                        .collect();
+                    if keep.is_empty() || keep.len() == trs.len() {
+                        stack.push(e);
+                    } else {
+                        let x = Scheme::new(keep).unwrap();
+                        stack.push(Expr::project(e, x, cat).unwrap());
+                    }
+                }
+            }
+        }
+    }
+    stack.pop().unwrap_or(Expr::rel(rels[0]))
+}
+
+fn instantiation(cat: &Catalog, rels: &[RelId], data: &[(usize, u32, u32)]) -> Instantiation {
+    let mut alpha = Instantiation::new();
+    for &(rel_idx, x, y) in data {
+        let rel = rels[rel_idx % rels.len()];
+        let scheme = cat.scheme_of(rel).clone();
+        let mut vals = [x % 4 + 1, y % 4 + 1].into_iter();
+        let row: Vec<Symbol> = scheme
+            .iter()
+            .map(|a| Symbol::new(a, vals.next().unwrap()))
+            .collect();
+        alpha.insert_rows(rel, [row], cat).unwrap();
+    }
+    alpha
+}
+
+proptest! {
+    #[test]
+    fn trs_matches_output_scheme(
+        program in proptest::collection::vec(any::<u8>(), 1..24),
+        data in proptest::collection::vec((0usize..3, 0u32..4, 0u32..4), 0..10),
+    ) {
+        let (cat, rels) = world();
+        let e = interpret(&cat, &rels, &program);
+        let alpha = instantiation(&cat, &rels, &data);
+        let out = e.eval(&alpha, &cat);
+        prop_assert_eq!(out.scheme(), &e.trs(&cat));
+    }
+
+    #[test]
+    fn normalize_preserves_mapping_and_atoms(
+        program in proptest::collection::vec(any::<u8>(), 1..24),
+        data in proptest::collection::vec((0usize..3, 0u32..4, 0u32..4), 0..10),
+    ) {
+        let (cat, rels) = world();
+        let e = interpret(&cat, &rels, &program);
+        let n = normalize(&e, &cat);
+        prop_assert_eq!(n.atom_count(), e.atom_count());
+        prop_assert_eq!(n.trs(&cat), e.trs(&cat));
+        let alpha = instantiation(&cat, &rels, &data);
+        prop_assert_eq!(n.eval(&alpha, &cat), e.eval(&alpha, &cat));
+        // Idempotence.
+        prop_assert_eq!(normalize(&n, &cat), n);
+    }
+
+    #[test]
+    fn display_parse_round_trip(program in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let (cat, rels) = world();
+        let e = interpret(&cat, &rels, &program);
+        let printed = display_expr(&e, &cat);
+        let back = parse_expr(&printed, &cat).expect("printer output parses");
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn expansion_identity(program in proptest::collection::vec(any::<u8>(), 1..16)) {
+        // Expanding with the identity lookup changes nothing.
+        let (cat, rels) = world();
+        let e = interpret(&cat, &rels, &program);
+        let same = e.expand(&|_| None, &cat).unwrap();
+        prop_assert_eq!(same, e);
+    }
+
+    #[test]
+    fn evaluation_is_monotone(
+        program in proptest::collection::vec(any::<u8>(), 1..20),
+        data in proptest::collection::vec((0usize..3, 0u32..4, 0u32..4), 0..8),
+        extra in proptest::collection::vec((0usize..3, 0u32..4, 0u32..4), 0..4),
+    ) {
+        let (cat, rels) = world();
+        let e = interpret(&cat, &rels, &program);
+        let small = instantiation(&cat, &rels, &data);
+        let mut all = data.clone();
+        all.extend(extra);
+        let big = instantiation(&cat, &rels, &all);
+        prop_assert!(e.eval(&small, &cat).is_subset_of(&e.eval(&big, &cat)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Randomized generators (seeded, reproducible).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use viewcap_base::{Catalog, Instantiation, RelId, Scheme, Symbol};
+use viewcap_core::{Query, View};
+use viewcap_expr::Expr;
+
+/// Shape of a randomly generated schema.
+#[derive(Clone, Debug)]
+pub struct WorldSpec {
+    /// Number of attributes in the universe.
+    pub attrs: usize,
+    /// Number of base relations.
+    pub relations: usize,
+    /// Minimum relation arity.
+    pub min_arity: usize,
+    /// Maximum relation arity.
+    pub max_arity: usize,
+}
+
+impl Default for WorldSpec {
+    fn default() -> Self {
+        WorldSpec {
+            attrs: 4,
+            relations: 3,
+            min_arity: 1,
+            max_arity: 3,
+        }
+    }
+}
+
+/// A generated schema: the catalog plus its base relation names.
+pub fn random_world(rng: &mut StdRng, spec: &WorldSpec) -> (Catalog, Vec<RelId>) {
+    assert!(spec.min_arity >= 1 && spec.min_arity <= spec.max_arity);
+    assert!(spec.max_arity <= spec.attrs);
+    let mut cat = Catalog::new();
+    let attrs: Vec<_> = (0..spec.attrs)
+        .map(|i| cat.attr(&format!("A{i}")))
+        .collect();
+    let mut rels = Vec::with_capacity(spec.relations);
+    for r in 0..spec.relations {
+        let arity = rng.gen_range(spec.min_arity..=spec.max_arity);
+        // Sample `arity` distinct attributes.
+        let mut pool: Vec<_> = attrs.clone();
+        let mut chosen = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let i = rng.gen_range(0..pool.len());
+            chosen.push(pool.swap_remove(i));
+        }
+        let scheme = Scheme::new(chosen).expect("arity ≥ 1");
+        rels.push(
+            cat.add_relation(&format!("R{r}"), scheme)
+                .expect("fresh names"),
+        );
+    }
+    (cat, rels)
+}
+
+/// A random project–join expression over the given relations with exactly
+/// `atoms` relation-name occurrences.
+pub fn random_expr(rng: &mut StdRng, catalog: &Catalog, rels: &[RelId], atoms: usize) -> Expr {
+    assert!(atoms >= 1);
+    if atoms == 1 {
+        let base = Expr::rel(rels[rng.gen_range(0..rels.len())]);
+        return maybe_project(rng, catalog, base);
+    }
+    // Split the atom budget between 2..=min(3, atoms) children.
+    let parts = rng.gen_range(2..=atoms.min(3));
+    let mut budgets = vec![1usize; parts];
+    for _ in 0..(atoms - parts) {
+        budgets[rng.gen_range(0..parts)] += 1;
+    }
+    let children: Vec<Expr> = budgets
+        .into_iter()
+        .map(|b| random_expr(rng, catalog, rels, b))
+        .collect();
+    maybe_project(rng, catalog, Expr::join(children).expect("parts ≥ 2"))
+}
+
+fn maybe_project(rng: &mut StdRng, catalog: &Catalog, e: Expr) -> Expr {
+    let trs = e.trs(catalog);
+    if trs.len() <= 1 || rng.gen_range(0..3) == 0 {
+        return e;
+    }
+    // Keep a random nonempty subset.
+    let keep: Vec<_> = trs.iter().filter(|_| rng.gen_range(0..2) == 0).collect();
+    if keep.is_empty() || keep.len() == trs.len() {
+        return e;
+    }
+    let x = Scheme::new(keep).expect("nonempty");
+    Expr::project(e, x, catalog).expect("X ⊆ TRS")
+}
+
+/// A random query (expression + reduced template).
+pub fn random_query(rng: &mut StdRng, catalog: &Catalog, rels: &[RelId], atoms: usize) -> Query {
+    Query::from_expr(random_expr(rng, catalog, rels, atoms), catalog)
+}
+
+/// A random instantiation with `rows` tuples per relation drawn from
+/// per-attribute domains of `domain` values.
+pub fn random_instantiation(
+    rng: &mut StdRng,
+    catalog: &Catalog,
+    rels: &[RelId],
+    rows: usize,
+    domain: u32,
+) -> Instantiation {
+    assert!(domain >= 1);
+    let mut alpha = Instantiation::new();
+    for &r in rels {
+        let scheme = catalog.scheme_of(r).clone();
+        let rows_iter = (0..rows).map(|_| {
+            scheme
+                .iter()
+                .map(|a| Symbol::new(a, rng.gen_range(1..=domain)))
+                .collect::<Vec<_>>()
+        });
+        // Collect first: insert_rows takes an iterator but rng is borrowed.
+        let collected: Vec<_> = rows_iter.collect();
+        alpha
+            .insert_rows(r, collected, catalog)
+            .expect("rows built from the scheme");
+    }
+    alpha
+}
+
+/// A random view of `n` defining queries, minting fresh view names.
+pub fn random_view(
+    rng: &mut StdRng,
+    catalog: &mut Catalog,
+    rels: &[RelId],
+    n: usize,
+    atoms_per_query: usize,
+) -> View {
+    let pairs: Vec<(Query, RelId)> = (0..n)
+        .map(|_| {
+            let q = random_query(rng, catalog, rels, atoms_per_query);
+            let name = catalog.fresh_relation("v", q.trs());
+            (q, name)
+        })
+        .collect();
+    View::new(pairs, catalog).expect("generated pairs are well-typed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn world_generation_is_deterministic() {
+        let spec = WorldSpec::default();
+        let (c1, r1) = random_world(&mut StdRng::seed_from_u64(7), &spec);
+        let (c2, r2) = random_world(&mut StdRng::seed_from_u64(7), &spec);
+        assert_eq!(r1.len(), r2.len());
+        for (&a, &b) in r1.iter().zip(&r2) {
+            assert_eq!(c1.scheme_of(a), c2.scheme_of(b));
+        }
+    }
+
+    #[test]
+    fn expressions_respect_the_atom_budget() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (cat, rels) = random_world(&mut rng, &WorldSpec::default());
+        for atoms in 1..=5 {
+            for _ in 0..20 {
+                let e = random_expr(&mut rng, &cat, &rels, atoms);
+                assert_eq!(e.atom_count(), atoms);
+                assert!(!e.trs(&cat).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn instantiations_fit_their_schemas() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (cat, rels) = random_world(&mut rng, &WorldSpec::default());
+        let alpha = random_instantiation(&mut rng, &cat, &rels, 5, 3);
+        for &r in &rels {
+            assert!(alpha.get(r, &cat).len() <= 5);
+        }
+    }
+
+    #[test]
+    fn views_validate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut cat, rels) = random_world(&mut rng, &WorldSpec::default());
+        let v = random_view(&mut rng, &mut cat, &rels, 3, 2);
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,458 @@
+//! Canonical keys and isomorphism of templates.
+//!
+//! Two templates are *isomorphic* (paper, Section 2.4) when a bijective
+//! valuation maps one onto the other with a homomorphic inverse — i.e. they
+//! are equal up to renaming of nondistinguished symbols. Isomorphism is what
+//! Theorem 4.2.2's uniqueness statement is phrased in, and what the search
+//! engine uses to bucket candidates.
+//!
+//! [`canonical_key`] computes an isomorphism-invariant key: tuples are
+//! grouped by a strong local invariant, and the key is minimized over
+//! within-group orderings with nondistinguished symbols renamed by first
+//! occurrence. Keys are *complete* for templates whose group-permutation
+//! budget stays under [`PERM_BUDGET`] (equal keys ⇔ isomorphic); above the
+//! budget the key degrades to a sound-but-incomplete invariant and
+//! [`is_isomorphic`] falls back to backtracking search, so correctness never
+//! depends on the budget.
+
+use crate::template::Template;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use viewcap_base::Symbol;
+
+/// Maximum number of tuple orderings explored for an exact canonical key.
+pub const PERM_BUDGET: usize = 40_320; // 8!
+
+/// An isomorphism-invariant key for a template.
+///
+/// `exact == true` keys are complete: two templates with equal exact keys
+/// are isomorphic, and isomorphic templates have equal exact keys.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonKey {
+    words: Vec<u64>,
+    exact: bool,
+}
+
+impl CanonKey {
+    /// Whether this key is complete for isomorphism.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+}
+
+/// Per-tuple invariant used to pre-group tuples before permutation.
+///
+/// Isomorphisms preserve each field, so only within-group reorderings can
+/// witness an isomorphism.
+fn tuple_invariant(t: &Template, idx: usize) -> Vec<u64> {
+    // Occurrence count of each symbol across the whole template.
+    let mut occurs: HashMap<Symbol, u64> = HashMap::new();
+    for s in t.symbols() {
+        *occurs.entry(s).or_insert(0) += 1;
+    }
+    let tup = &t.tuples()[idx];
+    let mut inv = vec![tup.rel().0 as u64];
+    for s in tup.row() {
+        inv.push(if s.is_distinguished() { 1 } else { 0 });
+        inv.push(occurs[s]);
+    }
+    inv
+}
+
+/// Encode the template under a fixed tuple ordering, renaming
+/// nondistinguished symbols by first occurrence (per attribute).
+fn encode(t: &Template, order: &[usize]) -> Vec<u64> {
+    let mut rename: HashMap<Symbol, u64> = HashMap::new();
+    let mut next: HashMap<u32, u64> = HashMap::new(); // per-attribute counter
+    let mut out = Vec::with_capacity(order.len() * 8);
+    for &i in order {
+        let tup = &t.tuples()[i];
+        out.push(u64::MAX); // tuple separator
+        out.push(tup.rel().0 as u64);
+        for s in tup.row() {
+            if s.is_distinguished() {
+                out.push(0);
+            } else {
+                let code = *rename.entry(*s).or_insert_with(|| {
+                    let c = next.entry(s.attr().0).or_insert(0);
+                    *c += 1;
+                    *c
+                });
+                out.push(code);
+            }
+        }
+    }
+    out
+}
+
+/// Compute the canonical key (see module docs).
+pub fn canonical_key(t: &Template) -> CanonKey {
+    let n = t.len();
+    // Group indices by invariant.
+    let mut keyed: Vec<(Vec<u64>, usize)> =
+        (0..n).map(|i| (tuple_invariant(t, i), i)).collect();
+    keyed.sort();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_invs: Vec<Vec<u64>> = Vec::new();
+    for (inv, i) in keyed {
+        if group_invs.last() == Some(&inv) {
+            groups.last_mut().expect("nonempty").push(i);
+        } else {
+            group_invs.push(inv);
+            groups.push(vec![i]);
+        }
+    }
+
+    // Permutation budget: product of group factorials.
+    let mut budget: usize = 1;
+    for g in &groups {
+        budget = budget.saturating_mul(factorial(g.len()));
+        if budget > PERM_BUDGET {
+            break;
+        }
+    }
+
+    if budget > PERM_BUDGET {
+        // Inexact fallback: encode with the invariant-sorted order.
+        let order: Vec<usize> = groups.iter().flatten().copied().collect();
+        let mut words = encode(t, &order);
+        words.push(u64::MAX - 1); // marker: inexact keys never equal exact ones
+        return CanonKey { words, exact: false };
+    }
+
+    // Minimize over within-group permutations.
+    let mut best: Option<Vec<u64>> = None;
+    permute_groups(&groups, &mut |full_order| {
+        let enc = encode(t, full_order);
+        if best.as_ref().is_none_or(|b| enc < *b) {
+            best = Some(enc);
+        }
+        ControlFlow::Continue(())
+    });
+    CanonKey {
+        words: best.expect("at least one ordering"),
+        exact: true,
+    }
+}
+
+fn factorial(n: usize) -> usize {
+    (2..=n).product::<usize>().max(1)
+}
+
+/// Enumerate all tuple orderings that permute only within groups.
+fn permute_groups<F>(groups: &[Vec<usize>], f: &mut F)
+where
+    F: FnMut(&[usize]) -> ControlFlow<()>,
+{
+    fn groups_rec<F>(groups: &[Vec<usize>], gi: usize, prefix: &mut Vec<usize>, f: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&[usize]) -> ControlFlow<()>,
+    {
+        if gi == groups.len() {
+            return f(prefix);
+        }
+        let mut pool = groups[gi].clone();
+        perm_rec(groups, gi, &mut pool, prefix, f)
+    }
+
+    fn perm_rec<F>(
+        groups: &[Vec<usize>],
+        gi: usize,
+        pool: &mut Vec<usize>,
+        prefix: &mut Vec<usize>,
+        f: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&[usize]) -> ControlFlow<()>,
+    {
+        if pool.is_empty() {
+            return groups_rec(groups, gi + 1, prefix, f);
+        }
+        for k in 0..pool.len() {
+            let item = pool.remove(k);
+            prefix.push(item);
+            let flow = perm_rec(groups, gi, pool, prefix, f);
+            prefix.pop();
+            pool.insert(k, item);
+            if flow.is_break() {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    let _ = groups_rec(groups, 0, &mut Vec::new(), f);
+}
+
+/// Decide isomorphism: equal tuple counts, equal per-attribute symbol
+/// counts, and a bijective structure match.
+pub fn is_isomorphic(a: &Template, b: &Template) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let ka = canonical_key(a);
+    let kb = canonical_key(b);
+    if ka.exact && kb.exact {
+        return ka == kb;
+    }
+    // Fallback: bijective backtracking via injective hom + counting.
+    injective_match(a, b)
+}
+
+/// Is there an injective valuation mapping `a` bijectively onto `b`?
+fn injective_match(a: &Template, b: &Template) -> bool {
+    // Symbol cardinalities must match per attribute.
+    let count = |t: &Template| {
+        let mut m: HashMap<u32, std::collections::HashSet<Symbol>> = HashMap::new();
+        for s in t.symbols().filter(|s| !s.is_distinguished()) {
+            m.entry(s.attr().0).or_default().insert(s);
+        }
+        let mut v: Vec<(u32, usize)> = m.into_iter().map(|(k, s)| (k, s.len())).collect();
+        v.sort();
+        v
+    };
+    if count(a) != count(b) {
+        return false;
+    }
+
+    fn search(
+        a: &Template,
+        b: &Template,
+        i: usize,
+        used: &mut Vec<bool>,
+        map: &mut HashMap<Symbol, Symbol>,
+        rev: &mut HashMap<Symbol, Symbol>,
+    ) -> bool {
+        if i == a.len() {
+            return true;
+        }
+        let at = &a.tuples()[i];
+        'target: for j in 0..b.len() {
+            if used[j] || b.tuples()[j].rel() != at.rel() {
+                continue;
+            }
+            let bt = &b.tuples()[j];
+            let mut pushed: Vec<Symbol> = Vec::new();
+            for (x, y) in at.row().iter().zip(bt.row()) {
+                let ok = match (x.is_distinguished(), y.is_distinguished()) {
+                    (true, true) => true,
+                    (false, false) => match (map.get(x), rev.get(y)) {
+                        (Some(m), _) if m != y => false,
+                        (_, Some(r)) if r != x => false,
+                        (Some(_), Some(_)) => true,
+                        _ => {
+                            map.insert(*x, *y);
+                            rev.insert(*y, *x);
+                            pushed.push(*x);
+                            true
+                        }
+                    },
+                    _ => false, // bijections preserve distinguishedness
+                };
+                if !ok {
+                    for p in pushed {
+                        let img = map.remove(&p).expect("pushed binding");
+                        rev.remove(&img);
+                    }
+                    continue 'target;
+                }
+            }
+            used[j] = true;
+            if search(a, b, i + 1, used, map, rev) {
+                return true;
+            }
+            used[j] = false;
+            for p in pushed {
+                let img = map.remove(&p).expect("pushed binding");
+                rev.remove(&img);
+            }
+        }
+        false
+    }
+
+    search(
+        a,
+        b,
+        0,
+        &mut vec![false; b.len()],
+        &mut HashMap::new(),
+        &mut HashMap::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::TaggedTuple;
+    use viewcap_base::{Catalog, RelId};
+
+    fn setup() -> (Catalog, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B", "C"]).unwrap();
+        (cat, r)
+    }
+
+    fn t_with_c(cat: &Catalog, r: RelId, c_ord: u32, a_ord: u32) -> Template {
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        Template::new(vec![
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::distinguished(b),
+                    Symbol::new(c, c_ord),
+                ],
+                cat,
+            )
+            .unwrap(),
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::new(a, a_ord),
+                    Symbol::distinguished(b),
+                    Symbol::distinguished(c),
+                ],
+                cat,
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn renamings_share_a_key() {
+        let (cat, r) = setup();
+        let t1 = t_with_c(&cat, r, 1, 2);
+        let t2 = t_with_c(&cat, r, 7, 5);
+        assert_eq!(canonical_key(&t1), canonical_key(&t2));
+        assert!(is_isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn different_structures_differ() {
+        let (cat, r) = setup();
+        let t1 = t_with_c(&cat, r, 1, 2);
+        let atom = Template::atom(r, &cat);
+        assert_ne!(canonical_key(&t1), canonical_key(&atom));
+        assert!(!is_isomorphic(&t1, &atom));
+    }
+
+    #[test]
+    fn key_is_order_independent() {
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        // Two tuples with symmetric roles; construction order must not
+        // matter (Template sorts, but symbol names differ).
+        let mk = |o1: u32, o2: u32| {
+            Template::new(vec![
+                TaggedTuple::new(
+                    r,
+                    vec![
+                        Symbol::distinguished(a),
+                        Symbol::new(b, o1),
+                        Symbol::new(c, o1),
+                    ],
+                    &cat,
+                )
+                .unwrap(),
+                TaggedTuple::new(
+                    r,
+                    vec![
+                        Symbol::distinguished(a),
+                        Symbol::new(b, o2),
+                        Symbol::new(c, o2),
+                    ],
+                    &cat,
+                )
+                .unwrap(),
+            ])
+            .unwrap()
+        };
+        assert_eq!(canonical_key(&mk(1, 2)), canonical_key(&mk(9, 3)));
+    }
+
+    #[test]
+    fn oversized_symmetric_templates_use_the_fallback_path() {
+        // Ten interchangeable tuples: the permutation budget (8!) is
+        // exceeded, keys go inexact, and isomorphism falls back to the
+        // bijective search — which must still give the right answers.
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let mk = |shift: u32| {
+            Template::new(
+                (0..10)
+                    .map(|i| {
+                        TaggedTuple::new(
+                            r,
+                            vec![
+                                Symbol::distinguished(a),
+                                Symbol::new(b, shift + 2 * i),
+                                Symbol::new(c, shift + 2 * i + 1),
+                            ],
+                            &cat,
+                        )
+                        .unwrap()
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let t1 = mk(1);
+        let t2 = mk(101);
+        assert!(!canonical_key(&t1).is_exact());
+        assert!(is_isomorphic(&t1, &t2));
+        // Breaking the symmetry in one tuple breaks the isomorphism.
+        let mut tuples: Vec<TaggedTuple> = t1.tuples().to_vec();
+        tuples[0] = TaggedTuple::new(
+            r,
+            vec![
+                Symbol::distinguished(a),
+                Symbol::distinguished(b),
+                Symbol::new(c, 99),
+            ],
+            &cat,
+        )
+        .unwrap();
+        let broken = Template::new(tuples).unwrap();
+        assert!(!is_isomorphic(&t1, &broken));
+    }
+
+    #[test]
+    fn shared_symbol_structure_distinguishes() {
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        // Rows share the b-symbol vs rows with distinct b-symbols.
+        let shared = Template::new(vec![
+            TaggedTuple::new(
+                r,
+                vec![Symbol::distinguished(a), Symbol::new(b, 1), Symbol::new(c, 1)],
+                &cat,
+            )
+            .unwrap(),
+            TaggedTuple::new(
+                r,
+                vec![Symbol::distinguished(a), Symbol::new(b, 1), Symbol::new(c, 2)],
+                &cat,
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        let unshared = Template::new(vec![
+            TaggedTuple::new(
+                r,
+                vec![Symbol::distinguished(a), Symbol::new(b, 1), Symbol::new(c, 1)],
+                &cat,
+            )
+            .unwrap(),
+            TaggedTuple::new(
+                r,
+                vec![Symbol::distinguished(a), Symbol::new(b, 2), Symbol::new(c, 2)],
+                &cat,
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        assert!(!is_isomorphic(&shared, &unshared));
+        assert_ne!(canonical_key(&shared), canonical_key(&unshared));
+    }
+}

@@ -1,0 +1,151 @@
+//! Connected components of a template (paper, Section 3.3).
+//!
+//! Two tagged tuples are *linked* (`L_T`) when they share a nondistinguished
+//! symbol; *connectedness* (`C_T`) is the reflexive-transitive closure. The
+//! equivalence classes — *connected components* — are the unit at which
+//! essential tagged tuples operate (Theorems 3.3.5–3.3.9).
+
+use crate::template::Template;
+use std::collections::HashMap;
+use viewcap_base::Symbol;
+
+/// The connected components of `T`, each a sorted list of tuple indices;
+/// components are ordered by their smallest member.
+pub fn connected_components(t: &Template) -> Vec<Vec<usize>> {
+    let n = t.len();
+    let mut uf = UnionFind::new(n);
+    let mut first_seen: HashMap<Symbol, usize> = HashMap::new();
+    for (i, tup) in t.tuples().iter().enumerate() {
+        for s in tup.row().iter().filter(|s| !s.is_distinguished()) {
+            match first_seen.entry(*s) {
+                std::collections::hash_map::Entry::Occupied(e) => uf.union(*e.get(), i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Are two tuples linked (share a nondistinguished symbol)?
+pub fn linked(t: &Template, i: usize, j: usize) -> bool {
+    let a = t.tuples()[i].row();
+    let b = t.tuples()[j].row();
+    a.iter()
+        .filter(|s| !s.is_distinguished())
+        .any(|s| b.contains(s))
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::TaggedTuple;
+    use viewcap_base::{Catalog, Symbol};
+
+    #[test]
+    fn paper_example_3_2_1_components() {
+        // T of Example 3.2.1: τ₁=(0_A,b₁)@η₁, τ₂=(a₁,b₁,0_C)@η₂,
+        // τ₃=(a₂,0_B,0_C)@η₂. Components: {τ₁,τ₂} (via b₁) and {τ₃}.
+        let mut cat = Catalog::new();
+        let n1 = cat.relation("eta1", &["A", "B"]).unwrap();
+        let n2 = cat.relation("eta2", &["A", "B", "C"]).unwrap();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let t1 =
+            TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat).unwrap();
+        let t2 = TaggedTuple::new(
+            n2,
+            vec![Symbol::new(a, 1), Symbol::new(b, 1), Symbol::distinguished(c)],
+            &cat,
+        )
+        .unwrap();
+        let t3 = TaggedTuple::new(
+            n2,
+            vec![Symbol::new(a, 2), Symbol::distinguished(b), Symbol::distinguished(c)],
+            &cat,
+        )
+        .unwrap();
+        let t = Template::new(vec![t1.clone(), t2.clone(), t3.clone()]).unwrap();
+        let comps = connected_components(&t);
+        assert_eq!(comps.len(), 2);
+        let i1 = t.index_of(&t1).unwrap();
+        let i2 = t.index_of(&t2).unwrap();
+        let i3 = t.index_of(&t3).unwrap();
+        assert!(comps.iter().any(|g| {
+            g.len() == 2 && g.contains(&i1) && g.contains(&i2)
+        }));
+        assert!(comps.iter().any(|g| g == &vec![i3]));
+        assert!(linked(&t, i1, i2));
+        assert!(!linked(&t, i1, i3));
+    }
+
+    #[test]
+    fn all_distinguished_tuples_are_isolated() {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A"]).unwrap();
+        let s = cat.relation("S", &["A"]).unwrap();
+        let t = Template::new(vec![
+            TaggedTuple::all_distinguished(r, &cat),
+            TaggedTuple::all_distinguished(s, &cat),
+        ])
+        .unwrap();
+        assert_eq!(connected_components(&t).len(), 2);
+    }
+
+    #[test]
+    fn transitive_linking_merges() {
+        // τ₁ ~ τ₂ via b₁; τ₂ ~ τ₃ via a shared a-symbol ⇒ one component.
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B"]).unwrap();
+        let [a, b] = ["A", "B"].map(|n| cat.lookup_attr(n).unwrap());
+        let mk = |ao: u32, bo: u32| {
+            TaggedTuple::new(r, vec![Symbol::new(a, ao), Symbol::new(b, bo)], &cat).unwrap()
+        };
+        let anchor = TaggedTuple::new(
+            r,
+            vec![Symbol::distinguished(a), Symbol::distinguished(b)],
+            &cat,
+        )
+        .unwrap();
+        let t = Template::new(vec![mk(1, 1), mk(2, 1), mk(2, 2), anchor]).unwrap();
+        let comps = connected_components(&t);
+        assert_eq!(comps.len(), 2); // the chain of three + the anchor
+        assert!(comps.iter().any(|g| g.len() == 3));
+    }
+}

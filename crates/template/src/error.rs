@@ -1,0 +1,64 @@
+//! Error types for the template crate.
+
+use std::fmt;
+use viewcap_base::{RelId, Scheme};
+
+/// Errors raised while constructing or combining templates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// Templates are nonempty sets of tagged tuples.
+    EmptyTemplate,
+    /// Condition (iii): some tagged tuple must carry a distinguished symbol.
+    NoDistinguishedSymbol,
+    /// A tagged tuple's row does not match the type of its relation name.
+    RowMismatch {
+        /// The tag whose type was violated.
+        rel: RelId,
+    },
+    /// A template assignment must map `η` to a template of TRS `R(η)`.
+    AssignmentTrsMismatch {
+        /// The relation name being assigned.
+        rel: RelId,
+        /// The type `R(η)` the assignment requires.
+        expected: Scheme,
+        /// The TRS of the assigned template.
+        got: Scheme,
+    },
+    /// Substitution hit a relation name with no assigned template.
+    MissingAssignment(RelId),
+    /// Template projection requires a nonempty subset of the TRS.
+    BadProjection {
+        /// The requested target.
+        target: Scheme,
+        /// The template's TRS.
+        trs: Scheme,
+    },
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::EmptyTemplate => write!(f, "templates must be nonempty"),
+            TemplateError::NoDistinguishedSymbol => write!(
+                f,
+                "template condition (iii) violated: no distinguished symbol present"
+            ),
+            TemplateError::RowMismatch { rel } => {
+                write!(f, "tagged tuple row does not match the type of {rel:?}")
+            }
+            TemplateError::AssignmentTrsMismatch { rel, expected, got } => write!(
+                f,
+                "assignment for {rel:?} must have TRS {expected:?}, got {got:?}"
+            ),
+            TemplateError::MissingAssignment(rel) => {
+                write!(f, "no template assigned to relation name {rel:?}")
+            }
+            TemplateError::BadProjection { target, trs } => write!(
+                f,
+                "projection target {target:?} is not a nonempty subset of TRS {trs:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}

@@ -1,0 +1,191 @@
+//! Template evaluation: `T(α)` (paper, Section 2.1).
+//!
+//! `T(α) = { f(0_TRS(T)) | f an α-embedding of T }`, where an α-embedding is
+//! a valuation with `f(t)[R(η)] ∈ α(η)` for every tagged tuple `(t, η)`.
+//!
+//! This is conjunctive-query evaluation: template symbols are variables
+//! (including the distinguished ones, which form the output row), tagged
+//! tuples are atoms, and α provides the extensional database. We run a
+//! backtracking join with per-tuple candidate scans; tuples are ordered by
+//! the size of their relations so small relations prune first.
+
+use crate::template::Template;
+use std::collections::HashMap;
+use viewcap_base::{Catalog, Instantiation, RelId, Relation, Symbol};
+
+/// Evaluate `T(α)`.
+pub fn eval_template(t: &Template, alpha: &Instantiation, catalog: &Catalog) -> Relation {
+    let trs = t.trs();
+    let mut out = Relation::empty(trs.clone());
+
+    // Materialize each referenced relation once.
+    let mut rels: HashMap<RelId, Relation> = HashMap::new();
+    for r in t.rel_names() {
+        let rel = alpha.get(r, catalog);
+        if rel.is_empty() {
+            return out; // some atom can never embed
+        }
+        rels.insert(r, rel);
+    }
+
+    // Search order: most selective (smallest relation) first.
+    let mut order: Vec<usize> = (0..t.len()).collect();
+    order.sort_by_key(|&i| rels[&t.tuples()[i].rel()].len());
+
+    let mut binding: HashMap<Symbol, Symbol> = HashMap::new();
+    let mut trail: Vec<Symbol> = Vec::new();
+    search(t, &rels, &order, 0, &mut binding, &mut trail, &mut |b| {
+        let row: Vec<Symbol> = trs
+            .iter()
+            .map(|a| b[&Symbol::distinguished(a)])
+            .collect();
+        let _ = out.insert(row);
+    });
+    out
+}
+
+fn search(
+    t: &Template,
+    rels: &HashMap<RelId, Relation>,
+    order: &[usize],
+    depth: usize,
+    binding: &mut HashMap<Symbol, Symbol>,
+    trail: &mut Vec<Symbol>,
+    emit: &mut impl FnMut(&HashMap<Symbol, Symbol>),
+) {
+    if depth == order.len() {
+        emit(binding);
+        return;
+    }
+    let tup = &t.tuples()[order[depth]];
+    let rel = &rels[&tup.rel()];
+    'rows: for row in rel.rows() {
+        let mut pushed = 0;
+        for (sym, val) in tup.row().iter().zip(row) {
+            match binding.get(sym) {
+                Some(&bound) if bound == *val => {}
+                Some(_) => {
+                    undo(binding, trail, pushed);
+                    continue 'rows;
+                }
+                None => {
+                    binding.insert(*sym, *val);
+                    trail.push(*sym);
+                    pushed += 1;
+                }
+            }
+        }
+        search(t, rels, order, depth + 1, binding, trail, emit);
+        undo(binding, trail, pushed);
+    }
+}
+
+fn undo(binding: &mut HashMap<Symbol, Symbol>, trail: &mut Vec<Symbol>, n: usize) {
+    for _ in 0..n {
+        let s = trail.pop().expect("trail underflow");
+        binding.remove(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{join_templates, project_template};
+    use viewcap_base::Scheme;
+
+    fn setup() -> (Catalog, RelId, RelId, Instantiation) {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B"]).unwrap();
+        let s = cat.relation("S", &["B", "C"]).unwrap();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let mut alpha = Instantiation::new();
+        alpha
+            .insert_rows(
+                r,
+                [
+                    vec![Symbol::new(a, 1), Symbol::new(b, 10)],
+                    vec![Symbol::new(a, 2), Symbol::new(b, 20)],
+                ],
+                &cat,
+            )
+            .unwrap();
+        alpha
+            .insert_rows(
+                s,
+                [
+                    vec![Symbol::new(b, 10), Symbol::new(c, 100)],
+                    vec![Symbol::new(b, 10), Symbol::new(c, 101)],
+                ],
+                &cat,
+            )
+            .unwrap();
+        (cat, r, s, alpha)
+    }
+
+    #[test]
+    fn atom_template_returns_the_relation() {
+        let (cat, r, _, alpha) = setup();
+        let t = Template::atom(r, &cat);
+        assert_eq!(eval_template(&t, &alpha, &cat), alpha.get(r, &cat));
+    }
+
+    #[test]
+    fn join_template_matches_relational_join() {
+        let (cat, r, s, alpha) = setup();
+        let t = join_templates(&Template::atom(r, &cat), &Template::atom(s, &cat));
+        let expected = alpha.get(r, &cat).join(&alpha.get(s, &cat));
+        assert_eq!(eval_template(&t, &alpha, &cat), expected);
+    }
+
+    #[test]
+    fn projection_template_matches_relational_projection() {
+        let (cat, r, _, alpha) = setup();
+        let a = cat.lookup_attr("A").unwrap();
+        let x = Scheme::new([a]).unwrap();
+        let t = project_template(&Template::atom(r, &cat), &x).unwrap();
+        let expected = alpha.get(r, &cat).project(&x).unwrap();
+        assert_eq!(eval_template(&t, &alpha, &cat), expected);
+    }
+
+    #[test]
+    fn composed_pipeline() {
+        // π_AC(R ⋈ S)
+        let (cat, r, s, alpha) = setup();
+        let a = cat.lookup_attr("A").unwrap();
+        let c = cat.lookup_attr("C").unwrap();
+        let x = Scheme::new([a, c]).unwrap();
+        let j = join_templates(&Template::atom(r, &cat), &Template::atom(s, &cat));
+        let t = project_template(&j, &x).unwrap();
+        let expected = alpha
+            .get(r, &cat)
+            .join(&alpha.get(s, &cat))
+            .project(&x)
+            .unwrap();
+        let got = eval_template(&t, &alpha, &cat);
+        assert_eq!(got, expected);
+        assert_eq!(got.len(), 2); // (1,100), (1,101)
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let (cat, r, s, _) = setup();
+        let alpha = Instantiation::new();
+        let t = join_templates(&Template::atom(r, &cat), &Template::atom(s, &cat));
+        assert!(eval_template(&t, &alpha, &cat).is_empty());
+    }
+
+    #[test]
+    fn embeddings_need_not_be_injective() {
+        // T = π_B(R) ⋈ π_B(R'): two rows with distinct a-symbols may map to
+        // the same data row.
+        let (cat, r, _, alpha) = setup();
+        let b = cat.lookup_attr("B").unwrap();
+        let x = Scheme::new([b]).unwrap();
+        let pb = project_template(&Template::atom(r, &cat), &x).unwrap();
+        let t = join_templates(&pb, &pb);
+        assert_eq!(t.len(), 2);
+        let got = eval_template(&t, &alpha, &cat);
+        let expected = alpha.get(r, &cat).project(&x).unwrap();
+        assert_eq!(got, expected);
+    }
+}

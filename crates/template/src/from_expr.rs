@@ -1,0 +1,187 @@
+//! Algorithm 2.1.1: expression → template.
+//!
+//! The template `T_E` built here realizes the same expression mapping as
+//! `E` (Proposition 2.1.2), which the test suite verifies both on the
+//! paper's examples and on randomized instantiations.
+//!
+//! The construction (with a single shared symbol generator, which makes the
+//! "pairwise disjoint nondistinguished symbols" side condition of clause
+//! (iii) automatic):
+//!
+//! * `E = η`: one tagged tuple, distinguished exactly on `R(η)`;
+//! * `E = π_X(E₁)`: replace each `0_A`, `A ∈ TRS(E₁) − X`, by one fresh
+//!   nondistinguished symbol shared across all its occurrences;
+//! * `E = E₁ ⋈ ⋯ ⋈ Eₙ`: the union of the operand templates.
+
+use crate::template::{TaggedTuple, Template};
+use std::collections::HashMap;
+use viewcap_base::{Catalog, Symbol, SymbolGen};
+use viewcap_expr::Expr;
+
+/// Convert an expression to an equivalent template (Algorithm 2.1.1).
+pub fn template_of_expr(e: &Expr, catalog: &Catalog) -> Template {
+    let mut gen = SymbolGen::new();
+    let tuples = build(e, catalog, &mut gen);
+    Template::new(tuples).expect("Algorithm 2.1.1 yields a valid template")
+}
+
+fn build(e: &Expr, catalog: &Catalog, gen: &mut SymbolGen) -> Vec<TaggedTuple> {
+    match e {
+        Expr::Rel(r) => vec![TaggedTuple::all_distinguished(*r, catalog)],
+        Expr::Project(child, x) => {
+            let tuples = build(child, catalog, gen);
+            // One fresh symbol per hidden attribute, shared by all of that
+            // attribute's distinguished occurrences.
+            let mut fresh: HashMap<u32, Symbol> = HashMap::new();
+            tuples
+                .into_iter()
+                .map(|t| {
+                    t.map_symbols(|s| {
+                        if s.is_distinguished() && !x.contains(s.attr()) {
+                            *fresh
+                                .entry(s.attr().0)
+                                .or_insert_with(|| gen.fresh(s.attr()))
+                        } else {
+                            s
+                        }
+                    })
+                })
+                .collect()
+        }
+        Expr::Join(es) => es.iter().flat_map(|e| build(e, catalog, gen)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_template;
+    use crate::hom::equivalent_templates;
+    use crate::ops::{join_templates, project_template};
+    use viewcap_base::{Instantiation, Scheme};
+    use viewcap_expr::parse_expr;
+
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B"]).unwrap();
+        cat.relation("S", &["B", "C"]).unwrap();
+        cat
+    }
+
+    fn sample_alpha(cat: &Catalog) -> Instantiation {
+        let r = cat.lookup_rel("R").unwrap();
+        let s = cat.lookup_rel("S").unwrap();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let mut alpha = Instantiation::new();
+        alpha
+            .insert_rows(
+                r,
+                [
+                    vec![Symbol::new(a, 1), Symbol::new(b, 1)],
+                    vec![Symbol::new(a, 2), Symbol::new(b, 1)],
+                    vec![Symbol::new(a, 3), Symbol::new(b, 2)],
+                ],
+                cat,
+            )
+            .unwrap();
+        alpha
+            .insert_rows(
+                s,
+                [
+                    vec![Symbol::new(b, 1), Symbol::new(c, 5)],
+                    vec![Symbol::new(b, 2), Symbol::new(c, 6)],
+                ],
+                cat,
+            )
+            .unwrap();
+        alpha
+    }
+
+    #[test]
+    fn atom_case() {
+        let cat = setup();
+        let r = cat.lookup_rel("R").unwrap();
+        let t = template_of_expr(&Expr::rel(r), &cat);
+        assert_eq!(t, Template::atom(r, &cat));
+    }
+
+    #[test]
+    fn matches_template_level_operations() {
+        let cat = setup();
+        let e = parse_expr("pi{A,C}(R * S)", &cat).unwrap();
+        let t = template_of_expr(&e, &cat);
+
+        let r = cat.lookup_rel("R").unwrap();
+        let s = cat.lookup_rel("S").unwrap();
+        let [a, c] = ["A", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let manual = project_template(
+            &join_templates(&Template::atom(r, &cat), &Template::atom(s, &cat)),
+            &Scheme::new([a, c]).unwrap(),
+        )
+        .unwrap();
+        assert!(equivalent_templates(&t, &manual));
+    }
+
+    #[test]
+    fn proposition_2_1_2_semantic_agreement() {
+        // T_E(α) = E(α) across a family of expressions.
+        let cat = setup();
+        let alpha = sample_alpha(&cat);
+        for src in [
+            "R",
+            "S",
+            "R * S",
+            "pi{A}(R)",
+            "pi{B}(R) * pi{B}(S)",
+            "pi{A,C}(R * S)",
+            "pi{A}(pi{A,B}(R * S)) * pi{C}(S)",
+            "R * R",
+            "pi{B,C}(S) * pi{A,B}(R * S)",
+        ] {
+            let e = parse_expr(src, &cat).unwrap();
+            let t = template_of_expr(&e, &cat);
+            assert_eq!(
+                eval_template(&t, &alpha, &cat),
+                e.eval(&alpha, &cat),
+                "mismatch for {src}"
+            );
+            assert_eq!(t.trs(), e.trs(&cat), "TRS mismatch for {src}");
+            assert_eq!(t.rel_names(), e.rel_names(), "RN mismatch for {src}");
+        }
+    }
+
+    #[test]
+    fn join_of_identical_atoms_merges() {
+        let cat = setup();
+        let e = parse_expr("R * R", &cat).unwrap();
+        let t = template_of_expr(&e, &cat);
+        // Both operands produce the same all-distinguished tuple.
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn projection_after_join_shares_fresh_symbols() {
+        let cat = setup();
+        let e = parse_expr("pi{A,C}(R * S)", &cat).unwrap();
+        let t = template_of_expr(&e, &cat);
+        assert_eq!(t.len(), 2);
+        // The hidden B column must hold the SAME fresh symbol in both rows.
+        let b = cat.lookup_attr("B").unwrap();
+        let syms: Vec<Symbol> = t.tuples().iter().filter_map(|x| x.symbol_at(b)).collect();
+        assert_eq!(syms.len(), 2);
+        assert_eq!(syms[0], syms[1]);
+        assert!(!syms[0].is_distinguished());
+    }
+
+    #[test]
+    fn separate_branches_get_disjoint_symbols() {
+        let cat = setup();
+        // pi{B}(R) * pi{B}(S): each branch hides its own attribute; the
+        // hidden symbols must be distinct.
+        let e = parse_expr("pi{B}(R) * pi{B}(S)", &cat).unwrap();
+        let t = template_of_expr(&e, &cat);
+        assert_eq!(t.len(), 2);
+        let nd = t.nondistinguished_symbols();
+        assert_eq!(nd.len(), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! Template homomorphisms and the containment / equivalence tests.
+//!
+//! Paper, Section 2.4: a *homomorphism* from `T` to `S` is a valuation `f`
+//! with `f(0_A) = 0_A` for every attribute and `f(τ) ∈ S` for every tagged
+//! tuple `τ ∈ T`. The fundamental facts (from Aho–Sagiv–Ullman, restated as
+//! Propositions 2.4.1–2.4.3):
+//!
+//! * `S(α) ⊆ T(α)` for every instantiation `α` **iff** there is a
+//!   homomorphism from `T` to `S` ([`template_contains`]);
+//! * `T ≡ S` **iff** homomorphisms exist in both directions
+//!   ([`equivalent_templates`]);
+//! * both are decidable — realized here by backtracking search with
+//!   candidate precomputation and most-constrained-first ordering.
+//!
+//! A [`Homomorphism`] records both the symbol valuation and the induced
+//! tuple mapping; the latter is what the essential-tuple machinery of
+//! Section 3 consumes. Valuations and consistent tuple maps are in
+//! bijection, so enumerating tuple maps enumerates valuations without
+//! duplicates.
+
+use crate::template::{TaggedTuple, Template};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use viewcap_base::Symbol;
+
+/// A finite symbol mapping (the meaningful fragment of a valuation).
+///
+/// Symbols absent from the map are fixed; distinguished symbols are always
+/// fixed.
+pub type Valuation = HashMap<Symbol, Symbol>;
+
+/// A homomorphism between templates: the symbol valuation together with the
+/// tuple mapping it induces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Homomorphism {
+    /// Images of the source's nondistinguished symbols.
+    pub symbol_map: Valuation,
+    /// `tuple_map[i] = j` means source tuple `i` maps onto target tuple `j`
+    /// (indices into the canonical tuple orders).
+    pub tuple_map: Vec<usize>,
+}
+
+impl Homomorphism {
+    /// Apply the valuation to a symbol (identity outside the map).
+    pub fn apply(&self, s: Symbol) -> Symbol {
+        if s.is_distinguished() {
+            s
+        } else {
+            self.symbol_map.get(&s).copied().unwrap_or(s)
+        }
+    }
+
+    /// Apply the valuation to a tagged tuple.
+    pub fn apply_tuple(&self, t: &TaggedTuple) -> TaggedTuple {
+        t.map_symbols(|s| self.apply(s))
+    }
+}
+
+/// Internal: candidate target-tuple lists per source tuple.
+///
+/// A target tuple is a candidate for a source tuple when the tags agree and
+/// every distinguished source entry meets the same distinguished entry in
+/// the target (valuations fix distinguished symbols).
+fn candidate_lists(src: &Template, dst: &Template) -> Option<Vec<Vec<usize>>> {
+    let mut out = Vec::with_capacity(src.len());
+    for st in src.tuples() {
+        let mut cands = Vec::new();
+        'target: for (j, dt) in dst.tuples().iter().enumerate() {
+            if dt.rel() != st.rel() {
+                continue;
+            }
+            for (a, b) in st.row().iter().zip(dt.row()) {
+                if a.is_distinguished() && a != b {
+                    continue 'target;
+                }
+            }
+            cands.push(j);
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        out.push(cands);
+    }
+    Some(out)
+}
+
+/// Backtracking engine shared by existence and enumeration queries.
+struct HomSearch<'a> {
+    src: &'a Template,
+    dst: &'a Template,
+    /// Source tuple indices in search order (most constrained first).
+    order: Vec<usize>,
+    cands: Vec<Vec<usize>>,
+    binding: Valuation,
+    trail: Vec<Symbol>,
+    assignment: Vec<usize>,
+}
+
+impl<'a> HomSearch<'a> {
+    fn new(src: &'a Template, dst: &'a Template) -> Option<Self> {
+        let cands = candidate_lists(src, dst)?;
+        let mut order: Vec<usize> = (0..src.len()).collect();
+        order.sort_by_key(|&i| cands[i].len());
+        Some(HomSearch {
+            src,
+            dst,
+            order,
+            cands,
+            binding: HashMap::new(),
+            trail: Vec::new(),
+            assignment: vec![usize::MAX; src.len()],
+        })
+    }
+
+    /// Try mapping source tuple `i` onto target tuple `j`; on success returns
+    /// the number of new bindings pushed on the trail.
+    fn try_bind(&mut self, i: usize, j: usize) -> Option<usize> {
+        let st = &self.src.tuples()[i];
+        let dt = &self.dst.tuples()[j];
+        let mut pushed = 0;
+        for (a, b) in st.row().iter().zip(dt.row()) {
+            if a.is_distinguished() {
+                continue; // candidate list already enforced equality
+            }
+            match self.binding.get(a) {
+                Some(&bound) if bound == *b => {}
+                Some(_) => {
+                    self.undo(pushed);
+                    return None;
+                }
+                None => {
+                    self.binding.insert(*a, *b);
+                    self.trail.push(*a);
+                    pushed += 1;
+                }
+            }
+        }
+        Some(pushed)
+    }
+
+    fn undo(&mut self, n: usize) {
+        for _ in 0..n {
+            let s = self.trail.pop().expect("trail underflow");
+            self.binding.remove(&s);
+        }
+    }
+
+    fn run<F>(&mut self, depth: usize, f: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&Homomorphism) -> ControlFlow<()>,
+    {
+        if depth == self.order.len() {
+            let hom = Homomorphism {
+                symbol_map: self.binding.clone(),
+                tuple_map: self.assignment.clone(),
+            };
+            return f(&hom);
+        }
+        let i = self.order[depth];
+        // Candidate lists are tiny; clone to appease the borrow checker
+        // outside the hot path (they are index vectors, not tuples).
+        let cands = self.cands[i].clone();
+        for j in cands {
+            if let Some(pushed) = self.try_bind(i, j) {
+                self.assignment[i] = j;
+                let flow = self.run(depth + 1, f);
+                self.assignment[i] = usize::MAX;
+                self.undo(pushed);
+                if flow.is_break() {
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Find one homomorphism from `src` to `dst`, if any.
+pub fn find_homomorphism(src: &Template, dst: &Template) -> Option<Homomorphism> {
+    let mut found = None;
+    let _ = for_each_homomorphism(src, dst, &mut |h| {
+        found = Some(h.clone());
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// Enumerate every homomorphism from `src` to `dst`.
+///
+/// The callback can stop the enumeration by returning
+/// [`ControlFlow::Break`]. Returns whether enumeration was broken.
+pub fn for_each_homomorphism<F>(src: &Template, dst: &Template, f: &mut F) -> ControlFlow<()>
+where
+    F: FnMut(&Homomorphism) -> ControlFlow<()>,
+{
+    match HomSearch::new(src, dst) {
+        None => ControlFlow::Continue(()),
+        Some(mut search) => search.run(0, f),
+    }
+}
+
+/// Proposition 2.4.1: does `inner(α) ⊆ outer(α)` hold for *every*
+/// instantiation `α`? Decided by searching for a homomorphism from `outer`
+/// to `inner`.
+///
+/// Relations on different schemes are never comparable, so templates with
+/// different TRS are never in the containment relation; the proposition
+/// implicitly compares same-TRS templates and we guard accordingly (a
+/// homomorphism can still exist across a TRS mismatch — it just proves
+/// nothing about the mappings).
+pub fn template_contains(outer: &Template, inner: &Template) -> bool {
+    outer.trs() == inner.trs() && find_homomorphism(outer, inner).is_some()
+}
+
+/// Corollary 2.4.2 / Proposition 2.4.3: do `a` and `b` realize the same
+/// mapping? Decided by homomorphisms in both directions.
+pub fn equivalent_templates(a: &Template, b: &Template) -> bool {
+    template_contains(a, b) && template_contains(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewcap_base::{Catalog, RelId};
+
+    fn setup() -> (Catalog, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B", "C"]).unwrap();
+        (cat, r)
+    }
+
+    /// Template for π_AB(R): row (0_A, 0_B, c₁).
+    fn pi_ab(cat: &Catalog, r: RelId) -> Template {
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        Template::new(vec![TaggedTuple::new(
+            r,
+            vec![
+                Symbol::distinguished(a),
+                Symbol::distinguished(b),
+                Symbol::new(c, 1),
+            ],
+            cat,
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    /// Template for π_AB(R) ⋈ π_BC(R): rows (0,0,c₁) and (a₂,0,0).
+    fn pi_ab_join_pi_bc(cat: &Catalog, r: RelId) -> Template {
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        Template::new(vec![
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::distinguished(b),
+                    Symbol::new(c, 1),
+                ],
+                cat,
+            )
+            .unwrap(),
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::new(a, 2),
+                    Symbol::distinguished(b),
+                    Symbol::distinguished(c),
+                ],
+                cat,
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_homomorphism_exists() {
+        let (cat, r) = setup();
+        let t = pi_ab_join_pi_bc(&cat, r);
+        let h = find_homomorphism(&t, &t).expect("identity exists");
+        assert_eq!(h.tuple_map.len(), 2);
+        // identity maps each tuple to itself under some hom (maybe others too)
+        assert!(template_contains(&t, &t));
+    }
+
+    #[test]
+    fn lossy_join_containment_direction() {
+        // R ⊑ π_AB(R) ⋈ π_BC(R): the decomposition contains the original.
+        // In template terms: R(α) ⊆ [π_AB ⋈ π_BC](α) for all α, so by
+        // Prop 2.4.1 there is a hom from the join template to atom(R).
+        let (cat, r) = setup();
+        let atom = Template::atom(r, &cat);
+        let join = pi_ab_join_pi_bc(&cat, r);
+        assert!(template_contains(&join, &atom));
+        // and NOT conversely (the join is lossy):
+        assert!(!template_contains(&atom, &join));
+        assert!(!equivalent_templates(&atom, &join));
+    }
+
+    #[test]
+    fn trs_mismatch_blocks_containment_even_with_hom() {
+        let (cat, r) = setup();
+        let atom = Template::atom(r, &cat); // TRS {A,B,C}
+        let proj = pi_ab(&cat, r); // TRS {A,B}
+        // A raw homomorphism proj → atom exists (c₁ ↦ 0_C) …
+        assert!(find_homomorphism(&proj, &atom).is_some());
+        // … but the mappings land on different schemes, so neither
+        // containment nor equivalence holds.
+        assert!(!template_contains(&proj, &atom));
+        assert!(!template_contains(&atom, &proj));
+        assert!(!equivalent_templates(&atom, &proj));
+    }
+
+    #[test]
+    fn homomorphism_may_merge_symbols() {
+        // π_AB(R) ⋈ π_AB(R) must be equivalent to π_AB(R): the two rows can
+        // merge by mapping their distinct c-symbols together.
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let row =
+            |cv: u32| vec![Symbol::distinguished(a), Symbol::distinguished(b), Symbol::new(c, cv)];
+        let doubled = Template::new(vec![
+            TaggedTuple::new(r, row(1), &cat).unwrap(),
+            TaggedTuple::new(r, row(2), &cat).unwrap(),
+        ])
+        .unwrap();
+        let single = pi_ab(&cat, r);
+        assert!(equivalent_templates(&doubled, &single));
+    }
+
+    #[test]
+    fn nondistinguished_may_map_to_distinguished() {
+        // hom from π_AB(R) template (0,0,c1) to atom(R) (0,0,0): c1 ↦ 0_C.
+        let (cat, r) = setup();
+        let proj = pi_ab(&cat, r);
+        let atom = Template::atom(r, &cat);
+        let h = find_homomorphism(&proj, &atom).expect("c1 ↦ 0_C");
+        let c = cat.lookup_attr("C").unwrap();
+        assert_eq!(h.apply(Symbol::new(c, 1)), Symbol::distinguished(c));
+    }
+
+    #[test]
+    fn enumeration_counts_all_homs() {
+        // Two interchangeable rows: hom count from doubled to doubled is 4
+        // (each row maps to either row independently — c-symbols are free).
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let row =
+            |cv: u32| vec![Symbol::distinguished(a), Symbol::distinguished(b), Symbol::new(c, cv)];
+        let doubled = Template::new(vec![
+            TaggedTuple::new(r, row(1), &cat).unwrap(),
+            TaggedTuple::new(r, row(2), &cat).unwrap(),
+        ])
+        .unwrap();
+        let mut n = 0;
+        let _ = for_each_homomorphism(&doubled, &doubled, &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn tags_must_match() {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A"]).unwrap();
+        let s = cat.relation("S", &["A"]).unwrap();
+        let tr = Template::atom(r, &cat);
+        let ts = Template::atom(s, &cat);
+        assert!(!template_contains(&tr, &ts));
+        assert!(!template_contains(&ts, &tr));
+    }
+}

@@ -1,0 +1,189 @@
+//! Template reduction (Proposition 2.4.4).
+//!
+//! A template is *reduced* when no equivalent template has fewer tagged
+//! tuples. By classical tableau/core theory, the minimal *subtemplate*
+//! fixpoint reached by greedy single-tuple removal is the core and achieves
+//! the global minimum:
+//!
+//! * if `T ≡ S` with `#S < #T`, composing homomorphisms `T → S → T` and
+//!   iterating yields an idempotent endomorphism of `T` whose image is a
+//!   proper equivalent subtemplate, so *some* single tuple is removable;
+//! * hence greedy removal cannot get stuck above the minimum.
+//!
+//! Removal of tuple `τ` is sound exactly when `T − {τ}` keeps the TRS and
+//! admits a homomorphism from `T` (Prop 2.4.1 gives the missing containment;
+//! the subtemplate containment is automatic).
+
+use crate::hom::find_homomorphism;
+use crate::template::Template;
+
+/// Compute the reduced (minimal equivalent) template — the core.
+///
+/// Deterministic: scans tuples in canonical order and restarts after each
+/// removal, so equal inputs give identical outputs.
+pub fn reduce(t: &Template) -> Template {
+    let mut cur = t.clone();
+    let trs = t.trs();
+    'outer: loop {
+        if cur.len() == 1 {
+            return cur;
+        }
+        for i in 0..cur.len() {
+            let Ok(cand) = cur.without(i) else { continue };
+            if cand.trs() != trs {
+                continue; // dropping τ would change the mapping's scheme
+            }
+            if find_homomorphism(&cur, &cand).is_some() {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+/// Is the template already reduced?
+pub fn is_reduced(t: &Template) -> bool {
+    reduce(t).len() == t.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::equivalent_templates;
+    use crate::template::TaggedTuple;
+    use viewcap_base::{Catalog, RelId, Symbol};
+
+    fn setup() -> (Catalog, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B", "C"]).unwrap();
+        (cat, r)
+    }
+
+    #[test]
+    fn atom_is_reduced() {
+        let (cat, r) = setup();
+        let t = Template::atom(r, &cat);
+        assert!(is_reduced(&t));
+        assert_eq!(reduce(&t), t);
+    }
+
+    #[test]
+    fn duplicate_role_rows_collapse() {
+        // (0,0,c1) and (0,0,c2) tagged R: the second row is subsumed.
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let mk = |cv: u32| {
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::distinguished(b),
+                    Symbol::new(c, cv),
+                ],
+                &cat,
+            )
+            .unwrap()
+        };
+        let t = Template::new(vec![mk(1), mk(2)]).unwrap();
+        let red = reduce(&t);
+        assert_eq!(red.len(), 1);
+        assert!(equivalent_templates(&red, &t));
+    }
+
+    #[test]
+    fn genuinely_joint_rows_survive() {
+        // π_AB(R) ⋈ π_BC(R): neither row subsumes the other.
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let t = Template::new(vec![
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::distinguished(b),
+                    Symbol::new(c, 1),
+                ],
+                &cat,
+            )
+            .unwrap(),
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::new(a, 2),
+                    Symbol::distinguished(b),
+                    Symbol::distinguished(c),
+                ],
+                &cat,
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        assert!(is_reduced(&t));
+    }
+
+    #[test]
+    fn subsumed_row_with_join_structure() {
+        // Row 3 = (a1, 0B, c3) is dominated by the other two rows together.
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let rows = vec![
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::distinguished(b),
+                    Symbol::new(c, 1),
+                ],
+                &cat,
+            )
+            .unwrap(),
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::new(a, 2),
+                    Symbol::distinguished(b),
+                    Symbol::distinguished(c),
+                ],
+                &cat,
+            )
+            .unwrap(),
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::new(a, 1),
+                    Symbol::distinguished(b),
+                    Symbol::new(c, 3),
+                ],
+                &cat,
+            )
+            .unwrap(),
+        ];
+        let t = Template::new(rows).unwrap();
+        let red = reduce(&t);
+        assert_eq!(red.len(), 2);
+        assert!(equivalent_templates(&red, &t));
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let (cat, r) = setup();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let mk = |cv: u32| {
+            TaggedTuple::new(
+                r,
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::distinguished(b),
+                    Symbol::new(c, cv),
+                ],
+                &cat,
+            )
+            .unwrap()
+        };
+        let t = Template::new(vec![mk(1), mk(2), mk(3)]).unwrap();
+        let once = reduce(&t);
+        let twice = reduce(&once);
+        assert_eq!(once, twice);
+    }
+}

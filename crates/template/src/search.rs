@@ -1,0 +1,567 @@
+//! The bounded search engine over normalized project–join expressions.
+//!
+//! This is the effective core behind the paper's decidability results
+//! (Theorems 2.4.11 / 2.4.12). Instead of the paper's astronomically large
+//! `J_k` enumeration of candidate templates, we enumerate *normalized
+//! expressions* over a set of typed atoms together with their (reduced)
+//! templates, composed bottom-up at the template level:
+//!
+//! ```text
+//! part  ::=  atom  |  π_X(join)      with ∅ ≠ X ⊊ TRS(join)
+//! join  ::=  a set of ≥ 1 parts     (equivalent parts are interchangeable,
+//!                                    and P ⋈ P ≡ P, so sets — not
+//!                                    multisets — suffice)
+//! root  ::=  join
+//! ```
+//!
+//! Completeness rests on the *syntactic subtemplate lemma* (DESIGN.md §5.3):
+//! whenever the sought query is realizable at all, it is realizable by a
+//! normalized expression whose atom count is bounded by the tuple count of
+//! the (reduced) goal template. One corner is documented there and in
+//! [`for_each_candidate`]: skeletons requiring a fully hidden operand whose
+//! hidden columns overlap the live TRS may escape the normalized grammar;
+//! the literal paper procedure (`viewcap-core::paper_procedure`) serves as a
+//! cross-check on small instances.
+//!
+//! Candidates are deduplicated *semantically*: reduced templates are
+//! bucketed by canonical key and confirmed by homomorphism, so each distinct
+//! mapping is visited once, which keeps level sizes small.
+
+use crate::canon::{canonical_key, CanonKey};
+use crate::hom::equivalent_templates;
+use crate::ops::{join_templates, project_template};
+use crate::reduce::reduce;
+use crate::template::Template;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::ControlFlow;
+use viewcap_base::{Catalog, RelId, Scheme};
+
+/// Resource limits for the bounded search.
+#[derive(Clone, Debug)]
+pub struct SearchLimits {
+    /// Maximum number of deduplicated parts per atom-count level.
+    pub max_level_parts: usize,
+    /// Maximum number of join combinations examined.
+    pub max_visits: u64,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_level_parts: 20_000,
+            max_visits: 2_000_000,
+        }
+    }
+}
+
+/// The search exceeded its limits before finishing.
+///
+/// Callers must treat this as "unknown", never as "no".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchOverflow {
+    /// Which limit tripped.
+    pub context: &'static str,
+}
+
+impl fmt::Display for SearchOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bounded search overflow: {}", self.context)
+    }
+}
+
+impl std::error::Error for SearchOverflow {}
+
+/// Counters describing what a search did — for the benchmark harness and
+/// the dedup-ablation study (EXPERIMENTS.md B8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Join combinations examined.
+    pub combos: u64,
+    /// Candidate roots handed to the callback.
+    pub roots_visited: u64,
+    /// Parts kept after deduplication.
+    pub parts_kept: u64,
+    /// Candidates dropped as semantically duplicate (parts/joins/roots).
+    pub dedup_hits: u64,
+}
+
+/// Tuning knobs for the search (the defaults are what the decision
+/// procedures use; the ablation bench flips them).
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions {
+    /// Deduplicate candidates semantically (canonical-key buckets confirmed
+    /// by homomorphism). Turning this off makes the search visit every
+    /// structurally distinct normalized expression — exponentially more
+    /// work, same answers.
+    pub semantic_dedup: bool,
+    /// Reduce intermediate templates. Turning this off keeps raw
+    /// Algorithm 2.1.1 compositions (larger templates, more hom work
+    /// downstream), same answers.
+    pub reduce_intermediates: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            semantic_dedup: true,
+            reduce_intermediates: true,
+        }
+    }
+}
+
+use viewcap_expr::Expr;
+
+/// Callback type for the combination enumerator.
+type ComboSink<'a> = &'a mut dyn FnMut(&[(usize, usize)]) -> Result<(), SearchOverflow>;
+
+/// A deduplicated candidate: an expression and its reduced template.
+struct Part {
+    expr: Expr,
+    tpl: Template,
+}
+
+/// Semantic dedup: canonical-key buckets confirmed by equivalence.
+struct Dedup {
+    enabled: bool,
+    buckets: HashMap<CanonKey, Vec<Template>>,
+}
+
+impl Dedup {
+    fn new(enabled: bool) -> Self {
+        Dedup {
+            enabled,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Returns `true` when an equivalent template was already recorded.
+    fn seen(&mut self, t: &Template, stats: &mut SearchStats) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let key = canonical_key(t);
+        let bucket = self.buckets.entry(key).or_default();
+        if bucket.iter().any(|u| equivalent_templates(u, t)) {
+            stats.dedup_hits += 1;
+            return true;
+        }
+        bucket.push(t.clone());
+        false
+    }
+}
+
+/// Enumerate deduplicated `(expression, reduced template)` candidates over
+/// `atoms` with at most `max_atoms` atom occurrences.
+///
+/// * `target_trs`: if given, only roots with exactly this TRS reach the
+///   callback (parts of other TRS still participate as subexpressions).
+/// * Returns `Ok(true)` when the callback broke (found what it wanted),
+///   `Ok(false)` when the space was exhausted.
+pub fn for_each_candidate(
+    catalog: &Catalog,
+    atoms: &[RelId],
+    max_atoms: usize,
+    target_trs: Option<&Scheme>,
+    limits: &SearchLimits,
+    f: &mut dyn FnMut(&Expr, &Template) -> ControlFlow<()>,
+) -> Result<bool, SearchOverflow> {
+    for_each_candidate_with(
+        catalog,
+        atoms,
+        max_atoms,
+        target_trs,
+        limits,
+        SearchOptions::default(),
+        f,
+    )
+    .map(|(broke, _)| broke)
+}
+
+/// [`for_each_candidate`] with explicit [`SearchOptions`], returning the
+/// search counters alongside the outcome.
+pub fn for_each_candidate_with(
+    catalog: &Catalog,
+    atoms: &[RelId],
+    max_atoms: usize,
+    target_trs: Option<&Scheme>,
+    limits: &SearchLimits,
+    options: SearchOptions,
+    f: &mut dyn FnMut(&Expr, &Template) -> ControlFlow<()>,
+) -> Result<(bool, SearchStats), SearchOverflow> {
+    let mut parts: Vec<Vec<Part>> = (0..=max_atoms).map(|_| Vec::new()).collect();
+    let mut part_dedup = Dedup::new(options.semantic_dedup);
+    let mut root_dedup = Dedup::new(options.semantic_dedup);
+    let mut join_dedup = Dedup::new(options.semantic_dedup);
+    let mut stats = SearchStats::default();
+    let maybe_reduce = |t: &Template| {
+        if options.reduce_intermediates {
+            reduce(t)
+        } else {
+            t.clone()
+        }
+    };
+    let mut visits: u64 = 0;
+
+    for k in 1..=max_atoms {
+        // -------- new parts of size k (and, for k ≥ 2, new joins of size k)
+        let mut new_parts: Vec<Part> = Vec::new();
+        let mut new_joins: Vec<Part> = Vec::new();
+
+        if k == 1 {
+            for &r in atoms {
+                let tpl = Template::atom(r, catalog);
+                if !part_dedup.seen(&tpl, &mut stats) {
+                    new_parts.push(Part {
+                        expr: Expr::rel(r),
+                        tpl: tpl.clone(),
+                    });
+                }
+                // Proper projections of the atom.
+                for x in tpl.trs().proper_nonempty_subsets() {
+                    let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
+                    if !part_dedup.seen(&p, &mut stats) {
+                        new_parts.push(Part {
+                            expr: Expr::project(Expr::rel(r), x, catalog)
+                                .expect("X ⊆ TRS of atom"),
+                            tpl: p,
+                        });
+                    }
+                }
+            }
+        } else {
+            // Join combinations: strictly increasing (size, index) choices
+            // totalling k with ≥ 2 children.
+            let mut stack: Vec<(usize, usize)> = Vec::new();
+            let flow = combos(&parts, k, (1, 0), &mut stack, &mut visits, limits, &mut |
+                chosen,
+            | {
+                let children: Vec<&Part> =
+                    chosen.iter().map(|&(s, i)| &parts[s][i]).collect();
+                let mut tpl = children[0].tpl.clone();
+                for c in &children[1..] {
+                    tpl = join_templates(&tpl, &c.tpl);
+                }
+                let tpl = maybe_reduce(&tpl);
+                if join_dedup.seen(&tpl, &mut stats) {
+                    return Ok(());
+                }
+                let expr = Expr::join(children.iter().map(|c| c.expr.clone()).collect())
+                    .expect("≥ 2 children");
+                // Proper projections become parts of size k.
+                for x in tpl.trs().proper_nonempty_subsets() {
+                    let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
+                    if !part_dedup.seen(&p, &mut stats) {
+                        new_parts.push(Part {
+                            expr: Expr::project(expr.clone(), x, catalog)
+                                .expect("X ⊆ TRS of join"),
+                            tpl: p,
+                        });
+                    }
+                }
+                new_joins.push(Part { expr, tpl });
+                Ok(())
+            })?;
+            debug_assert!(flow.is_continue());
+        }
+
+        if parts[k].len() + new_parts.len() > limits.max_level_parts {
+            return Err(SearchOverflow {
+                context: "per-level part budget exhausted",
+            });
+        }
+
+        // -------- visit roots of size k: new parts and new joins
+        stats.parts_kept += new_parts.len() as u64;
+        for cand in new_parts.iter().chain(new_joins.iter()) {
+            let trs_ok = target_trs.is_none_or(|want| cand.tpl.trs() == *want);
+            if trs_ok && !root_dedup.seen(&cand.tpl, &mut stats) {
+                stats.roots_visited += 1;
+                if f(&cand.expr, &cand.tpl).is_break() {
+                    stats.combos = visits;
+                    return Ok((true, stats));
+                }
+            }
+        }
+
+        parts[k] = new_parts;
+    }
+    stats.combos = visits;
+    Ok((false, stats))
+}
+
+/// Enumerate strictly increasing `(size, index)` selections from `parts`
+/// totalling exactly `total`, with at least two elements.
+fn combos(
+    parts: &[Vec<Part>],
+    remaining: usize,
+    min: (usize, usize),
+    current: &mut Vec<(usize, usize)>,
+    visits: &mut u64,
+    limits: &SearchLimits,
+    f: ComboSink<'_>,
+) -> Result<ControlFlow<()>, SearchOverflow> {
+    if remaining == 0 {
+        if current.len() >= 2 {
+            *visits += 1;
+            if *visits > limits.max_visits {
+                return Err(SearchOverflow {
+                    context: "combination budget exhausted",
+                });
+            }
+            f(current)?;
+        }
+        return Ok(ControlFlow::Continue(()));
+    }
+    for size in min.0..=remaining {
+        // A single child covering everything is not a join.
+        if current.is_empty() && size == remaining {
+            continue;
+        }
+        let start = if size == min.0 { min.1 } else { 0 };
+        for idx in start..parts[size].len() {
+            current.push((size, idx));
+            let flow = combos(parts, remaining - size, (size, idx + 1), current, visits, limits, f)?;
+            current.pop();
+            if flow.is_break() {
+                return Ok(ControlFlow::Break(()));
+            }
+        }
+    }
+    Ok(ControlFlow::Continue(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_expr::template_of_expr;
+    use viewcap_expr::parse_expr;
+
+    fn setup() -> (Catalog, Vec<RelId>) {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B"]).unwrap();
+        let s = cat.relation("S", &["B", "C"]).unwrap();
+        (cat, vec![r, s])
+    }
+
+    fn collect(
+        cat: &Catalog,
+        atoms: &[RelId],
+        max_atoms: usize,
+        target: Option<&Scheme>,
+    ) -> Vec<(Expr, Template)> {
+        let mut out = Vec::new();
+        let found = for_each_candidate(
+            cat,
+            atoms,
+            max_atoms,
+            target,
+            &SearchLimits::default(),
+            &mut |e, t| {
+                out.push((e.clone(), t.clone()));
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+        assert!(!found);
+        out
+    }
+
+    #[test]
+    fn level_one_contains_atoms_and_their_projections() {
+        let (cat, atoms) = setup();
+        let cands = collect(&cat, &atoms, 1, None);
+        // R, π_A(R), π_B(R), S, π_B(S), π_C(S)
+        assert_eq!(cands.len(), 6);
+    }
+
+    #[test]
+    fn finds_the_lossy_join_at_two_atoms() {
+        let (cat, atoms) = setup();
+        let goal = reduce(&template_of_expr(
+            &parse_expr("pi{A,C}(R * S)", &cat).unwrap(),
+            &cat,
+        ));
+        let mut hit = false;
+        let found = for_each_candidate(
+            &cat,
+            &atoms,
+            2,
+            Some(&goal.trs()),
+            &SearchLimits::default(),
+            &mut |_, t| {
+                if equivalent_templates(t, &goal) {
+                    hit = true;
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )
+        .unwrap();
+        assert!(found && hit);
+    }
+
+    #[test]
+    fn dedup_collapses_equivalent_candidates() {
+        let (cat, atoms) = setup();
+        // All candidates at ≤ 3 atoms must be pairwise inequivalent.
+        let cands = collect(&cat, &atoms, 3, None);
+        for (i, (_, a)) in cands.iter().enumerate() {
+            for (_, b) in cands.iter().skip(i + 1) {
+                assert!(
+                    !equivalent_templates(a, b),
+                    "duplicate mapping visited twice"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_agree_with_their_expressions() {
+        // Every emitted (expr, template) pair must satisfy template ≡ T_expr.
+        let (cat, atoms) = setup();
+        for (e, t) in collect(&cat, &atoms, 2, None) {
+            let direct = template_of_expr(&e, &cat);
+            assert!(
+                equivalent_templates(&t, &direct),
+                "candidate template disagrees with its expression"
+            );
+        }
+    }
+
+    #[test]
+    fn target_trs_filters_roots() {
+        let (cat, atoms) = setup();
+        let b = cat.lookup_attr("B").unwrap();
+        let target = Scheme::new([b]).unwrap();
+        for (_, t) in collect(&cat, &atoms, 2, Some(&target)) {
+            assert_eq!(t.trs(), target);
+        }
+    }
+
+    #[test]
+    fn disabling_dedup_preserves_answers() {
+        // Ablation: without semantic dedup the search visits more roots but
+        // the set of reachable mappings is identical.
+        let (cat, atoms) = setup();
+        let collect_with = |options: SearchOptions| {
+            let mut tpls: Vec<Template> = Vec::new();
+            let (_, stats) = for_each_candidate_with(
+                &cat,
+                &atoms,
+                2,
+                None,
+                &SearchLimits::default(),
+                options,
+                &mut |_, t| {
+                    if !tpls.iter().any(|u| equivalent_templates(u, t)) {
+                        tpls.push(t.clone());
+                    }
+                    ControlFlow::Continue(())
+                },
+            )
+            .unwrap();
+            (tpls, stats)
+        };
+        let (with, s_with) = collect_with(SearchOptions::default());
+        let (without, s_without) = collect_with(SearchOptions {
+            semantic_dedup: false,
+            reduce_intermediates: true,
+        });
+        assert_eq!(with.len(), without.len());
+        for t in &with {
+            assert!(without.iter().any(|u| equivalent_templates(u, t)));
+        }
+        assert!(s_without.roots_visited >= s_with.roots_visited);
+        assert_eq!(s_without.dedup_hits, 0);
+        assert!(s_with.dedup_hits > 0);
+    }
+
+    #[test]
+    fn disabling_reduction_preserves_answers() {
+        let (cat, atoms) = setup();
+        let goal = reduce(&template_of_expr(
+            &parse_expr("pi{A,C}(R * S)", &cat).unwrap(),
+            &cat,
+        ));
+        let mut hit = false;
+        let (broke, _) = for_each_candidate_with(
+            &cat,
+            &atoms,
+            2,
+            Some(&goal.trs()),
+            &SearchLimits::default(),
+            SearchOptions {
+                semantic_dedup: true,
+                reduce_intermediates: false,
+            },
+            &mut |_, t| {
+                if equivalent_templates(t, &goal) {
+                    hit = true;
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )
+        .unwrap();
+        assert!(broke && hit);
+    }
+
+    #[test]
+    fn stats_count_roots() {
+        let (cat, atoms) = setup();
+        let (_, stats) = for_each_candidate_with(
+            &cat,
+            &atoms,
+            1,
+            None,
+            &SearchLimits::default(),
+            SearchOptions::default(),
+            &mut |_, _| ControlFlow::Continue(()),
+        )
+        .unwrap();
+        assert_eq!(stats.roots_visited, 6); // R, π_A R, π_B R, S, π_B S, π_C S
+        assert_eq!(stats.parts_kept, 6);
+    }
+
+    #[test]
+    fn zero_budget_and_empty_atom_sets_are_empty_searches() {
+        let (cat, atoms) = setup();
+        // max_atoms = 0: nothing to enumerate, exhausts immediately.
+        let found = for_each_candidate(&cat, &atoms, 0, None, &SearchLimits::default(), &mut |_, _| {
+            panic!("no candidates expected")
+        })
+        .unwrap();
+        assert!(!found);
+        // No atoms: likewise.
+        let found = for_each_candidate(&cat, &[], 3, None, &SearchLimits::default(), &mut |_, _| {
+            panic!("no candidates expected")
+        })
+        .unwrap();
+        assert!(!found);
+    }
+
+    #[test]
+    fn duplicate_atoms_are_deduplicated() {
+        let (cat, atoms) = setup();
+        let doubled: Vec<RelId> = atoms.iter().chain(atoms.iter()).copied().collect();
+        let plain = collect(&cat, &atoms, 2, None);
+        let duped = collect(&cat, &doubled, 2, None);
+        assert_eq!(plain.len(), duped.len());
+    }
+
+    #[test]
+    fn tiny_visit_budget_overflows() {
+        let (cat, atoms) = setup();
+        let limits = SearchLimits {
+            max_level_parts: 20_000,
+            max_visits: 1,
+        };
+        let res = for_each_candidate(&cat, &atoms, 3, None, &limits, &mut |_, _| {
+            ControlFlow::Continue(())
+        });
+        assert!(res.is_err());
+    }
+}

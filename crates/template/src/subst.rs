@@ -1,0 +1,359 @@
+//! Template substitution `T → β` (paper, Section 2.2) with block
+//! provenance.
+//!
+//! Given a template `T` and a *template assignment* `β` (mapping each
+//! relation name `η` to a template of TRS `R(η)`), the substitution
+//! replaces every tagged tuple `(t, η) ∈ T` by a copy of `β(η)` in which
+//!
+//! * each distinguished symbol `0_A` of `β(η)` becomes `t(A)`, and
+//! * each nondistinguished symbol is *marked* — renamed to a fresh symbol
+//!   peculiar to the pair `((t, η), symbol)` — eliminating cross-talk
+//!   between copies.
+//!
+//! The copy of `β(η)` contributed by `(t, η)` is the *`⟨(t,η), β(η)⟩`
+//! block*; Section 3's essential-tuple machinery is defined in terms of
+//! these blocks, so [`Substitution`] records the full provenance.
+//!
+//! The semantic content is **Theorem 2.2.3**: `[T → β](α) = T(β → α)`,
+//! where `β → α` is the instantiation assigning `[β(η)](α)` to each
+//! assigned name ([`apply_assignment`]). The test suite checks this
+//! identity on fixed and randomized inputs.
+
+use crate::error::TemplateError;
+use crate::eval::eval_template;
+use crate::template::{TaggedTuple, Template};
+use std::collections::{BTreeMap, HashMap};
+use viewcap_base::{Catalog, Instantiation, RelId, SymbolGen};
+
+/// A template assignment `β`: relation names to templates of their type.
+#[derive(Clone, Debug, Default)]
+pub struct Assignment {
+    map: BTreeMap<RelId, Template>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assign `β(rel) = template`, enforcing `TRS(template) = R(rel)`.
+    pub fn set(
+        &mut self,
+        rel: RelId,
+        template: Template,
+        catalog: &Catalog,
+    ) -> Result<(), TemplateError> {
+        let expected = catalog.scheme_of(rel).clone();
+        let got = template.trs();
+        if got != expected {
+            return Err(TemplateError::AssignmentTrsMismatch { rel, expected, got });
+        }
+        self.map.insert(rel, template);
+        Ok(())
+    }
+
+    /// Look up `β(rel)`.
+    pub fn get(&self, rel: RelId) -> Option<&Template> {
+        self.map.get(&rel)
+    }
+
+    /// The explicitly assigned names.
+    pub fn rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.map.keys().copied()
+    }
+}
+
+/// The result of a substitution `T → β`, with block provenance.
+#[derive(Clone, Debug)]
+pub struct Substitution {
+    /// The substituted template.
+    pub result: Template,
+    /// `blocks[i]` describes the `⟨τᵢ, β(ηᵢ)⟩` block: pairs
+    /// `(inner_tuple_index, result_tuple_index)` for each tuple of `β(ηᵢ)`.
+    ///
+    /// Distinct blocks may share result tuples when marking happens to be
+    /// vacuous (a β-tuple with no nondistinguished symbols whose
+    /// distinguished entries map to identical rows) — the paper's union of
+    /// blocks is a set union.
+    pub blocks: Vec<Vec<(usize, usize)>>,
+}
+
+impl Substitution {
+    /// The result-tuple indices forming source tuple `i`'s block.
+    pub fn block_result_indices(&self, source: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self.blocks[source].iter().map(|&(_, r)| r).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The source tuples whose blocks contain a given result tuple.
+    pub fn blocks_containing(&self, result_idx: usize) -> Vec<usize> {
+        (0..self.blocks.len())
+            .filter(|&i| self.blocks[i].iter().any(|&(_, r)| r == result_idx))
+            .collect()
+    }
+
+    /// **Lemma 2.4.7** — restrict the construction to the source tuples hit
+    /// by a homomorphic image.
+    ///
+    /// Given a homomorphism `f : Q → result` (as its tuple map into
+    /// `result`), return the indices of the source tuples `τ` whose block
+    /// contains some `f(ρ)`. The paper proves that the subtemplate `T_f` on
+    /// these indices still satisfies `Q ≡ T_f → β`; this is the engine
+    /// behind the `#(T) ≤ #(Q)` bound of Lemma 2.4.8 and hence behind every
+    /// bounded decision procedure in the workspace.
+    pub fn restrict_sources(&self, image_tuple_map: &[usize]) -> Vec<usize> {
+        let image: std::collections::BTreeSet<usize> =
+            image_tuple_map.iter().copied().collect();
+        let mut keep: Vec<usize> = (0..self.blocks.len())
+            .filter(|&i| self.blocks[i].iter().any(|&(_, r)| image.contains(&r)))
+            .collect();
+        keep.sort_unstable();
+        keep
+    }
+}
+
+/// Perform the substitution `T → β`.
+///
+/// Every relation name of `T` must be assigned.
+pub fn substitute(
+    t: &Template,
+    beta: &Assignment,
+    _catalog: &Catalog,
+) -> Result<Substitution, TemplateError> {
+    // Fresh symbols must avoid T and every assigned template in use.
+    let mut gen: SymbolGen = t.symbol_gen();
+    for rel in t.rel_names() {
+        let inner = beta.get(rel).ok_or(TemplateError::MissingAssignment(rel))?;
+        gen.reserve_all(inner.symbols());
+    }
+
+    // The marking function: (source tuple, symbol) → fresh symbol.
+    let mut marked: HashMap<(usize, viewcap_base::Symbol), viewcap_base::Symbol> = HashMap::new();
+
+    let mut raw: Vec<(usize, usize, TaggedTuple)> = Vec::new();
+    for (i, tau) in t.tuples().iter().enumerate() {
+        let inner = beta
+            .get(tau.rel())
+            .expect("presence checked in reservation pass");
+        for (j, rho) in inner.tuples().iter().enumerate() {
+            let mapped = rho.map_symbols(|s| {
+                if s.is_distinguished() {
+                    // TRS(β(η)) = R(η), so τ's row covers s.attr().
+                    tau.symbol_at(s.attr())
+                        .expect("assignment TRS equals the tag's type")
+                } else {
+                    *marked
+                        .entry((i, s))
+                        .or_insert_with(|| gen.fresh(s.attr()))
+                }
+            });
+            raw.push((i, j, mapped));
+        }
+    }
+
+    let result = Template::new(raw.iter().map(|(_, _, t)| t.clone()).collect())?;
+    let mut blocks = vec![Vec::new(); t.len()];
+    for (i, j, tuple) in &raw {
+        let idx = result
+            .index_of(tuple)
+            .expect("every raw tuple survives into the canonical set");
+        blocks[*i].push((*j, idx));
+    }
+    Ok(Substitution { result, blocks })
+}
+
+/// The instantiation `β → α` of Theorem 2.2.3:
+/// `[β → α](η) = [β(η)](α)` for assigned names, `α(η)` otherwise.
+pub fn apply_assignment(
+    beta: &Assignment,
+    alpha: &Instantiation,
+    catalog: &Catalog,
+) -> Instantiation {
+    let mut out = alpha.clone();
+    for rel in beta.rels() {
+        let tpl = beta.get(rel).expect("iterating assigned names");
+        let value = eval_template(tpl, alpha, catalog);
+        out.set(rel, value, catalog)
+            .expect("assignment TRS equals the name's type");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::equivalent_templates;
+    use crate::ops::{join_templates, project_template};
+    use viewcap_base::{Scheme, Symbol};
+
+    /// A small world: underlying schema {R}, view names η₁:{A,B}, η₂:{B,C}.
+    fn setup() -> (Catalog, RelId, RelId, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B", "C"]).unwrap();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let bc = cat.scheme(&["B", "C"]).unwrap();
+        let n1 = cat.fresh_relation("eta1", ab);
+        let n2 = cat.fresh_relation("eta2", bc);
+        (cat, r, n1, n2)
+    }
+
+    fn pi(cat: &Catalog, r: RelId, attrs: &[&str]) -> Template {
+        let x = Scheme::collect(attrs.iter().map(|n| cat.lookup_attr(n).unwrap()));
+        project_template(&Template::atom(r, cat), &x).unwrap()
+    }
+
+    #[test]
+    fn assignment_enforces_types() {
+        let (cat, r, n1, _) = setup();
+        let mut beta = Assignment::new();
+        // π_AB(R) has TRS {A,B} = R(η₁): accepted.
+        assert!(beta.set(n1, pi(&cat, r, &["A", "B"]), &cat).is_ok());
+        // π_BC(R) has the wrong TRS for η₁: rejected.
+        assert!(beta.set(n1, pi(&cat, r, &["B", "C"]), &cat).is_err());
+    }
+
+    #[test]
+    fn substitution_requires_full_assignment() {
+        let (cat, r, n1, n2) = setup();
+        let t = join_templates(&Template::atom(n1, &cat), &Template::atom(n2, &cat));
+        let mut beta = Assignment::new();
+        beta.set(n1, pi(&cat, r, &["A", "B"]), &cat).unwrap();
+        assert!(matches!(
+            substitute(&t, &beta, &cat),
+            Err(TemplateError::MissingAssignment(x)) if x == n2
+        ));
+    }
+
+    #[test]
+    fn substitution_into_atoms_reproduces_the_assigned_template() {
+        // {(0_AB, η₁)} → β is just (a marked copy of) β(η₁).
+        let (cat, r, n1, _) = setup();
+        let t = Template::atom(n1, &cat);
+        let mut beta = Assignment::new();
+        beta.set(n1, pi(&cat, r, &["A", "B"]), &cat).unwrap();
+        let sub = substitute(&t, &beta, &cat).unwrap();
+        assert!(equivalent_templates(&sub.result, &pi(&cat, r, &["A", "B"])));
+        assert_eq!(sub.blocks.len(), 1);
+        assert_eq!(sub.blocks[0].len(), 1);
+    }
+
+    #[test]
+    fn theorem_2_2_3_on_a_concrete_world() {
+        // T = η₁ ⋈ η₂ over the view schema; β assigns the projections of R.
+        let (cat, r, n1, n2) = setup();
+        let t = join_templates(&Template::atom(n1, &cat), &Template::atom(n2, &cat));
+        let mut beta = Assignment::new();
+        beta.set(n1, pi(&cat, r, &["A", "B"]), &cat).unwrap();
+        beta.set(n2, pi(&cat, r, &["B", "C"]), &cat).unwrap();
+        let sub = substitute(&t, &beta, &cat).unwrap();
+
+        // α with a couple of rows.
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let mut alpha = Instantiation::new();
+        alpha
+            .insert_rows(
+                r,
+                [
+                    vec![Symbol::new(a, 1), Symbol::new(b, 1), Symbol::new(c, 1)],
+                    vec![Symbol::new(a, 2), Symbol::new(b, 1), Symbol::new(c, 2)],
+                ],
+                &cat,
+            )
+            .unwrap();
+
+        let lhs = eval_template(&sub.result, &alpha, &cat);
+        let beta_alpha = apply_assignment(&beta, &alpha, &cat);
+        let rhs = eval_template(&t, &beta_alpha, &cat);
+        assert_eq!(lhs, rhs);
+        // And the substituted template mentions only the underlying schema.
+        assert_eq!(sub.result.rel_names().into_iter().collect::<Vec<_>>(), vec![r]);
+    }
+
+    #[test]
+    fn marking_keeps_blocks_crosstalk_free() {
+        // β(η₁) has a private symbol; two source tuples of tag η₁ must get
+        // DIFFERENT marked copies of it.
+        let (cat, r, n1, _) = setup();
+        let [a, b] = ["A", "B"].map(|n| cat.lookup_attr(n).unwrap());
+        // T: two tuples tagged η₁ sharing nothing: (0_A, b1), (a1, 0_B).
+        let t = Template::new(vec![
+            TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat)
+                .unwrap(),
+            TaggedTuple::new(n1, vec![Symbol::new(a, 1), Symbol::distinguished(b)], &cat)
+                .unwrap(),
+        ])
+        .unwrap();
+        let mut beta = Assignment::new();
+        beta.set(n1, pi(&cat, r, &["A", "B"]), &cat).unwrap();
+        let sub = substitute(&t, &beta, &cat).unwrap();
+        // Each block has one tuple; their hidden C-symbols must differ.
+        let c = cat.lookup_attr("C").unwrap();
+        let block0 = sub.block_result_indices(0);
+        let block1 = sub.block_result_indices(1);
+        assert_eq!((block0.len(), block1.len()), (1, 1));
+        let s0 = sub.result.tuples()[block0[0]].symbol_at(c).unwrap();
+        let s1 = sub.result.tuples()[block1[0]].symbol_at(c).unwrap();
+        assert_ne!(s0, s1, "marked symbols must be peculiar to their block");
+    }
+
+    #[test]
+    fn lemma_2_4_7_restriction_preserves_the_construction() {
+        // Build a construction with slack: skeleton η₁ ⋈ η₁' where the
+        // second atom is subsumed, substitute, and check the restricted
+        // subtemplate still realizes the goal.
+        use crate::hom::find_homomorphism;
+        let (cat, r, n1, _) = setup();
+        // Skeleton with two tuples of tag η₁: (0_A,0_B) and (a₉, 0_B) —
+        // the second is redundant.
+        let [a, b] = ["A", "B"].map(|n| cat.lookup_attr(n).unwrap());
+        let skeleton = Template::new(vec![
+            TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::distinguished(b)], &cat)
+                .unwrap(),
+            TaggedTuple::new(n1, vec![Symbol::new(a, 9), Symbol::distinguished(b)], &cat)
+                .unwrap(),
+        ])
+        .unwrap();
+        let mut beta = Assignment::new();
+        beta.set(n1, pi(&cat, r, &["A", "B"]), &cat).unwrap();
+        let sub = substitute(&skeleton, &beta, &cat).unwrap();
+
+        // Goal: the mapping of π_AB(R); find a hom goal → result.
+        let goal = pi(&cat, r, &["A", "B"]);
+        assert!(equivalent_templates(&sub.result, &goal));
+        let f = find_homomorphism(&goal, &sub.result).expect("equivalence gives a hom");
+
+        // Restrict: the image touches at most #goal source tuples.
+        let keep = sub.restrict_sources(&f.tuple_map);
+        assert!(!keep.is_empty() && keep.len() <= goal.len());
+        let restricted = skeleton.subtemplate(&keep).unwrap();
+        let sub2 = substitute(&restricted, &beta, &cat).unwrap();
+        assert!(
+            equivalent_templates(&sub2.result, &goal),
+            "Lemma 2.4.7: T_f → β must still realize Q"
+        );
+    }
+
+    #[test]
+    fn blocks_may_overlap_when_marking_is_vacuous() {
+        // β(η₁) = atom template of a name with TRS {A,B} (no private
+        // symbols); two identical-valued source tuples produce identical
+        // block contents, which merge in the set union.
+        let (mut cat, _r, n1, _) = setup();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let base = cat.fresh_relation("base", ab);
+        let [a, b] = ["A", "B"].map(|n| cat.lookup_attr(n).unwrap());
+        let t = Template::new(vec![
+            TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::distinguished(b)], &cat)
+                .unwrap(),
+        ])
+        .unwrap();
+        let mut beta = Assignment::new();
+        beta.set(n1, Template::atom(base, &cat), &cat).unwrap();
+        let sub = substitute(&t, &beta, &cat).unwrap();
+        assert_eq!(sub.result.len(), 1);
+        assert_eq!(sub.blocks_containing(0), vec![0]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the tableau machinery: Algorithm 2.1.1,
+//! reduction, canonical keys, homomorphism semantics (via the frozen
+//! instantiation), and Theorem 2.2.3.
+
+use proptest::prelude::*;
+use viewcap_base::{Catalog, Instantiation, RelId, Scheme, Symbol};
+use viewcap_expr::Expr;
+use viewcap_template::{
+    apply_assignment, canonical_key, equivalent_templates, eval_template, find_homomorphism,
+    is_isomorphic, reduce, substitute, template_of_expr, Assignment, Template,
+};
+
+/// Fixed world: R(A,B), S(B,C).
+fn world() -> (Catalog, Vec<RelId>) {
+    let mut cat = Catalog::new();
+    let r = cat.relation("R", &["A", "B"]).unwrap();
+    let s = cat.relation("S", &["B", "C"]).unwrap();
+    (cat, vec![r, s])
+}
+
+/// Deterministic byte-program interpreter (same scheme as the expr crate's
+/// property tests — small and local on purpose).
+fn interpret(cat: &Catalog, rels: &[RelId], program: &[u8]) -> Expr {
+    let mut stack: Vec<Expr> = Vec::new();
+    for &op in program {
+        match op % 4 {
+            0 | 1 => stack.push(Expr::rel(rels[(op as usize / 4) % rels.len()])),
+            2 => {
+                if stack.len() >= 2 {
+                    let b = stack.pop().unwrap();
+                    let a = stack.pop().unwrap();
+                    stack.push(Expr::join(vec![a, b]).unwrap());
+                }
+            }
+            _ => {
+                if let Some(e) = stack.pop() {
+                    let trs = e.trs(cat);
+                    let mask = op as usize / 4;
+                    let keep: Vec<_> = trs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, a)| a)
+                        .collect();
+                    if keep.is_empty() || keep.len() == trs.len() {
+                        stack.push(e);
+                    } else {
+                        stack.push(Expr::project(e, Scheme::new(keep).unwrap(), cat).unwrap());
+                    }
+                }
+            }
+        }
+    }
+    stack.pop().unwrap_or(Expr::rel(rels[0]))
+}
+
+fn instantiation(cat: &Catalog, rels: &[RelId], data: &[(usize, u32, u32)]) -> Instantiation {
+    let mut alpha = Instantiation::new();
+    for &(rel_idx, x, y) in data {
+        let rel = rels[rel_idx % rels.len()];
+        let scheme = cat.scheme_of(rel).clone();
+        let mut vals = [x % 4 + 1, y % 4 + 1].into_iter();
+        let row: Vec<Symbol> = scheme
+            .iter()
+            .map(|a| Symbol::new(a, vals.next().unwrap()))
+            .collect();
+        alpha.insert_rows(rel, [row], cat).unwrap();
+    }
+    alpha
+}
+
+proptest! {
+    /// Proposition 2.1.2: Algorithm 2.1.1 preserves the mapping.
+    #[test]
+    fn algorithm_2_1_1_is_semantics_preserving(
+        program in proptest::collection::vec(any::<u8>(), 1..20),
+        data in proptest::collection::vec((0usize..2, 0u32..4, 0u32..4), 0..10),
+    ) {
+        let (cat, rels) = world();
+        let e = interpret(&cat, &rels, &program);
+        let t = template_of_expr(&e, &cat);
+        prop_assert_eq!(t.trs(), e.trs(&cat));
+        prop_assert_eq!(t.rel_names(), e.rel_names());
+        let alpha = instantiation(&cat, &rels, &data);
+        prop_assert_eq!(eval_template(&t, &alpha, &cat), e.eval(&alpha, &cat));
+    }
+
+    /// Reduction: equivalent, no larger, idempotent.
+    #[test]
+    fn reduction_invariants(program in proptest::collection::vec(any::<u8>(), 1..20)) {
+        let (cat, rels) = world();
+        let t = template_of_expr(&interpret(&cat, &rels, &program), &cat);
+        let red = reduce(&t);
+        prop_assert!(red.len() <= t.len());
+        prop_assert!(equivalent_templates(&red, &t));
+        prop_assert_eq!(reduce(&red).clone(), red);
+    }
+
+    /// Canonical keys are invariant under nondistinguished renaming, and
+    /// equal keys imply isomorphism on reduced templates.
+    #[test]
+    fn canonical_key_invariance(
+        program in proptest::collection::vec(any::<u8>(), 1..20),
+        shift in 1u32..50,
+    ) {
+        let (cat, rels) = world();
+        let t = reduce(&template_of_expr(&interpret(&cat, &rels, &program), &cat));
+        let renamed = Template::new(
+            t.tuples()
+                .iter()
+                .map(|tt| tt.map_symbols(|s| {
+                    if s.is_distinguished() { s } else { Symbol::new(s.attr(), s.ord() + shift) }
+                }))
+                .collect(),
+        )
+        .unwrap();
+        prop_assert_eq!(canonical_key(&t), canonical_key(&renamed));
+        prop_assert!(is_isomorphic(&t, &renamed));
+    }
+
+    /// Prop 2.4.1 via the frozen instantiation: hom(T→S) iff the identity
+    /// row of S's canonical database is in T's output.
+    #[test]
+    fn hom_iff_frozen_membership(
+        p1 in proptest::collection::vec(any::<u8>(), 1..16),
+        p2 in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let (cat, rels) = world();
+        let t = reduce(&template_of_expr(&interpret(&cat, &rels, &p1), &cat));
+        let s = reduce(&template_of_expr(&interpret(&cat, &rels, &p2), &cat));
+        prop_assume!(t.trs() == s.trs());
+        let mut alpha = Instantiation::new();
+        for tup in s.tuples() {
+            alpha.insert_rows(tup.rel(), [tup.row().to_vec()], &cat).unwrap();
+        }
+        let id_row: Vec<Symbol> = s.trs().iter().map(Symbol::distinguished).collect();
+        let semantic = eval_template(&t, &alpha, &cat).contains(&id_row);
+        prop_assert_eq!(find_homomorphism(&t, &s).is_some(), semantic);
+    }
+
+    /// Theorem 2.2.3: [T→β](α) = T(β→α), with β built from generated
+    /// queries and T generated over the ν names.
+    #[test]
+    fn theorem_2_2_3(
+        inner1 in proptest::collection::vec(any::<u8>(), 1..10),
+        inner2 in proptest::collection::vec(any::<u8>(), 1..10),
+        outer in proptest::collection::vec(any::<u8>(), 1..12),
+        data in proptest::collection::vec((0usize..2, 0u32..4, 0u32..4), 0..8),
+    ) {
+        let (mut cat, rels) = world();
+        let b1 = reduce(&template_of_expr(&interpret(&cat, &rels, &inner1), &cat));
+        let b2 = reduce(&template_of_expr(&interpret(&cat, &rels, &inner2), &cat));
+        let n1 = cat.fresh_relation("nu", b1.trs());
+        let n2 = cat.fresh_relation("nu", b2.trs());
+        let mut beta = Assignment::new();
+        beta.set(n1, b1, &cat).unwrap();
+        beta.set(n2, b2, &cat).unwrap();
+
+        let t = template_of_expr(&interpret(&cat, &[n1, n2], &outer), &cat);
+        let sub = substitute(&t, &beta, &cat).unwrap();
+        let alpha = instantiation(&cat, &rels, &data);
+        let lhs = eval_template(&sub.result, &alpha, &cat);
+        let rhs = eval_template(&t, &apply_assignment(&beta, &alpha, &cat), &cat);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Substitution block provenance covers the whole result.
+    #[test]
+    fn substitution_blocks_cover_result(
+        inner in proptest::collection::vec(any::<u8>(), 1..10),
+        outer in proptest::collection::vec(any::<u8>(), 1..10),
+    ) {
+        let (mut cat, rels) = world();
+        let b = reduce(&template_of_expr(&interpret(&cat, &rels, &inner), &cat));
+        let n = cat.fresh_relation("nu", b.trs());
+        let mut beta = Assignment::new();
+        beta.set(n, b.clone(), &cat).unwrap();
+        let t = template_of_expr(&interpret(&cat, &[n], &outer), &cat);
+        let sub = substitute(&t, &beta, &cat).unwrap();
+        // Every result tuple belongs to at least one block, and block
+        // volumes match #T × #β(η).
+        for idx in 0..sub.result.len() {
+            prop_assert!(!sub.blocks_containing(idx).is_empty());
+        }
+        let volume: usize = sub.blocks.iter().map(Vec::len).sum();
+        prop_assert_eq!(volume, t.len() * b.len());
+    }
+
+    /// Containment is a preorder on same-TRS templates: reflexive and
+    /// transitive (via hom composition).
+    #[test]
+    fn containment_is_a_preorder(
+        p1 in proptest::collection::vec(any::<u8>(), 1..12),
+        p2 in proptest::collection::vec(any::<u8>(), 1..12),
+        p3 in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        use viewcap_template::template_contains;
+        let (cat, rels) = world();
+        let a = reduce(&template_of_expr(&interpret(&cat, &rels, &p1), &cat));
+        let b = reduce(&template_of_expr(&interpret(&cat, &rels, &p2), &cat));
+        let c = reduce(&template_of_expr(&interpret(&cat, &rels, &p3), &cat));
+        prop_assert!(template_contains(&a, &a));
+        if template_contains(&a, &b) && template_contains(&b, &c) {
+            prop_assert!(template_contains(&a, &c));
+        }
+    }
+}

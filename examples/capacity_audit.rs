@@ -1,0 +1,87 @@
+//! Capacity exploration: list everything a view's users can ask.
+//!
+//! `Cap(𝒱)` is infinite, but its frontier — the pairwise-inequivalent
+//! members with bounded construction size — is finite and enumerable. This
+//! example audits a published view by printing its whole two-step frontier,
+//! each entry with the construction that realizes it.
+//!
+//! Run with: `cargo run --release --example capacity_audit`
+
+use viewcap::prelude::*;
+use viewcap_core::closure::capacity_members;
+use viewcap_expr::display::{display_expr, display_scheme};
+use viewcap_expr::parse_expr;
+
+fn main() {
+    // Schema: Patients(Patient, Ward), Wards(Ward, Doctor).
+    let mut cat = Catalog::new();
+    cat.relation("Patients", &["Patient", "Ward"]).unwrap();
+    cat.relation("Wards", &["Ward", "Doctor"]).unwrap();
+
+    // The published view: ward occupancy (patient names hidden) and the
+    // staffing table.
+    let w = cat.scheme(&["Ward"]).unwrap();
+    let wd = cat.scheme(&["Ward", "Doctor"]).unwrap();
+    let v1 = cat.fresh_relation("Occupancy", w);
+    let v2 = cat.fresh_relation("Staffing", wd);
+    let view = View::from_exprs(
+        vec![
+            (parse_expr("pi{Ward}(Patients)", &cat).unwrap(), v1),
+            (parse_expr("Wards", &cat).unwrap(), v2),
+        ],
+        &cat,
+    )
+    .unwrap();
+
+    println!("Published view:");
+    for (q, name) in view.pairs() {
+        println!(
+            "  {:<10} := {}",
+            cat.rel_name(*name),
+            display_expr(q.expr().unwrap(), &cat)
+        );
+    }
+
+    let members = capacity_members(&view, 2, &cat, &SearchBudget::default())
+        .expect("frontier fits the default budget");
+
+    println!(
+        "\nCapacity frontier (constructions with ≤ 2 atoms): {} distinct queries",
+        members.len()
+    );
+    let names = view.schema();
+    for m in &members {
+        // Render the construction in the view's own vocabulary.
+        let skeleton = m
+            .skeleton
+            .clone();
+        // λ names live in the scratch catalog; display against it, then map
+        // names through the proof-style renaming by hand: here we simply
+        // show TRS + size, plus the skeleton over view names when trivial.
+        println!(
+            "  TRS {:<18} via {} atom(s): {}",
+            display_scheme(&m.query.trs(), &cat),
+            m.construction_size,
+            display_expr(&skeleton, &member_catalog(&view, &cat)),
+        );
+        let _ = names.len();
+    }
+
+    // Spot checks: patient identities never leak.
+    let leak = Query::from_expr(parse_expr("pi{Patient}(Patients)", &cat).unwrap(), &cat);
+    assert!(
+        !members.iter().any(|m| m.query.equiv(&leak)),
+        "patient names must not be derivable"
+    );
+    println!("\nVerified: no frontier member reveals patient identities.");
+}
+
+/// The frontier skeletons mention scratch λ names; rebuild the catalog the
+/// enumeration used (same deterministic minting order as `closure_members`).
+fn member_catalog(view: &View, catalog: &Catalog) -> Catalog {
+    let mut scratch = catalog.clone();
+    for (q, _) in view.pairs() {
+        scratch.fresh_relation("lam", q.trs());
+    }
+    scratch
+}

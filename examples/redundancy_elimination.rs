@@ -1,0 +1,79 @@
+//! Redundancy elimination (Section 3.1, Theorem 3.1.4).
+//!
+//! A view whose defining queries overlap wastes definition (and reveals
+//! nothing extra). This example builds a redundant reporting view, detects
+//! the redundancy with an explicit witnessing construction, and produces a
+//! minimal (nonredundant) equivalent.
+//!
+//! Run with: `cargo run --example redundancy_elimination`
+
+use viewcap::prelude::*;
+use viewcap_core::redundancy::{is_nonredundant_view, is_redundant, make_nonredundant};
+use viewcap_expr::display::display_expr;
+use viewcap_expr::parse_expr;
+
+fn main() {
+    // Sales database: Orders(Cust, Item), Stock(Item, Depot).
+    let mut cat = Catalog::new();
+    cat.relation("Orders", &["Cust", "Item"]).unwrap();
+    cat.relation("Stock", &["Item", "Depot"]).unwrap();
+
+    // The reporting view ships three relations — but the third is just the
+    // join of the first two.
+    let ci = cat.scheme(&["Cust", "Item"]).unwrap();
+    let id = cat.scheme(&["Item", "Depot"]).unwrap();
+    let cid = cat.scheme(&["Cust", "Item", "Depot"]).unwrap();
+    let v1 = cat.fresh_relation("ByCustomer", ci);
+    let v2 = cat.fresh_relation("ByDepot", id);
+    let v3 = cat.fresh_relation("FullReport", cid);
+    let view = View::from_exprs(
+        vec![
+            (parse_expr("Orders", &cat).unwrap(), v1),
+            (parse_expr("Stock", &cat).unwrap(), v2),
+            (parse_expr("Orders * Stock", &cat).unwrap(), v3),
+        ],
+        &cat,
+    )
+    .unwrap();
+
+    println!("Original view ({} relations):", view.len());
+    for (q, name) in view.pairs() {
+        println!(
+            "  {:<12} := {}",
+            cat.rel_name(*name),
+            display_expr(q.expr().unwrap(), &cat)
+        );
+    }
+
+    // Which defining queries are redundant?
+    let qs = view.query_set();
+    println!("\nRedundancy analysis:");
+    for (i, (_, name)) in view.pairs().iter().enumerate() {
+        match is_redundant(qs.queries(), i, &cat).unwrap() {
+            Some(proof) => println!(
+                "  {:<12} REDUNDANT — derivable as {}",
+                cat.rel_name(*name),
+                display_expr(&proof.skeleton, &proof.catalog)
+            ),
+            None => println!("  {:<12} essential to the capacity", cat.rel_name(*name)),
+        }
+    }
+
+    // Remove it (Theorem 3.1.4): the result is equivalent and nonredundant.
+    let slim = make_nonredundant(&view, &cat, &SearchBudget::default()).unwrap();
+    println!("\nNonredundant equivalent ({} relations):", slim.len());
+    for (q, name) in slim.pairs() {
+        println!(
+            "  {:<12} := {}",
+            cat.rel_name(*name),
+            display_expr(q.expr().unwrap(), &cat)
+        );
+    }
+    assert!(is_nonredundant_view(&slim, &cat, &SearchBudget::default()).unwrap());
+    assert!(equivalent(&view, &slim, &cat).unwrap().is_some());
+    println!("\nVerified: same query capacity, no redundancy.");
+
+    // Theorem 3.1.7's bound on ANY nonredundant equivalent.
+    let bound = viewcap_core::redundancy::nonredundant_size_bound(&view);
+    println!("Size bound for nonredundant equivalents: ≤ {bound} relations.");
+}

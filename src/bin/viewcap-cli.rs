@@ -1,0 +1,64 @@
+//! `viewcap-cli` — run scenario files against the decision procedures.
+//!
+//! ```console
+//! $ viewcap-cli scenarios/example_3_1_5.vcap
+//! $ viewcap-cli --demo          # run the built-in demonstration
+//! ```
+//!
+//! Scenario syntax is documented in [`viewcap::scenario`]; `scenarios/` in
+//! the repository holds ready-made files.
+
+use std::process::ExitCode;
+use viewcap::scenario::run_scenario;
+
+const DEMO: &str = r#"
+# Built-in demo: Example 3.1.5 of Connors (JCSS 1986).
+rel R(A, B, C)
+
+view V {
+  Joined = pi{A,B}(R) * pi{B,C}(R)
+}
+view W {
+  Left  = pi{A,B}(R)
+  Right = pi{B,C}(R)
+}
+
+check equivalent V W
+check member V pi{A}(R)
+check member V R
+nonredundant V
+frontier W 2
+"#;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let source = match args.as_slice() {
+        [flag] if flag == "--demo" => DEMO.to_owned(),
+        [path] => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("viewcap-cli: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: viewcap-cli <scenario-file> | --demo");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match run_scenario(&source) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            println!(
+                "-- {} check(s) answered YES, {} answered NO",
+                outcome.yes, outcome.no
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("viewcap-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # viewcap — Equivalence of Views by Query Capacity
+//!
+//! A full Rust implementation of Tim Connors, *Equivalence of Views by Query
+//! Capacity*, JCSS 33:234–274 (1986): multirelational project–join views,
+//! tableau (template) machinery, and the complete decision-procedure suite —
+//! query-capacity membership, view dominance/equivalence, redundancy
+//! elimination, essential-tuple analysis, and the simplified normal form.
+//!
+//! This facade re-exports the workspace crates; most users want the
+//! [`prelude`].
+//!
+//! ```
+//! use viewcap::prelude::*;
+//!
+//! // Example 3.1.5 of the paper: two equivalent views of different sizes.
+//! let mut cat = Catalog::new();
+//! let eta = cat.relation("R", &["A", "B", "C"]).unwrap();
+//! let ab = cat.scheme(&["A", "B"]).unwrap();
+//! let bc = cat.scheme(&["B", "C"]).unwrap();
+//!
+//! let s1 = Expr::project(Expr::rel(eta), ab.clone(), &cat).unwrap();
+//! let s2 = Expr::project(Expr::rel(eta), bc.clone(), &cat).unwrap();
+//! let s = Expr::join(vec![s1.clone(), s2.clone()]).unwrap();
+//!
+//! let lam = cat.fresh_relation("lam", s.trs(&cat));
+//! let l1 = cat.fresh_relation("l1", ab);
+//! let l2 = cat.fresh_relation("l2", bc);
+//!
+//! let v = View::from_exprs(vec![(s, lam)], &cat).unwrap();
+//! let w = View::from_exprs(vec![(s1, l1), (s2, l2)], &cat).unwrap();
+//! assert!(equivalent(&v, &w, &cat).unwrap().is_some());
+//! ```
+
+pub use viewcap_base as base;
+pub use viewcap_core as core;
+pub use viewcap_expr as expr;
+pub use viewcap_template as template;
+
+pub mod scenario;
+
+/// Everything needed for typical use of the library.
+pub mod prelude {
+    pub use viewcap_base::{
+        AttrId, BaseError, Catalog, Instantiation, RelId, Relation, Row, Scheme, Symbol, SymbolGen,
+    };
+    pub use viewcap_core::capacity::{cap_contains, closure_contains, ClosureProof, SearchBudget};
+    pub use viewcap_core::closure::{capacity_members, closure_members, ClosureMember};
+    pub use viewcap_core::equivalence::{dominates, equivalent, EquivalenceWitness};
+    pub use viewcap_core::query::{Query, QuerySet};
+    pub use viewcap_core::redundancy::{is_redundant, make_nonredundant, nonredundant_size_bound};
+    pub use viewcap_core::simplify::{is_simple, proper_projections, simplify_view};
+    pub use viewcap_core::view::View;
+    pub use viewcap_expr::{Expr, ExprError};
+    pub use viewcap_template::{
+        equivalent_templates, template_contains, Assignment, TaggedTuple, Template, TemplateError,
+        Valuation,
+    };
+}

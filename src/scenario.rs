@@ -1,0 +1,412 @@
+//! Scenario files: a small line-oriented language for driving the decision
+//! procedures from text, used by the `viewcap-cli` binary and handy in
+//! tests and demos.
+//!
+//! ```text
+//! # schema
+//! rel R(A, B, C)
+//!
+//! # views: name { view_relation = expression; ... }
+//! view V {
+//!   Joined = pi{A,B}(R) * pi{B,C}(R)
+//! }
+//! view W {
+//!   Left  = pi{A,B}(R)
+//!   Right = pi{B,C}(R)
+//! }
+//!
+//! # questions
+//! check equivalent V W
+//! check dominates V W
+//! check member V pi{A}(R)
+//! nonredundant V
+//! simplify V
+//! frontier V 2
+//! ```
+//!
+//! Execution is deterministic; every command appends lines to the report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use viewcap_base::{Catalog, RelId};
+use viewcap_core::closure::capacity_members;
+use viewcap_core::equivalence::{dominates, equivalent};
+use viewcap_core::redundancy::make_nonredundant;
+use viewcap_core::simplify::simplify_view;
+use viewcap_core::{cap_contains, Query, SearchBudget, View};
+use viewcap_expr::display::{display_expr, display_scheme};
+use viewcap_expr::parse_expr;
+
+/// A parsed-and-executed scenario.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Human-readable report, one block per command.
+    pub report: String,
+    /// Number of `check` commands that answered "yes".
+    pub yes: usize,
+    /// Number of `check` commands that answered "no".
+    pub no: usize,
+}
+
+/// Errors from scenario parsing or execution.
+#[derive(Debug)]
+pub struct ScenarioError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+struct Runner {
+    catalog: Catalog,
+    views: BTreeMap<String, View>,
+    budget: SearchBudget,
+    report: String,
+    yes: usize,
+    no: usize,
+}
+
+/// Run a scenario from source text.
+pub fn run_scenario(src: &str) -> Result<ScenarioOutcome, ScenarioError> {
+    let mut runner = Runner {
+        catalog: Catalog::new(),
+        views: BTreeMap::new(),
+        budget: SearchBudget::default(),
+        report: String::new(),
+        yes: 0,
+        no: 0,
+    };
+    let err = |line: usize, msg: String| ScenarioError { line, msg };
+
+    let lines: Vec<&str> = src.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = strip_comment(lines[i]).trim().to_owned();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = split_word(&line);
+        match head {
+            "rel" => runner
+                .cmd_rel(rest)
+                .map_err(|m| err(lineno, m))?,
+            "view" => {
+                // Collect the block up to the closing brace.
+                let name = rest.trim_end_matches('{').trim().to_owned();
+                if name.is_empty() {
+                    return Err(err(lineno, "view needs a name".into()));
+                }
+                if !line.ends_with('{') {
+                    return Err(err(lineno, "expected `{` to open the view block".into()));
+                }
+                let mut body = Vec::new();
+                loop {
+                    if i >= lines.len() {
+                        return Err(err(lineno, format!("view `{name}` is never closed")));
+                    }
+                    let bl = strip_comment(lines[i]).trim().to_owned();
+                    let blno = i + 1;
+                    i += 1;
+                    if bl == "}" {
+                        break;
+                    }
+                    if !bl.is_empty() {
+                        body.push((blno, bl));
+                    }
+                }
+                runner.cmd_view(&name, &body).map_err(|(l, m)| err(l, m))?;
+            }
+            "check" => runner.cmd_check(rest).map_err(|m| err(lineno, m))?,
+            "nonredundant" => runner.cmd_nonredundant(rest).map_err(|m| err(lineno, m))?,
+            "simplify" => runner.cmd_simplify(rest).map_err(|m| err(lineno, m))?,
+            "frontier" => runner.cmd_frontier(rest).map_err(|m| err(lineno, m))?,
+            other => return Err(err(lineno, format!("unknown command `{other}`"))),
+        }
+    }
+    Ok(ScenarioOutcome {
+        report: runner.report,
+        yes: runner.yes,
+        no: runner.no,
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(p) => &line[..p],
+        None => line,
+    }
+}
+
+fn split_word(line: &str) -> (&str, &str) {
+    match line.split_once(char::is_whitespace) {
+        Some((a, b)) => (a, b.trim()),
+        None => (line, ""),
+    }
+}
+
+impl Runner {
+    fn view(&self, name: &str) -> Result<&View, String> {
+        self.views
+            .get(name)
+            .ok_or_else(|| format!("unknown view `{name}`"))
+    }
+
+    fn cmd_rel(&mut self, rest: &str) -> Result<(), String> {
+        // `R(A, B, C)`
+        let (name, args) = rest
+            .split_once('(')
+            .ok_or_else(|| "expected `rel NAME(ATTRS…)`".to_owned())?;
+        let args = args
+            .strip_suffix(')')
+            .ok_or_else(|| "missing `)`".to_owned())?;
+        let attrs: Vec<&str> = args
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if attrs.is_empty() {
+            return Err("relations need at least one attribute".into());
+        }
+        self.catalog
+            .relation(name.trim(), &attrs)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(self.report, "rel {} declared", name.trim());
+        Ok(())
+    }
+
+    fn cmd_view(&mut self, name: &str, body: &[(usize, String)]) -> Result<(), (usize, String)> {
+        let mut pairs: Vec<(viewcap_expr::Expr, RelId)> = Vec::new();
+        for (lineno, entry) in body {
+            let (vname, src) = entry
+                .split_once('=')
+                .ok_or((*lineno, "expected `Name = expression`".to_owned()))?;
+            let expr = parse_expr(src.trim(), &self.catalog)
+                .map_err(|e| (*lineno, e.to_string()))?;
+            let q = Query::from_expr(expr.clone(), &self.catalog);
+            let rel = self
+                .catalog
+                .add_relation(vname.trim(), q.trs())
+                .map_err(|e| (*lineno, e.to_string()))?;
+            pairs.push((expr, rel));
+        }
+        let view = View::from_exprs(pairs, &self.catalog)
+            .map_err(|e| (body.first().map_or(0, |(l, _)| *l), e.to_string()))?;
+        let _ = writeln!(
+            self.report,
+            "view {name} defined with {} relation(s)",
+            view.len()
+        );
+        self.views.insert(name.to_owned(), view);
+        Ok(())
+    }
+
+    fn cmd_check(&mut self, rest: &str) -> Result<(), String> {
+        let (kind, args) = split_word(rest);
+        match kind {
+            "equivalent" => {
+                let (a, b) = split_word(args);
+                let (va, vb) = (self.view(a)?.clone(), self.view(b)?.clone());
+                let res = equivalent(&va, &vb, &self.catalog).map_err(|e| e.to_string())?;
+                self.record_bool(
+                    &format!("check equivalent {a} {b}"),
+                    res.is_some(),
+                );
+            }
+            "dominates" => {
+                let (a, b) = split_word(args);
+                let (va, vb) = (self.view(a)?.clone(), self.view(b)?.clone());
+                let res = dominates(&va, &vb, &self.catalog).map_err(|e| e.to_string())?;
+                self.record_bool(&format!("check dominates {a} {b}"), res.is_some());
+            }
+            "member" => {
+                let (vname, expr_src) = split_word(args);
+                let view = self.view(vname)?.clone();
+                let expr =
+                    parse_expr(expr_src, &self.catalog).map_err(|e| e.to_string())?;
+                let goal = Query::from_expr(expr, &self.catalog);
+                let res = cap_contains(&view, &goal, &self.catalog, &self.budget)
+                    .map_err(|e| e.to_string())?;
+                match &res {
+                    Some(proof) => {
+                        let names: Vec<RelId> = view.schema();
+                        let skel = proof.skeleton_with_names(&names);
+                        let _ = writeln!(
+                            self.report,
+                            "check member {vname} {expr_src}: YES via {}",
+                            display_expr(&skel, &self.catalog)
+                        );
+                        self.yes += 1;
+                    }
+                    None => {
+                        let _ = writeln!(
+                            self.report,
+                            "check member {vname} {expr_src}: NO"
+                        );
+                        self.no += 1;
+                    }
+                }
+            }
+            other => return Err(format!("unknown check `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn record_bool(&mut self, what: &str, outcome: bool) {
+        let _ = writeln!(self.report, "{what}: {}", if outcome { "YES" } else { "NO" });
+        if outcome {
+            self.yes += 1;
+        } else {
+            self.no += 1;
+        }
+    }
+
+    fn cmd_nonredundant(&mut self, rest: &str) -> Result<(), String> {
+        let view = self.view(rest.trim())?.clone();
+        let slim =
+            make_nonredundant(&view, &self.catalog, &self.budget).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            self.report,
+            "nonredundant {}: {} -> {} relation(s)",
+            rest.trim(),
+            view.len(),
+            slim.len()
+        );
+        for (_, name) in slim.pairs() {
+            let _ = writeln!(self.report, "  kept {}", self.catalog.rel_name(*name));
+        }
+        Ok(())
+    }
+
+    fn cmd_simplify(&mut self, rest: &str) -> Result<(), String> {
+        let view = self.view(rest.trim())?.clone();
+        let mut catalog = self.catalog.clone();
+        let simplified =
+            simplify_view(&view, &mut catalog, &self.budget).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            self.report,
+            "simplify {}: {} -> {} relation(s)",
+            rest.trim(),
+            view.len(),
+            simplified.len()
+        );
+        for (q, _) in simplified.pairs() {
+            let _ = writeln!(
+                self.report,
+                "  simple query with TRS {}",
+                display_scheme(&q.trs(), &catalog)
+            );
+        }
+        self.catalog = catalog;
+        Ok(())
+    }
+
+    fn cmd_frontier(&mut self, rest: &str) -> Result<(), String> {
+        let (vname, k_src) = split_word(rest);
+        let view = self.view(vname)?.clone();
+        let k: usize = k_src
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad atom bound `{k_src}`"))?;
+        let members = capacity_members(&view, k, &self.catalog, &self.budget)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            self.report,
+            "frontier {vname} {k}: {} distinct member(s)",
+            members.len()
+        );
+        for m in &members {
+            let _ = writeln!(
+                self.report,
+                "  TRS {} (construction size {})",
+                display_scheme(&m.query.trs(), &self.catalog),
+                m.construction_size
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+# Example 3.1.5 as a scenario
+rel R(A, B, C)
+
+view V {
+  Joined = pi{A,B}(R) * pi{B,C}(R)
+}
+view W {
+  Left  = pi{A,B}(R)
+  Right = pi{B,C}(R)
+}
+
+check equivalent V W
+check dominates V W
+check member V pi{A}(R)
+check member V R
+"#;
+
+    #[test]
+    fn demo_scenario_runs() {
+        let out = run_scenario(DEMO).unwrap();
+        assert_eq!(out.yes, 3); // equivalent, dominates, member π_A(R)
+        assert_eq!(out.no, 1); // member R
+        assert!(out.report.contains("check equivalent V W: YES"));
+        assert!(out.report.contains("check member V R: NO"));
+        assert!(out.report.contains("YES via"));
+    }
+
+    #[test]
+    fn unknown_commands_error_with_line_numbers() {
+        let err = run_scenario("rel R(A)\nfrobnicate R\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn parse_errors_point_at_the_view_body() {
+        let err = run_scenario("rel R(A,B)\nview V {\n  X = pi{C}(R)\n}\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn unclosed_view_blocks_error() {
+        let err = run_scenario("rel R(A)\nview V {\n  X = R\n").unwrap_err();
+        assert!(err.to_string().contains("never closed"));
+    }
+
+    #[test]
+    fn nonredundant_and_simplify_commands() {
+        let src = r#"
+rel R(A, B, C)
+view V {
+  Joined = pi{A,B}(R) * pi{B,C}(R)
+  Extra  = pi{B}(R)
+}
+nonredundant V
+simplify V
+"#;
+        let out = run_scenario(src).unwrap();
+        assert!(out.report.contains("nonredundant V: 2 -> 1 relation(s)"));
+        assert!(out.report.contains("simplify V: 2 -> 2 relation(s)"));
+    }
+
+    #[test]
+    fn frontier_command_lists_members() {
+        let src = "rel R(A, B)\nview V {\n  P = pi{A}(R)\n}\nfrontier V 2\n";
+        let out = run_scenario(src).unwrap();
+        assert!(out.report.contains("frontier V 2: 1 distinct member(s)"));
+    }
+}

@@ -1,0 +1,32 @@
+//! The shipped scenario files must keep running (and answering correctly).
+
+use viewcap::scenario::run_scenario;
+
+#[test]
+fn example_3_1_5_scenario() {
+    let src = include_str!("../scenarios/example_3_1_5.vcap");
+    let out = run_scenario(src).unwrap();
+    assert_eq!(out.yes, 4, "report:\n{}", out.report);
+    assert_eq!(out.no, 1);
+    assert!(out.report.contains("frontier W 2: 12 distinct member(s)"));
+}
+
+#[test]
+fn security_audit_scenario() {
+    let src = include_str!("../scenarios/security_audit.vcap");
+    let out = run_scenario(src).unwrap();
+    assert_eq!(out.yes, 2, "report:\n{}", out.report);
+    assert_eq!(out.no, 3);
+    assert!(out.report.contains("pi{Name,Salary}(Staff): NO"));
+}
+
+#[test]
+fn normal_form_scenario() {
+    let src = include_str!("../scenarios/normal_form.vcap");
+    let out = run_scenario(src).unwrap();
+    assert!(
+        out.report.contains("simplify Original: 2 -> 5 relation(s)"),
+        "report:\n{}",
+        out.report
+    );
+}
