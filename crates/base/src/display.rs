@@ -70,7 +70,8 @@ mod tests {
         let scheme = Scheme::collect([a, b]);
         let mut rel = Relation::empty(scheme.clone());
         assert!(display_relation(&rel, &cat).contains("(empty)"));
-        rel.insert(vec![Symbol::new(a, 1), Symbol::new(b, 22)]).unwrap();
+        rel.insert(vec![Symbol::new(a, 1), Symbol::new(b, 22)])
+            .unwrap();
         let s = display_relation(&rel, &cat);
         assert!(s.contains("LongName"));
         assert!(s.contains("LongName:22"));

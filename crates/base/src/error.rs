@@ -67,7 +67,9 @@ mod tests {
     fn display_is_informative() {
         let e = BaseError::UnknownAttr("Salary".into());
         assert!(e.to_string().contains("Salary"));
-        let e = BaseError::SchemeMismatch { context: "projection target not a subset" };
+        let e = BaseError::SchemeMismatch {
+            context: "projection target not a subset",
+        };
         assert!(e.to_string().contains("projection target"));
     }
 }

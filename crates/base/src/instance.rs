@@ -36,7 +36,12 @@ impl Instantiation {
     }
 
     /// Insert rows into `α(rel)`, creating the relation if absent.
-    pub fn insert_rows<I>(&mut self, rel: RelId, rows: I, catalog: &Catalog) -> Result<(), BaseError>
+    pub fn insert_rows<I>(
+        &mut self,
+        rel: RelId,
+        rows: I,
+        catalog: &Catalog,
+    ) -> Result<(), BaseError>
     where
         I: IntoIterator<Item = Row>,
     {
@@ -112,7 +117,8 @@ mod tests {
         let r = cat.relation("R", &["A"]).unwrap();
         let a = cat.lookup_attr("A").unwrap();
         let mut inst = Instantiation::new();
-        inst.insert_rows(r, [vec![Symbol::new(a, 1)]], &cat).unwrap();
+        inst.insert_rows(r, [vec![Symbol::new(a, 1)]], &cat)
+            .unwrap();
         inst.insert_rows(r, [vec![Symbol::new(a, 2)], vec![Symbol::new(a, 1)]], &cat)
             .unwrap();
         assert_eq!(inst.get(r, &cat).len(), 2);

@@ -8,9 +8,8 @@ use viewcap_base::{AttrId, Relation, Scheme, Symbol};
 
 fn scheme_strategy() -> impl Strategy<Value = Scheme> {
     // Subsets of 6 attributes.
-    proptest::collection::vec(0u32..6, 0..6).prop_map(|ids| {
-        Scheme::collect(ids.into_iter().map(AttrId))
-    })
+    proptest::collection::vec(0u32..6, 0..6)
+        .prop_map(|ids| Scheme::collect(ids.into_iter().map(AttrId)))
 }
 
 proptest! {
@@ -84,18 +83,39 @@ fn rel(scheme: &[AttrId], rows: &[Vec<u32>]) -> Relation {
 }
 
 fn rel_ab() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0u32..4, 0u32..4), 0..8)
-        .prop_map(|rows| rel(&[A, B], &rows.into_iter().map(|(a, b)| vec![a, b]).collect::<Vec<_>>()))
+    proptest::collection::vec((0u32..4, 0u32..4), 0..8).prop_map(|rows| {
+        rel(
+            &[A, B],
+            &rows
+                .into_iter()
+                .map(|(a, b)| vec![a, b])
+                .collect::<Vec<_>>(),
+        )
+    })
 }
 
 fn rel_bc() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0u32..4, 0u32..4), 0..8)
-        .prop_map(|rows| rel(&[B, C], &rows.into_iter().map(|(b, c)| vec![b, c]).collect::<Vec<_>>()))
+    proptest::collection::vec((0u32..4, 0u32..4), 0..8).prop_map(|rows| {
+        rel(
+            &[B, C],
+            &rows
+                .into_iter()
+                .map(|(b, c)| vec![b, c])
+                .collect::<Vec<_>>(),
+        )
+    })
 }
 
 fn rel_ac() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0u32..4, 0u32..4), 0..8)
-        .prop_map(|rows| rel(&[A, C], &rows.into_iter().map(|(a, c)| vec![a, c]).collect::<Vec<_>>()))
+    proptest::collection::vec((0u32..4, 0u32..4), 0..8).prop_map(|rows| {
+        rel(
+            &[A, C],
+            &rows
+                .into_iter()
+                .map(|(a, c)| vec![a, c])
+                .collect::<Vec<_>>(),
+        )
+    })
 }
 
 proptest! {

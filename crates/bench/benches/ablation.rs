@@ -28,10 +28,34 @@ fn bench_ablation(c: &mut Criterion) {
     let goal = Query::from_expr(parse_expr("R", &cat).unwrap(), &cat);
 
     let variants = [
-        ("dedup+reduce", SearchOptions { semantic_dedup: true, reduce_intermediates: true }),
-        ("no-dedup", SearchOptions { semantic_dedup: false, reduce_intermediates: true }),
-        ("no-reduce", SearchOptions { semantic_dedup: true, reduce_intermediates: false }),
-        ("bare", SearchOptions { semantic_dedup: false, reduce_intermediates: false }),
+        (
+            "dedup+reduce",
+            SearchOptions {
+                semantic_dedup: true,
+                reduce_intermediates: true,
+            },
+        ),
+        (
+            "no-dedup",
+            SearchOptions {
+                semantic_dedup: false,
+                reduce_intermediates: true,
+            },
+        ),
+        (
+            "no-reduce",
+            SearchOptions {
+                semantic_dedup: true,
+                reduce_intermediates: false,
+            },
+        ),
+        (
+            "bare",
+            SearchOptions {
+                semantic_dedup: false,
+                reduce_intermediates: false,
+            },
+        ),
     ];
 
     // Deeper negative instance: three base queries, three-atom goal bound —
@@ -43,10 +67,7 @@ fn bench_ablation(c: &mut Criterion) {
         Query::from_expr(parse_expr("pi{B,C}(R)", &cat3).unwrap(), &cat3),
         Query::from_expr(parse_expr("pi{C,D}(R)", &cat3).unwrap(), &cat3),
     ];
-    let goal3 = Query::from_expr(
-        parse_expr("pi{A,D}(R * pi{B,D}(R))", &cat3).unwrap(),
-        &cat3,
-    );
+    let goal3 = Query::from_expr(parse_expr("pi{A,D}(R * pi{B,D}(R))", &cat3).unwrap(), &cat3);
 
     let run = |cat: &Catalog, base: &[Query], goal: &Query, options: SearchOptions| {
         let mut scratch = cat.clone();
@@ -78,12 +99,16 @@ fn bench_ablation(c: &mut Criterion) {
     };
 
     for (name, options) in variants {
-        group.bench_with_input(BenchmarkId::new("negative_k2", name), &options, |b, &options| {
-            b.iter(|| run(&cat, &base, &goal, options))
-        });
-        group.bench_with_input(BenchmarkId::new("negative_k3", name), &options, |b, &options| {
-            b.iter(|| run(&cat3, &base3, &goal3, options))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("negative_k2", name),
+            &options,
+            |b, &options| b.iter(|| run(&cat, &base, &goal, options)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("negative_k3", name),
+            &options,
+            |b, &options| b.iter(|| run(&cat3, &base3, &goal3, options)),
+        );
     }
 
     // Wide base: the `is_simple` workload shape — a member plus all its
@@ -93,10 +118,7 @@ fn bench_ablation(c: &mut Criterion) {
     {
         let mut catw = Catalog::new();
         catw.relation("R", &["A", "B", "C"]).unwrap();
-        let member = Query::from_expr(
-            parse_expr("pi{A,B}(R) * pi{B,C}(R)", &catw).unwrap(),
-            &catw,
-        );
+        let member = Query::from_expr(parse_expr("pi{A,B}(R) * pi{B,C}(R)", &catw).unwrap(), &catw);
         let mut basew: Vec<Query> = vec![member.clone()];
         for x in member.trs().proper_nonempty_subsets() {
             basew.push(member.project(&x, &catw).unwrap());
@@ -128,8 +150,20 @@ fn bench_ablation(c: &mut Criterion) {
             roots
         };
         for (name, options) in [
-            ("dedup+reduce", SearchOptions { semantic_dedup: true, reduce_intermediates: true }),
-            ("no-dedup", SearchOptions { semantic_dedup: false, reduce_intermediates: true }),
+            (
+                "dedup+reduce",
+                SearchOptions {
+                    semantic_dedup: true,
+                    reduce_intermediates: true,
+                },
+            ),
+            (
+                "no-dedup",
+                SearchOptions {
+                    semantic_dedup: false,
+                    reduce_intermediates: true,
+                },
+            ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new("wide_base_sweep_k3", name),

@@ -1,0 +1,109 @@
+//! B10 — batch engine throughput: repeated capacity/equivalence workloads,
+//! cold cache vs. warm cache, sequential vs. parallel.
+//!
+//! The workload repeats the Example 3.1.5 family checks `reps` times: a
+//! realistic audit loop where the same handful of distinct questions
+//! recurs. Cold runs build a fresh engine per iteration; warm runs reuse
+//! one engine whose cache already holds every verdict, which is where the
+//! fingerprint layer pays off (expected well beyond 5× on this shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewcap_base::Catalog;
+use viewcap_core::{Query, View};
+use viewcap_engine::{Check, Engine, Workload};
+use viewcap_expr::parse_expr;
+
+fn family() -> (Catalog, View, View) {
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    let ab = cat.scheme(&["A", "B"]).unwrap();
+    let bc = cat.scheme(&["B", "C"]).unwrap();
+    let abc = cat.scheme(&["A", "B", "C"]).unwrap();
+    let lam = cat.fresh_relation("lam", abc);
+    let l1 = cat.fresh_relation("l1", ab);
+    let l2 = cat.fresh_relation("l2", bc);
+    let v = View::from_exprs(
+        vec![(parse_expr("pi{A,B}(R) * pi{B,C}(R)", &cat).unwrap(), lam)],
+        &cat,
+    )
+    .unwrap();
+    let w = View::from_exprs(
+        vec![
+            (parse_expr("pi{A,B}(R)", &cat).unwrap(), l1),
+            (parse_expr("pi{B,C}(R)", &cat).unwrap(), l2),
+        ],
+        &cat,
+    )
+    .unwrap();
+    (cat, v, w)
+}
+
+fn workload(cat: &Catalog, v: &View, w: &View, reps: usize) -> Workload {
+    let goals = ["pi{A}(R)", "pi{B}(R)", "pi{A,B}(R) * pi{B,C}(R)", "R"];
+    let mut load = Workload::new();
+    for _ in 0..reps {
+        load.push(
+            "equivalent V W",
+            Check::Equivalent {
+                left: v.clone(),
+                right: w.clone(),
+            },
+        );
+        load.push(
+            "dominates V W",
+            Check::Dominates {
+                dominator: v.clone(),
+                dominated: w.clone(),
+            },
+        );
+        for goal in goals {
+            load.push(
+                format!("member V {goal}"),
+                Check::Member {
+                    view: v.clone(),
+                    goal: Query::from_expr(parse_expr(goal, cat).unwrap(), cat),
+                },
+            );
+        }
+    }
+    load
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (cat, v, w) = family();
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+
+    for reps in [1usize, 8] {
+        let load = workload(&cat, &v, &w, reps);
+
+        group.bench_with_input(BenchmarkId::new("cold_seq", reps), &load, |b, load| {
+            b.iter(|| {
+                let engine = Engine::new();
+                let outcome = engine.run_batch(criterion::black_box(load), &cat, 1);
+                assert_eq!(outcome.executed, 6);
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("cold_par4", reps), &load, |b, load| {
+            b.iter(|| {
+                let engine = Engine::new();
+                let outcome = engine.run_batch(criterion::black_box(load), &cat, 4);
+                assert_eq!(outcome.executed, 6);
+            })
+        });
+
+        let warm_engine = Engine::new();
+        warm_engine.run_batch(&load, &cat, 1);
+        group.bench_with_input(BenchmarkId::new("warm_seq", reps), &load, |b, load| {
+            b.iter(|| {
+                let outcome = warm_engine.run_batch(criterion::black_box(load), &cat, 1);
+                assert_eq!(outcome.executed, 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -27,7 +27,12 @@ struct Row {
     millis: u128,
 }
 
-fn check(rows: &mut Vec<Row>, id: &'static str, claim: &'static str, f: impl FnOnce() -> (String, bool)) {
+fn check(
+    rows: &mut Vec<Row>,
+    id: &'static str,
+    claim: &'static str,
+    f: impl FnOnce() -> (String, bool),
+) {
     let start = Instant::now();
     let (outcome, ok) = f();
     rows.push(Row {
@@ -56,188 +61,242 @@ fn main() {
     let budget = SearchBudget::default();
 
     // ---------------------------------------------------------------- F1
-    check(&mut rows, "F1", "Figure 1: T→β has the 6 displayed rows; ≡ π_A(η₃)⋈π_B(η₄)⋈π_C(η₄)", || {
-        let mut cat = Catalog::new();
-        let eta1 = cat.relation("eta1", &["A", "B"]).unwrap();
-        let eta2 = cat.relation("eta2", &["A", "B", "C"]).unwrap();
-        cat.relation("eta3", &["A", "B", "C"]).unwrap();
-        cat.relation("eta4", &["A", "B", "C"]).unwrap();
-        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
-        let eta3 = cat.lookup_rel("eta3").unwrap();
-        let eta4 = cat.lookup_rel("eta4").unwrap();
-        let t = Template::new(vec![
-            TaggedTuple::new(eta1, vec![zero(a), sym(b, 1)], &cat).unwrap(),
-            TaggedTuple::new(eta2, vec![sym(a, 1), zero(b), sym(c, 2)], &cat).unwrap(),
-            TaggedTuple::new(eta2, vec![sym(a, 1), sym(b, 2), zero(c)], &cat).unwrap(),
-        ])
-        .unwrap();
-        let s1 = Template::new(vec![
-            TaggedTuple::new(eta3, vec![sym(a, 3), zero(b), sym(c, 3)], &cat).unwrap(),
-            TaggedTuple::new(eta3, vec![zero(a), sym(b, 3), sym(c, 3)], &cat).unwrap(),
-        ])
-        .unwrap();
-        let s2 = Template::new(vec![
-            TaggedTuple::new(eta4, vec![zero(a), zero(b), sym(c, 4)], &cat).unwrap(),
-            TaggedTuple::new(eta4, vec![sym(a, 4), sym(b, 4), zero(c)], &cat).unwrap(),
-        ])
-        .unwrap();
-        let mut beta = Assignment::new();
-        beta.set(eta1, s1, &cat).unwrap();
-        beta.set(eta2, s2, &cat).unwrap();
-        let sub = substitute(&t, &beta, &cat).unwrap();
-        let expected =
-            parse_expr("pi{A}(eta3) * pi{B}(eta4) * pi{C}(eta4)", &cat).unwrap();
-        let equiv = equivalent_templates(&sub.result, &template_of_expr(&expected, &cat));
-        (
-            format!("{} rows, reduced {}, equivalence {}", sub.result.len(), reduce(&sub.result).len(), equiv),
-            sub.result.len() == 6 && equiv,
-        )
-    });
+    check(
+        &mut rows,
+        "F1",
+        "Figure 1: T→β has the 6 displayed rows; ≡ π_A(η₃)⋈π_B(η₄)⋈π_C(η₄)",
+        || {
+            let mut cat = Catalog::new();
+            let eta1 = cat.relation("eta1", &["A", "B"]).unwrap();
+            let eta2 = cat.relation("eta2", &["A", "B", "C"]).unwrap();
+            cat.relation("eta3", &["A", "B", "C"]).unwrap();
+            cat.relation("eta4", &["A", "B", "C"]).unwrap();
+            let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+            let eta3 = cat.lookup_rel("eta3").unwrap();
+            let eta4 = cat.lookup_rel("eta4").unwrap();
+            let t = Template::new(vec![
+                TaggedTuple::new(eta1, vec![zero(a), sym(b, 1)], &cat).unwrap(),
+                TaggedTuple::new(eta2, vec![sym(a, 1), zero(b), sym(c, 2)], &cat).unwrap(),
+                TaggedTuple::new(eta2, vec![sym(a, 1), sym(b, 2), zero(c)], &cat).unwrap(),
+            ])
+            .unwrap();
+            let s1 = Template::new(vec![
+                TaggedTuple::new(eta3, vec![sym(a, 3), zero(b), sym(c, 3)], &cat).unwrap(),
+                TaggedTuple::new(eta3, vec![zero(a), sym(b, 3), sym(c, 3)], &cat).unwrap(),
+            ])
+            .unwrap();
+            let s2 = Template::new(vec![
+                TaggedTuple::new(eta4, vec![zero(a), zero(b), sym(c, 4)], &cat).unwrap(),
+                TaggedTuple::new(eta4, vec![sym(a, 4), sym(b, 4), zero(c)], &cat).unwrap(),
+            ])
+            .unwrap();
+            let mut beta = Assignment::new();
+            beta.set(eta1, s1, &cat).unwrap();
+            beta.set(eta2, s2, &cat).unwrap();
+            let sub = substitute(&t, &beta, &cat).unwrap();
+            let expected = parse_expr("pi{A}(eta3) * pi{B}(eta4) * pi{C}(eta4)", &cat).unwrap();
+            let equiv = equivalent_templates(&sub.result, &template_of_expr(&expected, &cat));
+            (
+                format!(
+                    "{} rows, reduced {}, equivalence {}",
+                    sub.result.len(),
+                    reduce(&sub.result).len(),
+                    equiv
+                ),
+                sub.result.len() == 6 && equiv,
+            )
+        },
+    );
 
     // ---------------------------------------------------------------- F2
-    check(&mut rows, "F2", "Figure 2 / Ex 3.2.2: τ₃ essential, τ₁/τ₂ not; components {τ₁,τ₂},{τ₃}", || {
-        let mut cat = Catalog::new();
-        let eta1 = cat.relation("eta1", &["A", "B"]).unwrap();
-        let eta2 = cat.relation("eta2", &["A", "B", "C"]).unwrap();
-        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
-        let s = Query::from_template(&Template::atom(eta1, &cat));
-        let t = Query::from_template(
-            &Template::new(vec![
-                TaggedTuple::new(eta1, vec![zero(a), sym(b, 1)], &cat).unwrap(),
-                TaggedTuple::new(eta2, vec![sym(a, 1), sym(b, 1), zero(c)], &cat).unwrap(),
-                TaggedTuple::new(eta2, vec![sym(a, 2), zero(b), zero(c)], &cat).unwrap(),
-            ])
-            .unwrap(),
-        );
-        let tau3 = TaggedTuple::new(eta2, vec![sym(a, 2), zero(b), zero(c)], &cat).unwrap();
-        let i3 = t.template().index_of(&tau3).unwrap();
-        let queries = [s, t];
-        let ess = essential_tuples(&queries, 1, &cat, &budget).unwrap();
-        let ok = ess[i3] && ess.iter().filter(|&&e| e).count() == 1;
-        (format!("essential flags {ess:?}"), ok)
-    });
+    check(
+        &mut rows,
+        "F2",
+        "Figure 2 / Ex 3.2.2: τ₃ essential, τ₁/τ₂ not; components {τ₁,τ₂},{τ₃}",
+        || {
+            let mut cat = Catalog::new();
+            let eta1 = cat.relation("eta1", &["A", "B"]).unwrap();
+            let eta2 = cat.relation("eta2", &["A", "B", "C"]).unwrap();
+            let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+            let s = Query::from_template(&Template::atom(eta1, &cat));
+            let t = Query::from_template(
+                &Template::new(vec![
+                    TaggedTuple::new(eta1, vec![zero(a), sym(b, 1)], &cat).unwrap(),
+                    TaggedTuple::new(eta2, vec![sym(a, 1), sym(b, 1), zero(c)], &cat).unwrap(),
+                    TaggedTuple::new(eta2, vec![sym(a, 2), zero(b), zero(c)], &cat).unwrap(),
+                ])
+                .unwrap(),
+            );
+            let tau3 = TaggedTuple::new(eta2, vec![sym(a, 2), zero(b), zero(c)], &cat).unwrap();
+            let i3 = t.template().index_of(&tau3).unwrap();
+            let queries = [s, t];
+            let ess = essential_tuples(&queries, 1, &cat, &budget).unwrap();
+            let ok = ess[i3] && ess.iter().filter(|&&e| e).count() == 1;
+            (format!("essential flags {ess:?}"), ok)
+        },
+    );
 
     // ---------------------------------------------------------------- E2
-    check(&mut rows, "E2", "Example 3.1.1: S redundant in {S,S₁,S₂}; {S₁,S₂} nonredundant", || {
-        let mut cat = Catalog::new();
-        cat.relation("R", &["A", "B", "C"]).unwrap();
-        let set = [
-            q(&cat, "pi{A,B}(R) * pi{B,C}(R)"),
-            q(&cat, "pi{A,B}(R)"),
-            q(&cat, "pi{B,C}(R)"),
-        ];
-        let red = is_redundant(&set, 0, &cat).unwrap().is_some();
-        let nonred = viewcap_core::redundancy::is_nonredundant_set(
-            &set[1..],
-            &cat,
-            &budget,
-        )
-        .unwrap();
-        (format!("S redundant: {red}; rest nonredundant: {nonred}"), red && nonred)
-    });
+    check(
+        &mut rows,
+        "E2",
+        "Example 3.1.1: S redundant in {S,S₁,S₂}; {S₁,S₂} nonredundant",
+        || {
+            let mut cat = Catalog::new();
+            cat.relation("R", &["A", "B", "C"]).unwrap();
+            let set = [
+                q(&cat, "pi{A,B}(R) * pi{B,C}(R)"),
+                q(&cat, "pi{A,B}(R)"),
+                q(&cat, "pi{B,C}(R)"),
+            ];
+            let red = is_redundant(&set, 0, &cat).unwrap().is_some();
+            let nonred =
+                viewcap_core::redundancy::is_nonredundant_set(&set[1..], &cat, &budget).unwrap();
+            (
+                format!("S redundant: {red}; rest nonredundant: {nonred}"),
+                red && nonred,
+            )
+        },
+    );
 
     // ---------------------------------------------------------------- E3
-    check(&mut rows, "E3", "Example 3.1.5: 𝒱 ≡ 𝒲, both nonredundant, sizes 1 vs 2", || {
-        let mut cat = Catalog::new();
-        cat.relation("R", &["A", "B", "C"]).unwrap();
-        let abc = cat.scheme(&["A", "B", "C"]).unwrap();
-        let ab = cat.scheme(&["A", "B"]).unwrap();
-        let bc = cat.scheme(&["B", "C"]).unwrap();
-        let lam = cat.fresh_relation("lam", abc);
-        let l1 = cat.fresh_relation("l1", ab);
-        let l2 = cat.fresh_relation("l2", bc);
-        let v = View::from_exprs(
-            vec![(parse_expr("pi{A,B}(R) * pi{B,C}(R)", &cat).unwrap(), lam)],
-            &cat,
-        )
-        .unwrap();
-        let w = View::from_exprs(
-            vec![
-                (parse_expr("pi{A,B}(R)", &cat).unwrap(), l1),
-                (parse_expr("pi{B,C}(R)", &cat).unwrap(), l2),
-            ],
-            &cat,
-        )
-        .unwrap();
-        let eq = equivalent(&v, &w, &cat).unwrap().is_some();
-        let nr = is_nonredundant_view(&v, &cat, &budget).unwrap()
-            && is_nonredundant_view(&w, &cat, &budget).unwrap();
-        (
-            format!("equivalent: {eq}; nonredundant: {nr}; sizes {}≠{}", v.len(), w.len()),
-            eq && nr && v.len() != w.len(),
-        )
-    });
+    check(
+        &mut rows,
+        "E3",
+        "Example 3.1.5: 𝒱 ≡ 𝒲, both nonredundant, sizes 1 vs 2",
+        || {
+            let mut cat = Catalog::new();
+            cat.relation("R", &["A", "B", "C"]).unwrap();
+            let abc = cat.scheme(&["A", "B", "C"]).unwrap();
+            let ab = cat.scheme(&["A", "B"]).unwrap();
+            let bc = cat.scheme(&["B", "C"]).unwrap();
+            let lam = cat.fresh_relation("lam", abc);
+            let l1 = cat.fresh_relation("l1", ab);
+            let l2 = cat.fresh_relation("l2", bc);
+            let v = View::from_exprs(
+                vec![(parse_expr("pi{A,B}(R) * pi{B,C}(R)", &cat).unwrap(), lam)],
+                &cat,
+            )
+            .unwrap();
+            let w = View::from_exprs(
+                vec![
+                    (parse_expr("pi{A,B}(R)", &cat).unwrap(), l1),
+                    (parse_expr("pi{B,C}(R)", &cat).unwrap(), l2),
+                ],
+                &cat,
+            )
+            .unwrap();
+            let eq = equivalent(&v, &w, &cat).unwrap().is_some();
+            let nr = is_nonredundant_view(&v, &cat, &budget).unwrap()
+                && is_nonredundant_view(&w, &cat, &budget).unwrap();
+            (
+                format!(
+                    "equivalent: {eq}; nonredundant: {nr}; sizes {}≠{}",
+                    v.len(),
+                    w.len()
+                ),
+                eq && nr && v.len() != w.len(),
+            )
+        },
+    );
 
     // ---------------------------------------------------------------- E4
-    check(&mut rows, "E4", "Section 4 example: S,T not simple; simplified equivalent = 5 projections", || {
-        let mut cat = Catalog::new();
-        cat.relation("AD", &["A", "D"]).unwrap();
-        cat.relation("ABC", &["A", "B", "C"]).unwrap();
-        cat.relation("AB", &["A", "B"]).unwrap();
-        cat.relation("BC", &["B", "C"]).unwrap();
-        cat.relation("AC", &["A", "C"]).unwrap();
-        let set = [
-            q(&cat, "pi{B,C,D}(AD * ABC) * AC"),
-            q(&cat, "pi{A,B}(AB * BC) * (AC * BC)"),
-        ];
-        let s_simple = is_simple(&set, 0, &cat).unwrap();
-        let t_simple = is_simple(&set, 1, &cat).unwrap();
-        let simplified = simplify_queries(&set, &cat, &budget).unwrap();
-        (
-            format!("simple? S={s_simple} T={t_simple}; |simplified|={}", simplified.len()),
-            !s_simple && !t_simple && simplified.len() == 5,
-        )
-    });
+    check(
+        &mut rows,
+        "E4",
+        "Section 4 example: S,T not simple; simplified equivalent = 5 projections",
+        || {
+            let mut cat = Catalog::new();
+            cat.relation("AD", &["A", "D"]).unwrap();
+            cat.relation("ABC", &["A", "B", "C"]).unwrap();
+            cat.relation("AB", &["A", "B"]).unwrap();
+            cat.relation("BC", &["B", "C"]).unwrap();
+            cat.relation("AC", &["A", "C"]).unwrap();
+            let set = [
+                q(&cat, "pi{B,C,D}(AD * ABC) * AC"),
+                q(&cat, "pi{A,B}(AB * BC) * (AC * BC)"),
+            ];
+            let s_simple = is_simple(&set, 0, &cat).unwrap();
+            let t_simple = is_simple(&set, 1, &cat).unwrap();
+            let simplified = simplify_queries(&set, &cat, &budget).unwrap();
+            (
+                format!(
+                    "simple? S={s_simple} T={t_simple}; |simplified|={}",
+                    simplified.len()
+                ),
+                !s_simple && !t_simple && simplified.len() == 5,
+            )
+        },
+    );
 
     // ---------------------------------------------------------------- E5
-    check(&mut rows, "E5", "Section 3.1 decree: salary queries outside Cap(view)", || {
-        let mut cat = Catalog::new();
-        cat.relation("Staff", &["Name", "Dept", "Salary"]).unwrap();
-        let nd = cat.scheme(&["Name", "Dept"]).unwrap();
-        let v1 = cat.fresh_relation("Public", nd);
-        let view = View::from_exprs(
-            vec![(parse_expr("pi{Name,Dept}(Staff)", &cat).unwrap(), v1)],
-            &cat,
-        )
-        .unwrap();
-        let deny = cap_contains(&view, &q(&cat, "pi{Name,Salary}(Staff)"), &cat, &budget)
-            .unwrap()
-            .is_none();
-        let allow = cap_contains(&view, &q(&cat, "pi{Name}(Staff)"), &cat, &budget)
-            .unwrap()
-            .is_some();
-        (format!("salary denied: {deny}; name allowed: {allow}"), deny && allow)
-    });
+    check(
+        &mut rows,
+        "E5",
+        "Section 3.1 decree: salary queries outside Cap(view)",
+        || {
+            let mut cat = Catalog::new();
+            cat.relation("Staff", &["Name", "Dept", "Salary"]).unwrap();
+            let nd = cat.scheme(&["Name", "Dept"]).unwrap();
+            let v1 = cat.fresh_relation("Public", nd);
+            let view = View::from_exprs(
+                vec![(parse_expr("pi{Name,Dept}(Staff)", &cat).unwrap(), v1)],
+                &cat,
+            )
+            .unwrap();
+            let deny = cap_contains(&view, &q(&cat, "pi{Name,Salary}(Staff)"), &cat, &budget)
+                .unwrap()
+                .is_none();
+            let allow = cap_contains(&view, &q(&cat, "pi{Name}(Staff)"), &cat, &budget)
+                .unwrap()
+                .is_some();
+            (
+                format!("salary denied: {deny}; name allowed: {allow}"),
+                deny && allow,
+            )
+        },
+    );
 
     // ---------------------------------------------------------------- T6x
-    check(&mut rows, "T6x", "Thm 2.4.11 cross-check: bounded search ≡ literal Jₖ procedure (tiny grid)", || {
-        let mut cat = Catalog::new();
-        cat.relation("R", &["A", "B"]).unwrap();
-        let base = [q(&cat, "pi{A}(R)"), q(&cat, "pi{B}(R)")];
-        let config = PaperProcedureConfig::default();
-        let mut agreements = 0;
-        let mut total = 0;
-        for goal_src in ["pi{A}(R)", "pi{B}(R)", "pi{A}(R) * pi{B}(R)", "R"] {
-            let goal = q(&cat, goal_src);
-            let fast = closure_contains(&base, &goal, &cat, &budget)
-                .unwrap()
-                .is_some();
-            let slow = closure_contains_paper(&base, &goal, &cat, &config)
-                .unwrap()
-                .is_some();
-            total += 1;
-            if fast == slow {
-                agreements += 1;
+    check(
+        &mut rows,
+        "T6x",
+        "Thm 2.4.11 cross-check: bounded search ≡ literal Jₖ procedure (tiny grid)",
+        || {
+            let mut cat = Catalog::new();
+            cat.relation("R", &["A", "B"]).unwrap();
+            let base = [q(&cat, "pi{A}(R)"), q(&cat, "pi{B}(R)")];
+            let config = PaperProcedureConfig::default();
+            let mut agreements = 0;
+            let mut total = 0;
+            for goal_src in ["pi{A}(R)", "pi{B}(R)", "pi{A}(R) * pi{B}(R)", "R"] {
+                let goal = q(&cat, goal_src);
+                let fast = closure_contains(&base, &goal, &cat, &budget)
+                    .unwrap()
+                    .is_some();
+                let slow = closure_contains_paper(&base, &goal, &cat, &config)
+                    .unwrap()
+                    .is_some();
+                total += 1;
+                if fast == slow {
+                    agreements += 1;
+                }
             }
-        }
-        (format!("{agreements}/{total} instances agree"), agreements == total)
-    });
+            (
+                format!("{agreements}/{total} instances agree"),
+                agreements == total,
+            )
+        },
+    );
 
     // ------------------------------------------------------------- print
     println!();
     println!("== viewcap · paper-reproduction table (regenerates EXPERIMENTS.md §2) ==");
     println!();
-    println!("{:<5} {:<72} {:<46} {:>8}  ok", "id", "paper claim", "measured", "ms");
+    println!(
+        "{:<5} {:<72} {:<46} {:>8}  ok",
+        "id", "paper claim", "measured", "ms"
+    );
     println!("{}", "-".repeat(140));
     let mut all_ok = true;
     for r in &rows {
@@ -255,7 +314,11 @@ fn main() {
     println!(
         "{} rows, {}",
         rows.len(),
-        if all_ok { "all PASS" } else { "FAILURES PRESENT" }
+        if all_ok {
+            "all PASS"
+        } else {
+            "FAILURES PRESENT"
+        }
     );
     assert!(all_ok, "paper reproduction table has failures");
 }

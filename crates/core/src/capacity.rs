@@ -73,18 +73,13 @@ impl ClosureProof {
     /// for displaying witnesses in the caller's vocabulary.
     ///
     /// `names[i]` must have type `TRS(queries[i])`; view-schema names always
-    /// qualify.
+    /// qualify. The replacement is purely structural (no catalog lookups),
+    /// so it also works for names minted *after* this proof's catalog
+    /// snapshot — e.g. when a memoized verdict is served to a view that was
+    /// defined later (the `viewcap-engine` cache-hit path).
     pub fn skeleton_with_names(&self, names: &[RelId]) -> Expr {
         self.skeleton
-            .expand(
-                &|lam| {
-                    self.query_index_of(lam)
-                        .and_then(|i| names.get(i))
-                        .map(|&n| Expr::rel(n))
-                },
-                &self.catalog,
-            )
-            .expect("names share the λ types")
+            .rename_rels(&|lam| self.query_index_of(lam).and_then(|i| names.get(i)).copied())
     }
 }
 
@@ -152,8 +147,7 @@ pub fn closure_contains(
             if skel_rn != goal_rn {
                 return ControlFlow::Continue(());
             }
-            let sub = substitute(skel, &beta, &scratch)
-                .expect("every λ is assigned");
+            let sub = substitute(skel, &beta, &scratch).expect("every λ is assigned");
             if equivalent_templates(&sub.result, goal.template()) {
                 proof = Some(ClosureProof {
                     skeleton: expr.clone(),
@@ -225,7 +219,12 @@ mod tests {
         let s1 = q(&cat, "pi{A,B}(R)");
         let s2 = q(&cat, "pi{B,C}(R)");
         let set = [s1, s2];
-        for target in ["pi{A,B}(R) * pi{B,C}(R)", "pi{A}(R)", "pi{B}(R)", "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))"] {
+        for target in [
+            "pi{A,B}(R) * pi{B,C}(R)",
+            "pi{A}(R)",
+            "pi{B}(R)",
+            "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))",
+        ] {
             let goal = q(&cat, target);
             assert!(
                 closure_contains(&set, &goal, &cat, &SearchBudget::default())
@@ -243,9 +242,11 @@ mod tests {
         let s1 = q(&cat, "pi{A,B}(R)");
         let s2 = q(&cat, "pi{B,C}(R)");
         let goal = q(&cat, "R");
-        assert!(closure_contains(&[s1, s2], &goal, &cat, &SearchBudget::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            closure_contains(&[s1, s2], &goal, &cat, &SearchBudget::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -254,9 +255,11 @@ mod tests {
         let cat = setup();
         let s1 = q(&cat, "pi{A,B}(R)");
         let goal = q(&cat, "pi{C}(R)");
-        assert!(closure_contains(&[s1], &goal, &cat, &SearchBudget::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            closure_contains(&[s1], &goal, &cat, &SearchBudget::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -306,8 +309,10 @@ mod tests {
         cat.relation("S", &["A", "B"]).unwrap();
         let s1 = q(&cat, "pi{A,B}(R)");
         let goal = q(&cat, "S");
-        assert!(closure_contains(&[s1], &goal, &cat, &SearchBudget::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            closure_contains(&[s1], &goal, &cat, &SearchBudget::default())
+                .unwrap()
+                .is_none()
+        );
     }
 }

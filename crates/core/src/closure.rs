@@ -183,11 +183,8 @@ mod tests {
         let mut cat = setup();
         let ab = cat.scheme(&["A", "B"]).unwrap();
         let v1 = cat.fresh_relation("v1", ab);
-        let view = View::from_exprs(
-            vec![(parse_expr("pi{A,B}(R)", &cat).unwrap(), v1)],
-            &cat,
-        )
-        .unwrap();
+        let view =
+            View::from_exprs(vec![(parse_expr("pi{A,B}(R)", &cat).unwrap(), v1)], &cat).unwrap();
         let members = capacity_members(&view, 2, &cat, &SearchBudget::default()).unwrap();
         // π_AB(R), π_A(R), π_B(R), π_A(R)⋈π_B(R): the whole two-atom
         // frontier of a single binary projection.

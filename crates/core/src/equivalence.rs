@@ -141,8 +141,8 @@ mod tests {
         let mut cat2 = cat.clone();
         let abc = cat2.scheme(&["A", "B", "C"]).unwrap();
         let full_name: RelId = cat2.fresh_relation("full", abc);
-        let full = View::from_exprs(vec![(parse_expr("R", &cat2).unwrap(), full_name)], &cat2)
-            .unwrap();
+        let full =
+            View::from_exprs(vec![(parse_expr("R", &cat2).unwrap(), full_name)], &cat2).unwrap();
         assert!(dominates(&full, &w, &cat2).unwrap().is_some());
         assert!(dominates(&w, &full, &cat2).unwrap().is_none());
         assert!(equivalent(&full, &w, &cat2).unwrap().is_none());

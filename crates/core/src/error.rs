@@ -50,10 +50,9 @@ impl fmt::Display for CoreError {
                 f,
                 "defining query for {rel:?} has TRS {got:?}, expected {expected:?}"
             ),
-            CoreError::ViewNameInDefiningQuery(r) => write!(
-                f,
-                "view-schema name {r:?} occurs inside a defining query"
-            ),
+            CoreError::ViewNameInDefiningQuery(r) => {
+                write!(f, "view-schema name {r:?} occurs inside a defining query")
+            }
             CoreError::NotAViewQuery(r) => write!(
                 f,
                 "expression mentions {r:?}, which is not in the view schema"

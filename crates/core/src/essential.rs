@@ -372,7 +372,10 @@ mod tests {
             q(&cat, "pi{B,C}(R)"),
         ];
         let ess = essential_tuples(&set, 0, &cat, &SearchBudget::default()).unwrap();
-        assert!(ess.iter().all(|&e| !e), "redundant query has essentials: {ess:?}");
+        assert!(
+            ess.iter().all(|&e| !e),
+            "redundant query has essentials: {ess:?}"
+        );
     }
 
     #[test]
@@ -382,9 +385,8 @@ mod tests {
         let cat = setup();
         let set = [q(&cat, "pi{A,B}(R)"), q(&cat, "pi{B,C}(R)")];
         for t_idx in 0..2 {
-            let comps =
-                essential_connected_components(&set, t_idx, &cat, &SearchBudget::default())
-                    .unwrap();
+            let comps = essential_connected_components(&set, t_idx, &cat, &SearchBudget::default())
+                .unwrap();
             assert!(
                 !comps.is_empty(),
                 "member {t_idx} lacks an essential component"
@@ -397,19 +399,13 @@ mod tests {
         let cat = setup();
         let set = [q(&cat, "pi{A,B}(R)")];
         let mut saw_identity = false;
-        for_each_exhibited_construction(
-            &set,
-            0,
-            &cat,
-            &SearchBudget::default(),
-            &mut |ec| {
-                if ec.skeleton.atom_count() == 1 && ec.is_self_descendent(0, 0) {
-                    saw_identity = true;
-                    return ControlFlow::Break(());
-                }
-                ControlFlow::Continue(())
-            },
-        )
+        for_each_exhibited_construction(&set, 0, &cat, &SearchBudget::default(), &mut |ec| {
+            if ec.skeleton.atom_count() == 1 && ec.is_self_descendent(0, 0) {
+                saw_identity = true;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        })
         .unwrap();
         assert!(saw_identity);
     }
@@ -422,10 +418,7 @@ mod tests {
         let cat = setup();
         // A reduced 2-tuple member so that several constructions (and homs)
         // exist within the atom bound.
-        let set = [
-            q(&cat, "pi{A,B}(R) * pi{B,C}(R)"),
-            q(&cat, "pi{B,C}(R)"),
-        ];
+        let set = [q(&cat, "pi{A,B}(R) * pi{B,C}(R)"), q(&cat, "pi{B,C}(R)")];
         let mut inspected = 0;
         for_each_exhibited_construction(&set, 0, &cat, &SearchBudget::default(), &mut |ec| {
             inspected += 1;
@@ -508,8 +501,7 @@ mod tests {
                         .windows(2)
                         .all(|w| w[0].skeleton_tuple == w[1].skeleton_tuple);
                 if all_same_t_block {
-                    let mut inner: Vec<usize> =
-                        children.iter().map(|c| c.inner_tuple).collect();
+                    let mut inner: Vec<usize> = children.iter().map(|c| c.inner_tuple).collect();
                     inner.sort_unstable();
                     assert_eq!(&inner, comp, "Lemma 3.3.4: f(C) = ⟨ε, C⟩");
                 }

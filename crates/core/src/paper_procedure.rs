@@ -199,14 +199,9 @@ mod tests {
             let fast = closure_contains(&set, &goal, &cat, &SearchBudget::default())
                 .unwrap()
                 .is_some();
-            let slow = closure_contains_paper(
-                &set,
-                &goal,
-                &cat,
-                &PaperProcedureConfig::default(),
-            )
-            .unwrap()
-            .is_some();
+            let slow = closure_contains_paper(&set, &goal, &cat, &PaperProcedureConfig::default())
+                .unwrap()
+                .is_some();
             assert_eq!(fast, expected, "bounded search wrong on {src}");
             assert_eq!(slow, expected, "paper procedure wrong on {src}");
         }

@@ -10,12 +10,13 @@
 //! [`Query::equiv`].
 
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 use viewcap_base::{Catalog, Instantiation, RelId, Relation, Scheme};
-use viewcap_template::{
-    equivalent_templates, eval_template, join_templates, project_template, reduce,
-    template_of_expr, Template, TemplateError,
-};
 use viewcap_expr::Expr;
+use viewcap_template::{
+    canonical_key, equivalent_templates, eval_template, join_templates, project_template, reduce,
+    template_of_expr, CanonKey, Template, TemplateError,
+};
 
 /// An expression mapping: a query of a database schema.
 #[derive(Clone, Debug)]
@@ -24,6 +25,11 @@ pub struct Query {
     template: Template,
     /// Expression provenance, when the query was built from an expression.
     expr: Option<Expr>,
+    /// Lazily computed canonical key (the permutation search in
+    /// `canonical_key` is the expensive part of fingerprinting; computing
+    /// it once per `Query` object — and once per *lineage*, since clones
+    /// copy a filled cell — is ROADMAP's "cache per-Query keys" item).
+    canon: OnceLock<CanonKey>,
 }
 
 impl Query {
@@ -33,6 +39,7 @@ impl Query {
         Query {
             template,
             expr: Some(expr),
+            canon: OnceLock::new(),
         }
     }
 
@@ -41,6 +48,7 @@ impl Query {
         Query {
             template: reduce(template),
             expr: None,
+            canon: OnceLock::new(),
         }
     }
 
@@ -69,6 +77,17 @@ impl Query {
         equivalent_templates(&self.template, &other.template)
     }
 
+    /// Isomorphism-invariant canonical key of the reduced template — the
+    /// canonicalization hook behind `viewcap-engine`'s fingerprints.
+    ///
+    /// Equal keys imply equivalent queries (isomorphic reduced templates
+    /// denote the same mapping); the converse holds whenever the key is
+    /// exact. Computed once per query and memoized (clones inherit the
+    /// memo).
+    pub fn canonical_key(&self) -> &CanonKey {
+        self.canon.get_or_init(|| canonical_key(&self.template))
+    }
+
     /// Evaluate the mapping on an instantiation.
     pub fn eval(&self, alpha: &Instantiation, catalog: &Catalog) -> Relation {
         eval_template(&self.template, alpha, catalog)
@@ -83,7 +102,11 @@ impl Query {
             .expr
             .as_ref()
             .and_then(|e| Expr::project(e.clone(), x.clone(), catalog).ok());
-        Ok(Query { template, expr })
+        Ok(Query {
+            template,
+            expr,
+            canon: OnceLock::new(),
+        })
     }
 
     /// `Q ⋈ Q'`.
@@ -93,7 +116,11 @@ impl Query {
             (Some(a), Some(b)) => Expr::join(vec![a.clone(), b.clone()]).ok(),
             _ => None,
         };
-        Query { template, expr }
+        Query {
+            template,
+            expr,
+            canon: OnceLock::new(),
+        }
     }
 }
 

@@ -71,10 +71,7 @@ pub fn make_nonredundant(
 ) -> Result<View, CoreError> {
     let qs = view.query_set();
     let keep = nonredundant_indices(qs.queries(), catalog, budget)?;
-    let pairs = keep
-        .into_iter()
-        .map(|i| view.pairs()[i].clone())
-        .collect();
+    let pairs = keep.into_iter().map(|i| view.pairs()[i].clone()).collect();
     View::new(pairs, catalog)
 }
 
@@ -113,10 +110,7 @@ pub fn is_nonredundant_view(
 /// The Lemma 3.1.6 / Theorem 3.1.7 bound: every nonredundant view
 /// equivalent to `view` has at most `Σᵢ #(RN(Tᵢ))` pairs.
 pub fn nonredundant_size_bound(view: &View) -> usize {
-    view.pairs()
-        .iter()
-        .map(|(q, _)| q.rel_names().len())
-        .sum()
+    view.pairs().iter().map(|(q, _)| q.rel_names().len()).sum()
 }
 
 #[cfg(test)]
@@ -147,9 +141,7 @@ mod tests {
         // Note: S₁ and S₂ are ALSO redundant in the full triple (each is a
         // projection of S); the paper only asserts {S₁, S₂} nonredundant.
         assert!(is_redundant(&set, 1, &cat).unwrap().is_some());
-        assert!(
-            is_nonredundant_set(&[s1, s2], &cat, &SearchBudget::default()).unwrap()
-        );
+        assert!(is_nonredundant_set(&[s1, s2], &cat, &SearchBudget::default()).unwrap());
     }
 
     #[test]
@@ -179,9 +171,7 @@ mod tests {
         .unwrap();
         let slim = make_nonredundant(&view, &cat, &SearchBudget::default()).unwrap();
         assert!(slim.len() < view.len());
-        assert!(
-            is_nonredundant_view(&slim, &cat, &SearchBudget::default()).unwrap()
-        );
+        assert!(is_nonredundant_view(&slim, &cat, &SearchBudget::default()).unwrap());
         assert!(equivalent(&view, &slim, &cat).unwrap().is_some());
         // The bound holds (Theorem 3.1.7).
         assert!(slim.len() <= nonredundant_size_bound(&view));

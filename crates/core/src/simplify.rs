@@ -56,11 +56,7 @@ pub fn is_simple_with(
 }
 
 /// [`is_simple_with`] under the default budget.
-pub fn is_simple(
-    queries: &[Query],
-    i: usize,
-    catalog: &Catalog,
-) -> Result<bool, SearchOverflow> {
+pub fn is_simple(queries: &[Query], i: usize, catalog: &Catalog) -> Result<bool, SearchOverflow> {
     is_simple_with(queries, i, catalog, &SearchBudget::default())
 }
 

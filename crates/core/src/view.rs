@@ -130,11 +130,7 @@ impl View {
     /// The surrogate query `Ē` of Theorem 1.4.2, as an expression
     /// (Lemma 1.4.1 expansion). Requires expression provenance on every
     /// defining query.
-    pub fn surrogate_expr(
-        &self,
-        view_query: &Expr,
-        catalog: &Catalog,
-    ) -> Result<Expr, CoreError> {
+    pub fn surrogate_expr(&self, view_query: &Expr, catalog: &Catalog) -> Result<Expr, CoreError> {
         self.check_view_query(view_query)?;
         let lookup = |rel: RelId| -> Option<Expr> {
             self.pairs
@@ -303,7 +299,10 @@ mod tests {
         let view = View::new(vec![(q, v)], &cat).unwrap();
         let vq = Expr::rel(v);
         let surrogate = view.surrogate_query(&vq, &cat).unwrap();
-        assert_eq!(surrogate.trs(), Scheme::new(cat.scheme(&["A", "B"]).unwrap().iter()).unwrap());
+        assert_eq!(
+            surrogate.trs(),
+            Scheme::new(cat.scheme(&["A", "B"]).unwrap().iter()).unwrap()
+        );
         assert!(view.surrogate_expr(&vq, &cat).is_err());
     }
 }

@@ -1,0 +1,195 @@
+//! The sharded concurrent verdict cache.
+//!
+//! A fixed array of `RwLock<HashMap>` shards keyed by
+//! `(kind, fingerprint, fingerprint)`. Reads take a shard read lock;
+//! inserts take a shard write lock. Shard choice mixes both fingerprints,
+//! so unrelated checks contend on different locks.
+//!
+//! Soundness: equal fingerprints imply isomorphic reduced templates (see
+//! [`crate::fingerprint`]), and every memoized procedure is invariant under
+//! template isomorphism, so a cached verdict is *the* verdict for every
+//! request that maps to the same key. One cache therefore serves one
+//! catalog: `RelId`s from different catalogs may collide, so use a fresh
+//! [`Engine`](crate::Engine) per catalog.
+
+use crate::fingerprint::Fingerprint;
+use crate::verdict::{CheckKind, Verdict};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent shards (power of two).
+pub const SHARD_COUNT: usize = 16;
+
+/// Cache key: procedure plus the canonical fingerprints of its operands.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Which procedure.
+    pub kind: CheckKind,
+    /// Left operand (the view; the dominator; the smaller-fingerprint side
+    /// for the symmetric equivalence check).
+    pub left: Fingerprint,
+    /// Right operand (the goal query; the dominated view; the larger side).
+    pub right: Fingerprint,
+}
+
+/// A cached verdict plus the positional fingerprint table of the view that
+/// produced it (for witness-label remapping under query reordering).
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The memoized verdict.
+    pub verdict: Arc<Verdict>,
+    /// Ordered per-query fingerprints of the producing request's left view.
+    pub left_query_fps: Arc<[Fingerprint]>,
+}
+
+/// Counters for one cache (monotonic; snapshot via [`VerdictCache::stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Verdicts currently stored.
+    pub entries: usize,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit(s), {} miss(es), {} cached verdict(s)",
+            self.hits, self.misses, self.entries
+        )
+    }
+}
+
+/// Sharded fingerprint-keyed verdict store.
+pub struct VerdictCache {
+    shards: Vec<RwLock<HashMap<CacheKey, Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        VerdictCache::new()
+    }
+}
+
+impl VerdictCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        VerdictCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<HashMap<CacheKey, Entry>> {
+        let mixed = key.left.as_u128() ^ key.right.as_u128().rotate_left(64);
+        &self.shards[(mixed as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Look up a verdict, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Entry> {
+        let found = self
+            .shard(key)
+            .read()
+            .expect("cache lock")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a verdict (first writer wins; verdicts for a key are all
+    /// semantically identical, so which one lands is immaterial).
+    pub fn insert(&self, key: CacheKey, entry: Entry) {
+        self.shard(&key)
+            .write()
+            .expect("cache lock")
+            .entry(key)
+            .or_insert(entry);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("cache lock").len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> Fingerprint {
+        // Only equality/ordering matter to the cache; synthesize via the
+        // public path would need templates, so transmute through sorting:
+        // Fingerprint has no public constructor — use a map of known ones.
+        // Simplest: derive from query fingerprints is overkill here; test
+        // through the cache API with keys built from real fingerprints in
+        // the engine tests instead. Here we just exercise shard/stat logic
+        // with default fingerprints obtained from `u128` bit patterns.
+        crate::fingerprint::test_fingerprint(n)
+    }
+
+    #[test]
+    fn hit_miss_and_entry_counting() {
+        let cache = VerdictCache::new();
+        let key = CacheKey {
+            kind: CheckKind::Member,
+            left: fp(1),
+            right: fp(2),
+        };
+        assert!(cache.get(&key).is_none());
+        cache.insert(
+            key,
+            Entry {
+                verdict: Arc::new(Verdict::Member(None)),
+                left_query_fps: Arc::from([] as [Fingerprint; 0]),
+            },
+        );
+        assert!(cache.get(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_kinds_do_not_collide() {
+        let cache = VerdictCache::new();
+        let member = CacheKey {
+            kind: CheckKind::Member,
+            left: fp(7),
+            right: fp(9),
+        };
+        let dominates = CacheKey {
+            kind: CheckKind::Dominates,
+            ..member
+        };
+        cache.insert(
+            member,
+            Entry {
+                verdict: Arc::new(Verdict::Member(None)),
+                left_query_fps: Arc::from([] as [Fingerprint; 0]),
+            },
+        );
+        assert!(cache.get(&dominates).is_none());
+        assert!(cache.get(&member).is_some());
+    }
+}

@@ -1,0 +1,355 @@
+//! The batch decision engine.
+//!
+//! [`Engine::run_batch`] takes a [`Workload`], deduplicates requests by
+//! canonical fingerprint, resolves what it can from the verdict cache, runs
+//! the remaining distinct checks across `std::thread::scope` workers, and
+//! reassembles per-request results in submission order.
+//!
+//! **Determinism.** Parallel execution returns results identical to
+//! sequential execution: the fingerprint pass and deduplication are
+//! sequential, exactly one (order-determined) representative per
+//! fingerprint class computes, every decision procedure is itself
+//! deterministic, and reassembly is positional. Thread scheduling can only
+//! change *when* a verdict is computed, never *which* verdict a request
+//! receives.
+
+use crate::cache::{CacheKey, CacheStats, Entry, VerdictCache};
+use crate::fingerprint::{
+    query_fingerprint, view_fingerprint, view_query_fingerprints, Fingerprint,
+};
+use crate::verdict::{CheckKind, Verdict};
+use crate::workload::{Check, Workload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use viewcap_base::{Catalog, RelId};
+use viewcap_core::capacity::cap_contains;
+use viewcap_core::equivalence::{dominates_with, equivalent_with};
+use viewcap_core::{SearchBudget, View};
+use viewcap_template::SearchOverflow;
+
+/// The outcome of deciding one request.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// The (possibly shared) verdict.
+    pub verdict: Arc<Verdict>,
+    /// Whether this verdict was served from the cache (or from another
+    /// request of the same batch via deduplication).
+    pub from_cache: bool,
+    /// Ordered per-query fingerprints of the view that computed the
+    /// verdict's witness (its "left" view; for equivalence, the
+    /// canonical-orientation left — see [`Decision::flipped`]).
+    pub left_query_fps: Arc<[Fingerprint]>,
+    /// For [`CheckKind::Equivalent`] only: equivalence verdicts are stored
+    /// in *canonical* orientation (the smaller-fingerprint view as "v"),
+    /// so one cache entry serves both orientations. `flipped` is `true`
+    /// when this request's `left`/`right` are the reverse of the stored
+    /// witness — its `v_dominates_w` then proves `right` dominates `left`.
+    /// Always `false` for membership and dominance checks.
+    pub flipped: bool,
+}
+
+impl Decision {
+    /// View-schema names aligned with the witness's query indices.
+    ///
+    /// A cached membership proof indexes the *producer's* defining-query
+    /// positions. When the requesting `view` lists equivalent queries in a
+    /// different order, this remaps so `names[i]` is the requester's name
+    /// for the producer's `i`-th query. Returns `None` if the views'
+    /// query multisets don't line up (they always do on a genuine cache
+    /// hit, barring a fingerprint collision).
+    pub fn member_witness_names(&self, view: &View) -> Option<Vec<RelId>> {
+        let theirs = view_query_fingerprints(view);
+        let schema = view.schema();
+        if theirs.len() != self.left_query_fps.len() {
+            return None;
+        }
+        let mut used = vec![false; theirs.len()];
+        let mut names = Vec::with_capacity(theirs.len());
+        for fp in self.left_query_fps.iter() {
+            let j = theirs
+                .iter()
+                .enumerate()
+                .position(|(j, t)| !used[j] && t == fp)?;
+            used[j] = true;
+            names.push(schema[j]);
+        }
+        Some(names)
+    }
+}
+
+/// Summary of one [`Engine::run_batch`] call.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-request outcomes, positionally aligned with the workload.
+    /// `Err` means the bounded search overflowed — unknown, not "no".
+    pub results: Vec<Result<Decision, SearchOverflow>>,
+    /// Requests submitted.
+    pub total: usize,
+    /// Distinct fingerprint classes after deduplication.
+    pub distinct: usize,
+    /// Distinct classes answered from the pre-batch cache.
+    pub cache_hits: usize,
+    /// Distinct classes actually computed by this batch.
+    pub executed: usize,
+}
+
+/// The concurrent batch decision engine.
+///
+/// Holds the verdict cache and the search budget. One engine serves one
+/// [`Catalog`] (fingerprints embed `RelId`s, which are only meaningful
+/// within a catalog).
+pub struct Engine {
+    cache: VerdictCache,
+    budget: SearchBudget,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Engine with the default search budget.
+    pub fn new() -> Self {
+        Engine::with_budget(SearchBudget::default())
+    }
+
+    /// Engine with an explicit search budget.
+    pub fn with_budget(budget: SearchBudget) -> Self {
+        Engine {
+            cache: VerdictCache::new(),
+            budget,
+        }
+    }
+
+    /// Snapshot the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cache key of a check (equivalence keys are orientation-free).
+    pub fn cache_key(check: &Check) -> CacheKey {
+        Engine::key_and_orientation(check).0
+    }
+
+    /// Cache key plus whether the request's orientation is flipped
+    /// relative to the canonical (stored) orientation.
+    fn key_and_orientation(check: &Check) -> (CacheKey, bool) {
+        match check {
+            Check::Member { view, goal } => (
+                CacheKey {
+                    kind: CheckKind::Member,
+                    left: view_fingerprint(view),
+                    right: query_fingerprint(goal),
+                },
+                false,
+            ),
+            Check::Dominates {
+                dominator,
+                dominated,
+            } => (
+                CacheKey {
+                    kind: CheckKind::Dominates,
+                    left: view_fingerprint(dominator),
+                    right: view_fingerprint(dominated),
+                },
+                false,
+            ),
+            Check::Equivalent { left, right } => {
+                let (a, b) = (view_fingerprint(left), view_fingerprint(right));
+                (
+                    CacheKey {
+                        kind: CheckKind::Equivalent,
+                        left: a.min(b),
+                        right: a.max(b),
+                    },
+                    a > b,
+                )
+            }
+        }
+    }
+
+    /// Run the underlying decision procedure (no cache involvement).
+    /// `flipped` is the check's orientation as computed by
+    /// [`Engine::key_and_orientation`], threaded through so equivalence
+    /// checks need not re-derive it from the fingerprints.
+    fn compute(
+        &self,
+        check: &Check,
+        flipped: bool,
+        catalog: &Catalog,
+    ) -> Result<Entry, SearchOverflow> {
+        let (verdict, left_view) = match check {
+            Check::Member { view, goal } => (
+                Verdict::Member(cap_contains(view, goal, catalog, &self.budget)?),
+                view,
+            ),
+            Check::Dominates {
+                dominator,
+                dominated,
+            } => (
+                Verdict::Dominates(dominates_with(dominator, dominated, catalog, &self.budget)?),
+                dominator,
+            ),
+            Check::Equivalent { left, right } => {
+                // Compute in canonical (fingerprint-ordered) orientation so
+                // the stored witness means the same thing for every request
+                // that maps to this key, whichever way it was posed.
+                let (v, w) = if flipped {
+                    (right, left)
+                } else {
+                    (left, right)
+                };
+                (
+                    Verdict::Equivalent(equivalent_with(v, w, catalog, &self.budget)?),
+                    v,
+                )
+            }
+        };
+        Ok(Entry {
+            verdict: Arc::new(verdict),
+            left_query_fps: Arc::from(view_query_fingerprints(left_view).as_slice()),
+        })
+    }
+
+    /// Decide one check through the cache.
+    pub fn decide(&self, check: &Check, catalog: &Catalog) -> Result<Decision, SearchOverflow> {
+        let (key, flipped) = Engine::key_and_orientation(check);
+        if let Some(entry) = self.cache.get(&key) {
+            return Ok(Decision {
+                verdict: entry.verdict,
+                from_cache: true,
+                left_query_fps: entry.left_query_fps,
+                flipped,
+            });
+        }
+        let entry = self.compute(check, flipped, catalog)?;
+        self.cache.insert(key, entry.clone());
+        Ok(Decision {
+            verdict: entry.verdict,
+            from_cache: false,
+            left_query_fps: entry.left_query_fps,
+            flipped,
+        })
+    }
+
+    /// Decide a whole workload: dedup → cache → parallel compute →
+    /// positional reassembly. `jobs == 0` means "use available
+    /// parallelism"; results are identical for every `jobs` value.
+    pub fn run_batch(&self, workload: &Workload, catalog: &Catalog, jobs: usize) -> BatchOutcome {
+        let total = workload.len();
+
+        // 1. Fingerprint every request and elect one representative per
+        //    class — sequential, so the election is order-deterministic.
+        let mut slot_of_key: HashMap<CacheKey, usize> = HashMap::new();
+        let mut request_slots: Vec<usize> = Vec::with_capacity(total);
+        let mut request_flipped: Vec<bool> = Vec::with_capacity(total);
+        let mut representatives: Vec<(CacheKey, &Check, bool)> = Vec::new();
+        for request in &workload.requests {
+            let (key, flipped) = Engine::key_and_orientation(&request.check);
+            let slot = *slot_of_key.entry(key).or_insert_with(|| {
+                representatives.push((key, &request.check, flipped));
+                representatives.len() - 1
+            });
+            request_slots.push(slot);
+            request_flipped.push(flipped);
+        }
+        let distinct = representatives.len();
+
+        // 2. Resolve representatives from the cache.
+        let mut slot_results: Vec<Option<Result<Entry, SearchOverflow>>> = representatives
+            .iter()
+            .map(|(key, _, _)| self.cache.get(key).map(Ok))
+            .collect();
+        let todo: Vec<usize> = (0..distinct)
+            .filter(|&s| slot_results[s].is_none())
+            .collect();
+        let cache_hits = distinct - todo.len();
+
+        // 3. Compute the misses across scoped workers.
+        let workers = effective_jobs(jobs).min(todo.len());
+        if workers <= 1 {
+            for &slot in &todo {
+                let (_, check, flipped) = representatives[slot];
+                slot_results[slot] = Some(self.compute(check, flipped, catalog));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, Result<Entry, SearchOverflow>)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let todo = &todo;
+                    let representatives = &representatives;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&slot) = todo.get(i) else { break };
+                        let (_, check, flipped) = representatives[slot];
+                        let outcome = self.compute(check, flipped, catalog);
+                        if tx.send((slot, outcome)).is_err() {
+                            break;
+                        }
+                    });
+                }
+            });
+            drop(tx);
+            for (slot, outcome) in rx {
+                slot_results[slot] = Some(outcome);
+            }
+        }
+
+        // 4. Publish freshly computed verdicts.
+        for &slot in &todo {
+            if let Some(Ok(entry)) = &slot_results[slot] {
+                self.cache.insert(representatives[slot].0, entry.clone());
+            }
+        }
+
+        // 5. Reassemble in submission order.
+        let mut computed = vec![false; distinct];
+        for &slot in &todo {
+            computed[slot] = true;
+        }
+        let mut seen = vec![false; distinct];
+        let results = request_slots
+            .iter()
+            .zip(&request_flipped)
+            .map(|(&slot, &flipped)| {
+                // "From cache" from the caller's perspective: either a
+                // pre-batch hit, or deduplicated onto an earlier request of
+                // this batch.
+                let from_cache = !computed[slot] || seen[slot];
+                seen[slot] = true;
+                match slot_results[slot].as_ref().expect("every slot resolved") {
+                    Ok(entry) => Ok(Decision {
+                        verdict: Arc::clone(&entry.verdict),
+                        from_cache,
+                        left_query_fps: Arc::clone(&entry.left_query_fps),
+                        flipped,
+                    }),
+                    Err(overflow) => Err(overflow.clone()),
+                }
+            })
+            .collect();
+
+        BatchOutcome {
+            results,
+            total,
+            distinct,
+            cache_hits,
+            executed: todo.len(),
+        }
+    }
+}
+
+/// Resolve a `--jobs` setting: `0` means available parallelism.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}

@@ -1,0 +1,160 @@
+//! Canonical fingerprints for queries and views.
+//!
+//! A [`Fingerprint`] is a stable 128-bit key derived from the word encoding
+//! of the reduced template's canonical key ([`viewcap_template::CanonKey`]).
+//! Because equal canonical-key encodings imply isomorphic templates, equal
+//! fingerprints imply equivalent queries (up to the negligible chance of a
+//! 128-bit hash collision) — the soundness direction the verdict cache
+//! relies on. The converse may fail (equivalent queries can fingerprint
+//! differently when the canonical key degrades to its inexact form), which
+//! only costs cache hits, never correctness.
+//!
+//! Invariances:
+//!
+//! * **relation renaming** — relation *names* never enter the key; only
+//!   the stable [`RelId`](viewcap_base::RelId)s and template structure do;
+//! * **nondistinguished symbol renaming** — inherited from the canonical
+//!   key;
+//! * **defining-query reordering** — [`view_fingerprint`] hashes the
+//!   *sorted* multiset of per-query fingerprints, so a view's fingerprint
+//!   does not depend on the order of its defining pairs.
+
+use std::fmt;
+use viewcap_core::{Query, View};
+
+/// A 128-bit canonical fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// SplitMix64 finalizer — a strong 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fold a word stream into 128 bits with two independently seeded lanes.
+fn fold(words: impl Iterator<Item = u64>) -> Fingerprint {
+    let mut lo: u64 = 0x243F_6A88_85A3_08D3; // pi
+    let mut hi: u64 = 0xB7E1_5162_8AED_2A6A; // e
+    let mut len: u64 = 0;
+    for w in words {
+        len += 1;
+        lo = mix(lo ^ w.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(len)));
+        hi = mix(hi.rotate_left(23) ^ w ^ 0xA5A5_A5A5_A5A5_A5A5);
+    }
+    lo = mix(lo ^ len);
+    hi = mix(hi ^ len.rotate_left(32));
+    Fingerprint(((hi as u128) << 64) | lo as u128)
+}
+
+/// Test-only: a fingerprint with a chosen bit pattern.
+#[cfg(test)]
+pub(crate) fn test_fingerprint(n: u128) -> Fingerprint {
+    Fingerprint(n)
+}
+
+/// Fingerprint of a query: hash of its reduced template's canonical key.
+pub fn query_fingerprint(q: &Query) -> Fingerprint {
+    fold(q.canonical_key().words().iter().copied())
+}
+
+/// Ordered per-defining-query fingerprints of a view.
+///
+/// This *does* depend on pair order — it is the positional table used to
+/// remap cached witness indices onto a requesting view's schema.
+pub fn view_query_fingerprints(v: &View) -> Vec<Fingerprint> {
+    v.pairs()
+        .iter()
+        .map(|(q, _)| query_fingerprint(q))
+        .collect()
+}
+
+/// Fingerprint of a view: hash of the sorted multiset of its defining
+/// queries' fingerprints. Invariant under pair reordering and under
+/// renaming of the view-schema relations.
+pub fn view_fingerprint(v: &View) -> Fingerprint {
+    let mut fps: Vec<u128> = view_query_fingerprints(v)
+        .into_iter()
+        .map(Fingerprint::as_u128)
+        .collect();
+    fps.sort_unstable();
+    fold(
+        fps.into_iter()
+            .flat_map(|fp| [fp as u64, (fp >> 64) as u64]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewcap_base::Catalog;
+    use viewcap_core::View;
+    use viewcap_expr::parse_expr;
+
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        cat
+    }
+
+    fn q(cat: &Catalog, src: &str) -> Query {
+        Query::from_expr(parse_expr(src, cat).unwrap(), cat)
+    }
+
+    #[test]
+    fn equivalent_realizations_share_a_fingerprint() {
+        let cat = setup();
+        // R ⋈ π_AB(R) reduces to R's template.
+        assert_eq!(
+            query_fingerprint(&q(&cat, "R * pi{A,B}(R)")),
+            query_fingerprint(&q(&cat, "R"))
+        );
+        assert_ne!(
+            query_fingerprint(&q(&cat, "pi{A,B}(R)")),
+            query_fingerprint(&q(&cat, "pi{B,C}(R)"))
+        );
+    }
+
+    #[test]
+    fn view_fingerprint_ignores_pair_order_and_names() {
+        let mut cat = setup();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let bc = cat.scheme(&["B", "C"]).unwrap();
+        let (q1, q2) = (q(&cat, "pi{A,B}(R)"), q(&cat, "pi{B,C}(R)"));
+        let n1 = cat.fresh_relation("x", ab.clone());
+        let n2 = cat.fresh_relation("y", bc.clone());
+        let n3 = cat.fresh_relation("z", ab);
+        let n4 = cat.fresh_relation("w", bc);
+        let v = View::new(vec![(q1.clone(), n1), (q2.clone(), n2)], &cat).unwrap();
+        let w = View::new(vec![(q2, n4), (q1, n3)], &cat).unwrap();
+        assert_eq!(view_fingerprint(&v), view_fingerprint(&w));
+        // The positional table still sees the order.
+        assert_ne!(view_query_fingerprints(&v), view_query_fingerprints(&w));
+    }
+
+    #[test]
+    fn different_views_differ() {
+        let mut cat = setup();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let abc = cat.scheme(&["A", "B", "C"]).unwrap();
+        let n1 = cat.fresh_relation("x", ab);
+        let n2 = cat.fresh_relation("y", abc);
+        let v = View::new(vec![(q(&cat, "pi{A,B}(R)"), n1)], &cat).unwrap();
+        let w = View::new(vec![(q(&cat, "R"), n2)], &cat).unwrap();
+        assert_ne!(view_fingerprint(&v), view_fingerprint(&w));
+    }
+}

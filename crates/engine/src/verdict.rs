@@ -1,0 +1,82 @@
+//! Verdicts: decision outcomes with their constructive witnesses.
+
+use std::fmt;
+use viewcap_core::capacity::ClosureProof;
+use viewcap_core::equivalence::{DominanceWitness, EquivalenceWitness};
+
+/// The three decision procedures the engine memoizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CheckKind {
+    /// Capacity membership: `Q ∈ Cap(𝒱)` (Theorem 2.4.11).
+    Member,
+    /// View dominance: `Cap(𝒲) ⊆ Cap(𝒱)` (Lemma 1.5.4).
+    Dominates,
+    /// View equivalence: dominance both ways (Theorem 2.4.12).
+    Equivalent,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckKind::Member => "member",
+            CheckKind::Dominates => "dominates",
+            CheckKind::Equivalent => "equivalent",
+        })
+    }
+}
+
+/// A decided check, witness included.
+///
+/// Witnesses are the paper's constructions: a [`ClosureProof`] per derived
+/// defining query. They stay valid for every request that maps to the same
+/// cache key, because equal fingerprints mean isomorphic reduced templates
+/// — only positional *labels* may need remapping
+/// (see [`Decision::member_witness_names`](crate::Decision::member_witness_names)).
+// Verdicts live behind `Arc` in the cache and in every `Decision`, so the
+// variant-size imbalance never gets copied around.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Membership outcome.
+    Member(Option<ClosureProof>),
+    /// Dominance outcome.
+    Dominates(Option<DominanceWitness>),
+    /// Equivalence outcome.
+    Equivalent(Option<EquivalenceWitness>),
+}
+
+impl Verdict {
+    /// Which procedure produced this verdict.
+    pub fn kind(&self) -> CheckKind {
+        match self {
+            Verdict::Member(_) => CheckKind::Member,
+            Verdict::Dominates(_) => CheckKind::Dominates,
+            Verdict::Equivalent(_) => CheckKind::Equivalent,
+        }
+    }
+
+    /// Did the check answer "yes"?
+    pub fn is_yes(&self) -> bool {
+        match self {
+            Verdict::Member(w) => w.is_some(),
+            Verdict::Dominates(w) => w.is_some(),
+            Verdict::Equivalent(w) => w.is_some(),
+        }
+    }
+
+    /// Total atom count across the witness's construction skeletons, if the
+    /// answer was "yes". Symmetric in both directions for equivalence, so
+    /// it is safe to report for cache hits of either orientation.
+    pub fn witness_atoms(&self) -> Option<usize> {
+        fn dom_atoms(w: &DominanceWitness) -> usize {
+            w.proofs.iter().map(|p| p.skeleton.atom_count()).sum()
+        }
+        match self {
+            Verdict::Member(w) => w.as_ref().map(|p| p.skeleton.atom_count()),
+            Verdict::Dominates(w) => w.as_ref().map(dom_atoms),
+            Verdict::Equivalent(w) => w
+                .as_ref()
+                .map(|e| dom_atoms(&e.v_dominates_w) + dom_atoms(&e.w_dominates_v)),
+        }
+    }
+}

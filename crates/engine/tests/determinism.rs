@@ -1,0 +1,218 @@
+//! Engine determinism: parallel batches must be indistinguishable from
+//! sequential ones, and warm-cache reruns must return identical verdicts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use viewcap_base::Catalog;
+use viewcap_engine::{BatchOutcome, Check, Engine, Workload};
+use viewcap_gen::{random_query, random_view, random_world, WorldSpec};
+
+/// A seeded workload of cross-view equivalence checks and membership
+/// probes — small worlds, so the bounded search stays fast.
+fn random_workload(seed: u64) -> (Catalog, Workload) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = WorldSpec {
+        attrs: 4,
+        relations: 2,
+        min_arity: 1,
+        max_arity: 2,
+    };
+    let (mut cat, rels) = random_world(&mut rng, &spec);
+    let views: Vec<_> = (0..3)
+        .map(|_| random_view(&mut rng, &mut cat, &rels, 2, 2))
+        .collect();
+
+    let mut load = Workload::new();
+    for (i, v) in views.iter().enumerate() {
+        for (j, w) in views.iter().enumerate() {
+            if i != j {
+                load.push(
+                    format!("equivalent {i} {j}"),
+                    Check::Equivalent {
+                        left: v.clone(),
+                        right: w.clone(),
+                    },
+                );
+                load.push(
+                    format!("dominates {i} {j}"),
+                    Check::Dominates {
+                        dominator: v.clone(),
+                        dominated: w.clone(),
+                    },
+                );
+            }
+        }
+        let goal = random_query(&mut rng, &cat, &rels, 2);
+        load.push(
+            format!("member {i}"),
+            Check::Member {
+                view: v.clone(),
+                goal,
+            },
+        );
+    }
+    (cat, load)
+}
+
+/// Everything observable about a batch, per request: success, answer, and
+/// witness size. Two runs agree iff their signatures agree.
+fn signature(outcome: &BatchOutcome) -> Vec<Result<(bool, Option<usize>), String>> {
+    outcome
+        .results
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .map(|d| (d.verdict.is_yes(), d.verdict.witness_atoms()))
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_batches_match_sequential(seed in 0u64..1_000) {
+        let (cat, load) = random_workload(seed);
+
+        let sequential = Engine::new().run_batch(&load, &cat, 1);
+        let parallel = Engine::new().run_batch(&load, &cat, 8);
+
+        prop_assert_eq!(signature(&sequential), signature(&parallel));
+        prop_assert_eq!(sequential.distinct, parallel.distinct);
+        prop_assert_eq!(sequential.executed, parallel.executed);
+    }
+
+    #[test]
+    fn warm_cache_reruns_are_identical(seed in 0u64..1_000) {
+        let (cat, load) = random_workload(seed);
+        let engine = Engine::new();
+
+        let cold = engine.run_batch(&load, &cat, 4);
+        let warm = engine.run_batch(&load, &cat, 4);
+
+        prop_assert_eq!(signature(&cold), signature(&warm));
+        // Every non-overflow verdict is served from the cache on rerun.
+        let overflows = cold.results.iter().filter(|r| r.is_err()).count();
+        if overflows == 0 {
+            prop_assert_eq!(warm.executed, 0);
+            prop_assert_eq!(warm.cache_hits, warm.distinct);
+            for decision in warm.results.iter().flatten() {
+                prop_assert!(decision.from_cache);
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_cache_hits_report_their_orientation() {
+    // Example 3.1.5: equivalent views asked both ways share one cache
+    // entry; the stored witness is in canonical (fingerprint-ordered)
+    // orientation and `flipped` tells each request which way it faces.
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    let ab = cat.scheme(&["A", "B"]).unwrap();
+    let bc = cat.scheme(&["B", "C"]).unwrap();
+    let abc = cat.scheme(&["A", "B", "C"]).unwrap();
+    let lam = cat.fresh_relation("lam", abc);
+    let l1 = cat.fresh_relation("l1", ab);
+    let l2 = cat.fresh_relation("l2", bc);
+    let v = viewcap_core::View::from_exprs(
+        vec![(
+            viewcap_expr::parse_expr("pi{A,B}(R) * pi{B,C}(R)", &cat).unwrap(),
+            lam,
+        )],
+        &cat,
+    )
+    .unwrap();
+    let w = viewcap_core::View::from_exprs(
+        vec![
+            (viewcap_expr::parse_expr("pi{A,B}(R)", &cat).unwrap(), l1),
+            (viewcap_expr::parse_expr("pi{B,C}(R)", &cat).unwrap(), l2),
+        ],
+        &cat,
+    )
+    .unwrap();
+
+    let engine = Engine::new();
+    let vw = engine
+        .decide(
+            &Check::Equivalent {
+                left: v.clone(),
+                right: w.clone(),
+            },
+            &cat,
+        )
+        .unwrap();
+    let wv = engine
+        .decide(
+            &Check::Equivalent {
+                left: w.clone(),
+                right: v.clone(),
+            },
+            &cat,
+        )
+        .unwrap();
+
+    // Same cache entry, opposite orientations.
+    assert!(!vw.from_cache);
+    assert!(wv.from_cache);
+    assert!(std::sync::Arc::ptr_eq(&vw.verdict, &wv.verdict));
+    assert_ne!(vw.flipped, wv.flipped);
+
+    // The stored witness is oriented to the canonical left view, whose
+    // query fingerprints are exactly `left_query_fps` — so the request
+    // with `flipped == false` has its own left view there.
+    let canonical_left = if vw.flipped { &w } else { &v };
+    assert_eq!(
+        vw.left_query_fps.as_ref(),
+        viewcap_engine::view_query_fingerprints(canonical_left).as_slice()
+    );
+}
+
+#[test]
+fn dedup_elects_the_first_request() {
+    // Two labels, one fingerprint class: both must resolve, the second
+    // marked as deduplicated.
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B"]).unwrap();
+    let a = cat.scheme(&["A"]).unwrap();
+    let name = cat.fresh_relation("p", a);
+    let view = viewcap_core::View::from_exprs(
+        vec![(viewcap_expr::parse_expr("pi{A}(R)", &cat).unwrap(), name)],
+        &cat,
+    )
+    .unwrap();
+    let goal = |src: &str| {
+        viewcap_core::Query::from_expr(viewcap_expr::parse_expr(src, &cat).unwrap(), &cat)
+    };
+
+    let mut load = Workload::new();
+    load.push(
+        "first",
+        Check::Member {
+            view: view.clone(),
+            goal: goal("pi{A}(R)"),
+        },
+    );
+    load.push(
+        "same class, different syntax",
+        Check::Member {
+            view: view.clone(),
+            goal: goal("pi{A}(R * R)"),
+        },
+    );
+
+    let engine = Engine::new();
+    let outcome = engine.run_batch(&load, &cat, 2);
+    assert_eq!(
+        (outcome.total, outcome.distinct, outcome.executed),
+        (2, 1, 1)
+    );
+    let first = outcome.results[0].as_ref().unwrap();
+    let second = outcome.results[1].as_ref().unwrap();
+    assert!(!first.from_cache);
+    assert!(second.from_cache);
+    assert!(std::sync::Arc::ptr_eq(&first.verdict, &second.verdict));
+}

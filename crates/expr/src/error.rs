@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn display_mentions_offsets_and_schemes() {
-        let e = ExprError::Parse { at: 7, msg: "expected `)`".into() };
+        let e = ExprError::Parse {
+            at: 7,
+            msg: "expected `)`".into(),
+        };
         assert!(e.to_string().contains("byte 7"));
         let e = ExprError::JoinTooSmall;
         assert!(e.to_string().contains("two operands"));

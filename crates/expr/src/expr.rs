@@ -160,6 +160,23 @@ impl Expr {
             )),
         }
     }
+
+    /// Rename relation atoms structurally; atoms mapped to `None` are kept.
+    ///
+    /// Unlike [`Expr::expand`] this never consults a catalog, so it is safe
+    /// when the replacement names come from a *different* (e.g. newer)
+    /// catalog than the expression's own — the caller guarantees the
+    /// replacements are type-compatible.
+    pub fn rename_rels<F>(&self, f: &F) -> Expr
+    where
+        F: Fn(RelId) -> Option<RelId>,
+    {
+        match self {
+            Expr::Rel(r) => Expr::Rel(f(*r).unwrap_or(*r)),
+            Expr::Project(e, x) => Expr::Project(Box::new(e.rename_rels(f)), x.clone()),
+            Expr::Join(es) => Expr::Join(es.iter().map(|e| e.rename_rels(f)).collect()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -243,10 +260,7 @@ mod tests {
         let view_query = Expr::join(vec![Expr::rel(nu), Expr::rel(s)]).unwrap();
 
         let expanded = view_query
-            .expand(
-                &|id| if id == nu { Some(body.clone()) } else { None },
-                &cat,
-            )
+            .expand(&|id| if id == nu { Some(body.clone()) } else { None }, &cat)
             .unwrap();
         // ν replaced, S untouched.
         assert!(expanded.rel_names().contains(&r));
@@ -256,7 +270,10 @@ mod tests {
         // Type mismatch is rejected.
         let wrong = Expr::rel(r); // TRS {A,B} ≠ {B}
         assert!(view_query
-            .expand(&|id| if id == nu { Some(wrong.clone()) } else { None }, &cat)
+            .expand(
+                &|id| if id == nu { Some(wrong.clone()) } else { None },
+                &cat
+            )
             .is_err());
     }
 

@@ -130,10 +130,13 @@ impl<'a> Parser<'a> {
         loop {
             let name = self.ident()?;
             let at = self.pos;
-            let attr = self.catalog.lookup_attr(name).map_err(|_| ExprError::Parse {
-                at,
-                msg: format!("unknown attribute `{name}`"),
-            })?;
+            let attr = self
+                .catalog
+                .lookup_attr(name)
+                .map_err(|_| ExprError::Parse {
+                    at,
+                    msg: format!("unknown attribute `{name}`"),
+                })?;
             attrs.push(attr);
             match self.peek() {
                 Some(b',') => {
@@ -180,7 +183,13 @@ mod tests {
     #[test]
     fn round_trips_nested_structure() {
         let cat = cat();
-        for src in ["R", "R * S", "pi{B}(R)", "pi{B}(R) * pi{B}(S)", "R * (S * R)"] {
+        for src in [
+            "R",
+            "R * S",
+            "pi{B}(R)",
+            "pi{B}(R) * pi{B}(S)",
+            "R * (S * R)",
+        ] {
             let e = parse_expr(src, &cat).unwrap();
             let printed = display_expr(&e, &cat);
             let e2 = parse_expr(&printed, &cat).unwrap();

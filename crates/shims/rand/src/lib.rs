@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rand` crate (see `crates/shims/README.md`).
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over integer ranges — the subset this workspace uses.
+//! The generator is SplitMix64: deterministic per seed, statistically fine
+//! for workload generation, and dependency-free.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next word from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers (blanket-implemented for every [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// Generic over the *element* type (like upstream `rand`), so type
+    /// inference can flow backward from how the result is used into the
+    /// choice of range impl.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Deterministic generator for the given seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types with uniform range sampling (via 64-bit wrapping math,
+/// which is exact for every primitive width up to 64 bits).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Bit-cast to `u64` (sign-extending).
+    fn to_u64(self) -> u64;
+    /// Truncating bit-cast back.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges over `T` that can be sampled uniformly.
+///
+/// Blanket-implemented over [`SampleUniform`] (one impl per range shape,
+/// like upstream), so type inference can unify untyped range literals with
+/// the expected output type.
+pub trait SampleRange<T> {
+    /// Draw one element.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let start = self.start.to_u64();
+        let span = self.end.to_u64().wrapping_sub(start);
+        T::from_u64(start.wrapping_add(rng.next_u64() % span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start() <= self.end(), "cannot sample empty range");
+        let start = self.start().to_u64();
+        let span = self.end().to_u64().wrapping_sub(start).wrapping_add(1);
+        if span == 0 {
+            // The range covers the full 64-bit domain.
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(start.wrapping_add(rng.next_u64() % span))
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic SplitMix64 generator, stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 60), b.gen_range(0u64..1 << 60));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u32..=9);
+            assert!((5..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+}

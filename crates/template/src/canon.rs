@@ -38,6 +38,17 @@ impl CanonKey {
     pub fn is_exact(&self) -> bool {
         self.exact
     }
+
+    /// The key's word encoding.
+    ///
+    /// Equal word sequences always imply isomorphic templates (the encoding
+    /// determines the template up to renaming of nondistinguished symbols),
+    /// even for inexact keys — inexactness only means *isomorphic templates
+    /// may encode differently*. Downstream fingerprinting (the
+    /// `viewcap-engine` verdict cache) relies on exactly this direction.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 /// Per-tuple invariant used to pre-group tuples before permutation.
@@ -89,8 +100,7 @@ fn encode(t: &Template, order: &[usize]) -> Vec<u64> {
 pub fn canonical_key(t: &Template) -> CanonKey {
     let n = t.len();
     // Group indices by invariant.
-    let mut keyed: Vec<(Vec<u64>, usize)> =
-        (0..n).map(|i| (tuple_invariant(t, i), i)).collect();
+    let mut keyed: Vec<(Vec<u64>, usize)> = (0..n).map(|i| (tuple_invariant(t, i), i)).collect();
     keyed.sort();
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut group_invs: Vec<Vec<u64>> = Vec::new();
@@ -117,7 +127,10 @@ pub fn canonical_key(t: &Template) -> CanonKey {
         let order: Vec<usize> = groups.iter().flatten().copied().collect();
         let mut words = encode(t, &order);
         words.push(u64::MAX - 1); // marker: inexact keys never equal exact ones
-        return CanonKey { words, exact: false };
+        return CanonKey {
+            words,
+            exact: false,
+        };
     }
 
     // Minimize over within-group permutations.
@@ -144,7 +157,12 @@ fn permute_groups<F>(groups: &[Vec<usize>], f: &mut F)
 where
     F: FnMut(&[usize]) -> ControlFlow<()>,
 {
-    fn groups_rec<F>(groups: &[Vec<usize>], gi: usize, prefix: &mut Vec<usize>, f: &mut F) -> ControlFlow<()>
+    fn groups_rec<F>(
+        groups: &[Vec<usize>],
+        gi: usize,
+        prefix: &mut Vec<usize>,
+        f: &mut F,
+    ) -> ControlFlow<()>
     where
         F: FnMut(&[usize]) -> ControlFlow<()>,
     {
@@ -425,13 +443,21 @@ mod tests {
         let shared = Template::new(vec![
             TaggedTuple::new(
                 r,
-                vec![Symbol::distinguished(a), Symbol::new(b, 1), Symbol::new(c, 1)],
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::new(b, 1),
+                    Symbol::new(c, 1),
+                ],
                 &cat,
             )
             .unwrap(),
             TaggedTuple::new(
                 r,
-                vec![Symbol::distinguished(a), Symbol::new(b, 1), Symbol::new(c, 2)],
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::new(b, 1),
+                    Symbol::new(c, 2),
+                ],
                 &cat,
             )
             .unwrap(),
@@ -440,13 +466,21 @@ mod tests {
         let unshared = Template::new(vec![
             TaggedTuple::new(
                 r,
-                vec![Symbol::distinguished(a), Symbol::new(b, 1), Symbol::new(c, 1)],
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::new(b, 1),
+                    Symbol::new(c, 1),
+                ],
                 &cat,
             )
             .unwrap(),
             TaggedTuple::new(
                 r,
-                vec![Symbol::distinguished(a), Symbol::new(b, 2), Symbol::new(c, 2)],
+                vec![
+                    Symbol::distinguished(a),
+                    Symbol::new(b, 2),
+                    Symbol::new(c, 2),
+                ],
                 &cat,
             )
             .unwrap(),

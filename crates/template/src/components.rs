@@ -91,13 +91,21 @@ mod tests {
             TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat).unwrap();
         let t2 = TaggedTuple::new(
             n2,
-            vec![Symbol::new(a, 1), Symbol::new(b, 1), Symbol::distinguished(c)],
+            vec![
+                Symbol::new(a, 1),
+                Symbol::new(b, 1),
+                Symbol::distinguished(c),
+            ],
             &cat,
         )
         .unwrap();
         let t3 = TaggedTuple::new(
             n2,
-            vec![Symbol::new(a, 2), Symbol::distinguished(b), Symbol::distinguished(c)],
+            vec![
+                Symbol::new(a, 2),
+                Symbol::distinguished(b),
+                Symbol::distinguished(c),
+            ],
             &cat,
         )
         .unwrap();
@@ -107,9 +115,9 @@ mod tests {
         let i1 = t.index_of(&t1).unwrap();
         let i2 = t.index_of(&t2).unwrap();
         let i3 = t.index_of(&t3).unwrap();
-        assert!(comps.iter().any(|g| {
-            g.len() == 2 && g.contains(&i1) && g.contains(&i2)
-        }));
+        assert!(comps
+            .iter()
+            .any(|g| { g.len() == 2 && g.contains(&i1) && g.contains(&i2) }));
         assert!(comps.iter().any(|g| g == &vec![i3]));
         assert!(linked(&t, i1, i2));
         assert!(!linked(&t, i1, i3));

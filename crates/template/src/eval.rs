@@ -35,10 +35,7 @@ pub fn eval_template(t: &Template, alpha: &Instantiation, catalog: &Catalog) -> 
     let mut binding: HashMap<Symbol, Symbol> = HashMap::new();
     let mut trail: Vec<Symbol> = Vec::new();
     search(t, &rels, &order, 0, &mut binding, &mut trail, &mut |b| {
-        let row: Vec<Symbol> = trs
-            .iter()
-            .map(|a| b[&Symbol::distinguished(a)])
-            .collect();
+        let row: Vec<Symbol> = trs.iter().map(|a| b[&Symbol::distinguished(a)]).collect();
         let _ = out.insert(row);
     });
     out

@@ -302,7 +302,7 @@ mod tests {
         let (cat, r) = setup();
         let atom = Template::atom(r, &cat); // TRS {A,B,C}
         let proj = pi_ab(&cat, r); // TRS {A,B}
-        // A raw homomorphism proj → atom exists (c₁ ↦ 0_C) …
+                                   // A raw homomorphism proj → atom exists (c₁ ↦ 0_C) …
         assert!(find_homomorphism(&proj, &atom).is_some());
         // … but the mappings land on different schemes, so neither
         // containment nor equivalence holds.
@@ -317,8 +317,13 @@ mod tests {
         // merge by mapping their distinct c-symbols together.
         let (cat, r) = setup();
         let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
-        let row =
-            |cv: u32| vec![Symbol::distinguished(a), Symbol::distinguished(b), Symbol::new(c, cv)];
+        let row = |cv: u32| {
+            vec![
+                Symbol::distinguished(a),
+                Symbol::distinguished(b),
+                Symbol::new(c, cv),
+            ]
+        };
         let doubled = Template::new(vec![
             TaggedTuple::new(r, row(1), &cat).unwrap(),
             TaggedTuple::new(r, row(2), &cat).unwrap(),
@@ -345,8 +350,13 @@ mod tests {
         // (each row maps to either row independently — c-symbols are free).
         let (cat, r) = setup();
         let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
-        let row =
-            |cv: u32| vec![Symbol::distinguished(a), Symbol::distinguished(b), Symbol::new(c, cv)];
+        let row = |cv: u32| {
+            vec![
+                Symbol::distinguished(a),
+                Symbol::distinguished(b),
+                Symbol::new(c, cv),
+            ]
+        };
         let doubled = Template::new(vec![
             TaggedTuple::new(r, row(1), &cat).unwrap(),
             TaggedTuple::new(r, row(2), &cat).unwrap(),

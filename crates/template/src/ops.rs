@@ -112,11 +112,7 @@ mod tests {
         let p = project_template(&j, &Scheme::new([c]).unwrap()).unwrap();
         // B was shared (0_B in both); after hiding B both rows hold the same
         // fresh symbol in column B.
-        let syms: Vec<Symbol> = p
-            .tuples()
-            .iter()
-            .filter_map(|t| t.symbol_at(b))
-            .collect();
+        let syms: Vec<Symbol> = p.tuples().iter().filter_map(|t| t.symbol_at(b)).collect();
         assert_eq!(syms.len(), 2);
         assert_eq!(syms[0], syms[1]);
         assert!(!syms[0].is_distinguished());
@@ -133,7 +129,10 @@ mod tests {
         let j = join_templates(&pb, &pb);
         assert_eq!(j.len(), 2);
         let a_syms: Vec<Symbol> = j.tuples().iter().filter_map(|t| t.symbol_at(a)).collect();
-        assert_ne!(a_syms[0], a_syms[1], "nondistinguished symbols must stay disjoint");
+        assert_ne!(
+            a_syms[0], a_syms[1],
+            "nondistinguished symbols must stay disjoint"
+        );
         assert_eq!(j.trs(), Scheme::new([b]).unwrap());
     }
 

@@ -80,7 +80,13 @@ mod tests {
     #[test]
     fn algorithm_outputs_are_recognized() {
         let cat = setup();
-        for src in ["R", "pi{A}(R)", "R * S", "pi{A,C}(R * S)", "pi{B}(R) * pi{B}(S)"] {
+        for src in [
+            "R",
+            "pi{A}(R)",
+            "R * S",
+            "pi{A,C}(R * S)",
+            "pi{B}(R) * pi{B}(S)",
+        ] {
             let e = parse_expr(src, &cat).unwrap();
             let t = template_of_expr(&e, &cat);
             let w = expression_realization(&t, &cat, &SearchLimits::default())
@@ -110,17 +116,18 @@ mod tests {
         // T = {(0_A, b₁), (a₂, b₁), (a₂, 0_B)} over R: a path of shared
         // symbols connecting 0_A to 0_B through nondistinguished a₂, b₁.
         let t = Template::new(vec![
-            TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat)
-                .unwrap(),
+            TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat).unwrap(),
             TaggedTuple::new(r, vec![Symbol::new(a, 2), Symbol::new(b, 1)], &cat).unwrap(),
-            TaggedTuple::new(r, vec![Symbol::new(a, 2), Symbol::distinguished(b)], &cat)
-                .unwrap(),
+            TaggedTuple::new(r, vec![Symbol::new(a, 2), Symbol::distinguished(b)], &cat).unwrap(),
         ])
         .unwrap();
         let red = reduce(&t);
         assert_eq!(red.len(), 3, "the path template is already reduced");
         let w = expression_realization(&t, &cat, &SearchLimits::default()).unwrap();
-        assert!(w.is_none(), "path-sharing template is not an m.r.e. template");
+        assert!(
+            w.is_none(),
+            "path-sharing template is not an m.r.e. template"
+        );
     }
 
     #[test]

@@ -222,8 +222,7 @@ pub fn for_each_candidate_with(
                     let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
                     if !part_dedup.seen(&p, &mut stats) {
                         new_parts.push(Part {
-                            expr: Expr::project(Expr::rel(r), x, catalog)
-                                .expect("X ⊆ TRS of atom"),
+                            expr: Expr::project(Expr::rel(r), x, catalog).expect("X ⊆ TRS of atom"),
                             tpl: p,
                         });
                     }
@@ -233,35 +232,40 @@ pub fn for_each_candidate_with(
             // Join combinations: strictly increasing (size, index) choices
             // totalling k with ≥ 2 children.
             let mut stack: Vec<(usize, usize)> = Vec::new();
-            let flow = combos(&parts, k, (1, 0), &mut stack, &mut visits, limits, &mut |
-                chosen,
-            | {
-                let children: Vec<&Part> =
-                    chosen.iter().map(|&(s, i)| &parts[s][i]).collect();
-                let mut tpl = children[0].tpl.clone();
-                for c in &children[1..] {
-                    tpl = join_templates(&tpl, &c.tpl);
-                }
-                let tpl = maybe_reduce(&tpl);
-                if join_dedup.seen(&tpl, &mut stats) {
-                    return Ok(());
-                }
-                let expr = Expr::join(children.iter().map(|c| c.expr.clone()).collect())
-                    .expect("≥ 2 children");
-                // Proper projections become parts of size k.
-                for x in tpl.trs().proper_nonempty_subsets() {
-                    let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
-                    if !part_dedup.seen(&p, &mut stats) {
-                        new_parts.push(Part {
-                            expr: Expr::project(expr.clone(), x, catalog)
-                                .expect("X ⊆ TRS of join"),
-                            tpl: p,
-                        });
+            let flow = combos(
+                &parts,
+                k,
+                (1, 0),
+                &mut stack,
+                &mut visits,
+                limits,
+                &mut |chosen| {
+                    let children: Vec<&Part> = chosen.iter().map(|&(s, i)| &parts[s][i]).collect();
+                    let mut tpl = children[0].tpl.clone();
+                    for c in &children[1..] {
+                        tpl = join_templates(&tpl, &c.tpl);
                     }
-                }
-                new_joins.push(Part { expr, tpl });
-                Ok(())
-            })?;
+                    let tpl = maybe_reduce(&tpl);
+                    if join_dedup.seen(&tpl, &mut stats) {
+                        return Ok(());
+                    }
+                    let expr = Expr::join(children.iter().map(|c| c.expr.clone()).collect())
+                        .expect("≥ 2 children");
+                    // Proper projections become parts of size k.
+                    for x in tpl.trs().proper_nonempty_subsets() {
+                        let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
+                        if !part_dedup.seen(&p, &mut stats) {
+                            new_parts.push(Part {
+                                expr: Expr::project(expr.clone(), x, catalog)
+                                    .expect("X ⊆ TRS of join"),
+                                tpl: p,
+                            });
+                        }
+                    }
+                    new_joins.push(Part { expr, tpl });
+                    Ok(())
+                },
+            )?;
             debug_assert!(flow.is_continue());
         }
 
@@ -321,7 +325,15 @@ fn combos(
         let start = if size == min.0 { min.1 } else { 0 };
         for idx in start..parts[size].len() {
             current.push((size, idx));
-            let flow = combos(parts, remaining - size, (size, idx + 1), current, visits, limits, f)?;
+            let flow = combos(
+                parts,
+                remaining - size,
+                (size, idx + 1),
+                current,
+                visits,
+                limits,
+                f,
+            )?;
             current.pop();
             if flow.is_break() {
                 return Ok(ControlFlow::Break(()));
@@ -530,16 +542,22 @@ mod tests {
     fn zero_budget_and_empty_atom_sets_are_empty_searches() {
         let (cat, atoms) = setup();
         // max_atoms = 0: nothing to enumerate, exhausts immediately.
-        let found = for_each_candidate(&cat, &atoms, 0, None, &SearchLimits::default(), &mut |_, _| {
-            panic!("no candidates expected")
-        })
+        let found = for_each_candidate(
+            &cat,
+            &atoms,
+            0,
+            None,
+            &SearchLimits::default(),
+            &mut |_, _| panic!("no candidates expected"),
+        )
         .unwrap();
         assert!(!found);
         // No atoms: likewise.
-        let found = for_each_candidate(&cat, &[], 3, None, &SearchLimits::default(), &mut |_, _| {
-            panic!("no candidates expected")
-        })
-        .unwrap();
+        let found =
+            for_each_candidate(&cat, &[], 3, None, &SearchLimits::default(), &mut |_, _| {
+                panic!("no candidates expected")
+            })
+            .unwrap();
         assert!(!found);
     }
 

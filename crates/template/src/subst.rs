@@ -105,8 +105,7 @@ impl Substitution {
     /// behind the `#(T) ≤ #(Q)` bound of Lemma 2.4.8 and hence behind every
     /// bounded decision procedure in the workspace.
     pub fn restrict_sources(&self, image_tuple_map: &[usize]) -> Vec<usize> {
-        let image: std::collections::BTreeSet<usize> =
-            image_tuple_map.iter().copied().collect();
+        let image: std::collections::BTreeSet<usize> = image_tuple_map.iter().copied().collect();
         let mut keep: Vec<usize> = (0..self.blocks.len())
             .filter(|&i| self.blocks[i].iter().any(|&(_, r)| image.contains(&r)))
             .collect();
@@ -145,9 +144,7 @@ pub fn substitute(
                     tau.symbol_at(s.attr())
                         .expect("assignment TRS equals the tag's type")
                 } else {
-                    *marked
-                        .entry((i, s))
-                        .or_insert_with(|| gen.fresh(s.attr()))
+                    *marked.entry((i, s)).or_insert_with(|| gen.fresh(s.attr()))
                 }
             });
             raw.push((i, j, mapped));
@@ -269,7 +266,10 @@ mod tests {
         let rhs = eval_template(&t, &beta_alpha, &cat);
         assert_eq!(lhs, rhs);
         // And the substituted template mentions only the underlying schema.
-        assert_eq!(sub.result.rel_names().into_iter().collect::<Vec<_>>(), vec![r]);
+        assert_eq!(
+            sub.result.rel_names().into_iter().collect::<Vec<_>>(),
+            vec![r]
+        );
     }
 
     #[test]
@@ -280,10 +280,8 @@ mod tests {
         let [a, b] = ["A", "B"].map(|n| cat.lookup_attr(n).unwrap());
         // T: two tuples tagged η₁ sharing nothing: (0_A, b1), (a1, 0_B).
         let t = Template::new(vec![
-            TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat)
-                .unwrap(),
-            TaggedTuple::new(n1, vec![Symbol::new(a, 1), Symbol::distinguished(b)], &cat)
-                .unwrap(),
+            TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat).unwrap(),
+            TaggedTuple::new(n1, vec![Symbol::new(a, 1), Symbol::distinguished(b)], &cat).unwrap(),
         ])
         .unwrap();
         let mut beta = Assignment::new();
@@ -310,10 +308,13 @@ mod tests {
         // the second is redundant.
         let [a, b] = ["A", "B"].map(|n| cat.lookup_attr(n).unwrap());
         let skeleton = Template::new(vec![
-            TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::distinguished(b)], &cat)
-                .unwrap(),
-            TaggedTuple::new(n1, vec![Symbol::new(a, 9), Symbol::distinguished(b)], &cat)
-                .unwrap(),
+            TaggedTuple::new(
+                n1,
+                vec![Symbol::distinguished(a), Symbol::distinguished(b)],
+                &cat,
+            )
+            .unwrap(),
+            TaggedTuple::new(n1, vec![Symbol::new(a, 9), Symbol::distinguished(b)], &cat).unwrap(),
         ])
         .unwrap();
         let mut beta = Assignment::new();
@@ -345,10 +346,12 @@ mod tests {
         let ab = cat.scheme(&["A", "B"]).unwrap();
         let base = cat.fresh_relation("base", ab);
         let [a, b] = ["A", "B"].map(|n| cat.lookup_attr(n).unwrap());
-        let t = Template::new(vec![
-            TaggedTuple::new(n1, vec![Symbol::distinguished(a), Symbol::distinguished(b)], &cat)
-                .unwrap(),
-        ])
+        let t = Template::new(vec![TaggedTuple::new(
+            n1,
+            vec![Symbol::distinguished(a), Symbol::distinguished(b)],
+            &cat,
+        )
+        .unwrap()])
         .unwrap();
         let mut beta = Assignment::new();
         beta.set(n1, Template::atom(base, &cat), &cat).unwrap();

@@ -242,21 +242,15 @@ mod tests {
         let a = cat.lookup_attr("A").unwrap();
         let b = cat.lookup_attr("B").unwrap();
         let c = cat.lookup_attr("C").unwrap();
-        assert!(TaggedTuple::new(
-            r,
-            vec![Symbol::distinguished(a), Symbol::new(b, 1)],
-            &cat
-        )
-        .is_ok());
+        assert!(
+            TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat).is_ok()
+        );
         // wrong width
         assert!(TaggedTuple::new(r, vec![Symbol::distinguished(a)], &cat).is_err());
         // wrong column
-        assert!(TaggedTuple::new(
-            r,
-            vec![Symbol::distinguished(a), Symbol::new(c, 1)],
-            &cat
-        )
-        .is_err());
+        assert!(
+            TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(c, 1)], &cat).is_err()
+        );
     }
 
     #[test]
@@ -293,10 +287,10 @@ mod tests {
         let b = cat.lookup_attr("B").unwrap();
         let c = cat.lookup_attr("C").unwrap();
         // (0_A, b1) tagged R and (b1? no — B column needs B symbols) …
-        let t1 = TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat)
-            .unwrap();
-        let t2 = TaggedTuple::new(s, vec![Symbol::new(b, 1), Symbol::distinguished(c)], &cat)
-            .unwrap();
+        let t1 =
+            TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat).unwrap();
+        let t2 =
+            TaggedTuple::new(s, vec![Symbol::new(b, 1), Symbol::distinguished(c)], &cat).unwrap();
         let t = Template::new(vec![t1, t2]).unwrap();
         assert_eq!(t.trs(), Scheme::new([a, c]).unwrap());
         assert_eq!(t.nondistinguished_symbols(), vec![Symbol::new(b, 1)]);
@@ -308,10 +302,10 @@ mod tests {
         let a = cat.lookup_attr("A").unwrap();
         let b = cat.lookup_attr("B").unwrap();
         let c = cat.lookup_attr("C").unwrap();
-        let t1 = TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat)
-            .unwrap();
-        let t2 = TaggedTuple::new(s, vec![Symbol::new(b, 1), Symbol::distinguished(c)], &cat)
-            .unwrap();
+        let t1 =
+            TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat).unwrap();
+        let t2 =
+            TaggedTuple::new(s, vec![Symbol::new(b, 1), Symbol::distinguished(c)], &cat).unwrap();
         let t = Template::new(vec![t1, t2]).unwrap();
         let mut gen = t.symbol_gen();
         let relabeled = t.relabel_disjoint(&mut gen);

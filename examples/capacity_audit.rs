@@ -52,9 +52,7 @@ fn main() {
     let names = view.schema();
     for m in &members {
         // Render the construction in the view's own vocabulary.
-        let skeleton = m
-            .skeleton
-            .clone();
+        let skeleton = m.skeleton.clone();
         // λ names live in the scratch catalog; display against it, then map
         // names through the proof-style renaming by hand: here we simply
         // show TRS + size, plus the skeleton over view names when trivial.

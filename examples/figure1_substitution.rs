@@ -58,19 +58,21 @@ fn main() {
     beta.set(eta2, s2, &cat).unwrap();
 
     let sub = substitute(&t, &beta, &cat).unwrap();
-    println!("T -> beta =\n{}", display_template(&sub.result, &universe, &cat));
+    println!(
+        "T -> beta =\n{}",
+        display_template(&sub.result, &universe, &cat)
+    );
 
     println!("Blocks (one per tagged tuple of T):");
     for (i, _) in t.tuples().iter().enumerate() {
-        println!("  tuple {i} contributed rows {:?}", sub.block_result_indices(i));
+        println!(
+            "  tuple {i} contributed rows {:?}",
+            sub.block_result_indices(i)
+        );
     }
 
     // In-text claims of the paper, verified:
-    let t_expr = parse_expr(
-        "pi{A}(eta1) * pi{B,C}(pi{A,B}(eta2) * pi{A,C}(eta2))",
-        &cat,
-    )
-    .unwrap();
+    let t_expr = parse_expr("pi{A}(eta1) * pi{B,C}(pi{A,B}(eta2) * pi{A,C}(eta2))", &cat).unwrap();
     assert!(equivalent_templates(&t, &template_of_expr(&t_expr, &cat)));
     println!("\nverified: T == pi_A(eta1) |x| pi_BC(pi_AB(eta2) |x| pi_AC(eta2))");
 

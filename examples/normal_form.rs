@@ -51,7 +51,11 @@ fn main() {
         println!(
             "  {} is {} in the view",
             cat.rel_name(*name),
-            if simple { "SIMPLE (atomic)" } else { "NOT simple (decomposable)" }
+            if simple {
+                "SIMPLE (atomic)"
+            } else {
+                "NOT simple (decomposable)"
+            }
         );
     }
 

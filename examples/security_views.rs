@@ -47,7 +47,11 @@ fn main() {
     // Audit: which database queries can view users answer?
     let audits = [
         ("who works where", "pi{Name,Dept}(Staff)", true),
-        ("who works on which floor", "pi{Name,Floor}(Staff * Dept)", true),
+        (
+            "who works on which floor",
+            "pi{Name,Floor}(Staff * Dept)",
+            true,
+        ),
         ("directory x floors", "pi{Name,Dept}(Staff) * Dept", true),
         ("anyone's salary", "pi{Name,Salary}(Staff)", false),
         ("salary values alone", "pi{Salary}(Staff)", false),

@@ -51,8 +51,8 @@ fn main() {
         .insert_rows(
             dept,
             [
-                vec![val(d, 1), val(m, 9)],  // eng → mia
-                vec![val(d, 2), val(m, 8)],  // ops → lou
+                vec![val(d, 1), val(m, 9)], // eng → mia
+                vec![val(d, 2), val(m, 8)], // ops → lou
             ],
             &cat,
         )
@@ -60,13 +60,12 @@ fn main() {
 
     // A view query: which (Dept, Mgr) pairs are visible by joining the
     // directory with the roster through names?
-    let vq = parse_expr("pi{Dept,Mgr}(Directory$1 * Roster$2)", &cat)
-        .unwrap_or_else(|_| {
-            // Fresh names carry a $ suffix; fetch them from the view.
-            let dir = cat.rel_name(view.schema()[0]).to_owned();
-            let ros = cat.rel_name(view.schema()[1]).to_owned();
-            parse_expr(&format!("pi{{Dept,Mgr}}({dir} * {ros})"), &cat).unwrap()
-        });
+    let vq = parse_expr("pi{Dept,Mgr}(Directory$1 * Roster$2)", &cat).unwrap_or_else(|_| {
+        // Fresh names carry a $ suffix; fetch them from the view.
+        let dir = cat.rel_name(view.schema()[0]).to_owned();
+        let ros = cat.rel_name(view.schema()[1]).to_owned();
+        parse_expr(&format!("pi{{Dept,Mgr}}({dir} * {ros})"), &cat).unwrap()
+    });
 
     println!("view query        E  = {}", display_expr(&vq, &cat));
 
@@ -79,10 +78,7 @@ fn main() {
     let via_surrogate = surrogate.eval(&alpha, &cat);
 
     println!("\nE(α_V) — answered through the view:");
-    print!(
-        "{}",
-        viewcap_base::display::display_relation(&direct, &cat)
-    );
+    print!("{}", viewcap_base::display::display_relation(&direct, &cat));
     assert_eq!(direct, via_surrogate);
     println!("Ē(α) agrees with E(α_V) — the surrogate answers the view query.");
 

@@ -2,14 +2,18 @@
 //!
 //! ```console
 //! $ viewcap-cli scenarios/example_3_1_5.vcap
-//! $ viewcap-cli --demo          # run the built-in demonstration
+//! $ viewcap-cli --demo                       # built-in demonstration
+//! $ viewcap-cli --jobs 8 scenarios/batch_workload.vcap
+//! $ viewcap-cli --stats scenarios/batch_workload.vcap
 //! ```
 //!
 //! Scenario syntax is documented in [`viewcap::scenario`]; `scenarios/` in
-//! the repository holds ready-made files.
+//! the repository holds ready-made files. `--jobs N` sets the worker-thread
+//! count for `batch` blocks (`0` = all cores; the report is identical for
+//! every setting), and `--stats` appends the verdict-cache counters.
 
 use std::process::ExitCode;
-use viewcap::scenario::run_scenario;
+use viewcap::scenario::{run_scenario_with, ScenarioOptions};
 
 const DEMO: &str = r#"
 # Built-in demo: Example 3.1.5 of Connors (JCSS 1986).
@@ -28,32 +32,66 @@ check member V pi{A}(R)
 check member V R
 nonredundant V
 frontier W 2
+
+# The same questions again, plus dominance — all but one from the cache.
+batch {
+  check equivalent V W
+  check equivalent W V
+  check dominates V W
+  check member V pi{A}(R)
+  check member V R
+}
 "#;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: viewcap-cli [--jobs N] [--stats] <scenario-file> | --demo");
+    ExitCode::FAILURE
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let source = match args.as_slice() {
-        [flag] if flag == "--demo" => DEMO.to_owned(),
-        [path] => match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("viewcap-cli: cannot read `{path}`: {e}");
-                return ExitCode::FAILURE;
+    let mut options = ScenarioOptions::default();
+    let mut stats = false;
+    let mut source: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--demo" if source.is_none() => source = Some(DEMO.to_owned()),
+            "--stats" => stats = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("viewcap-cli: --jobs needs a number (0 = all cores)");
+                    return ExitCode::FAILURE;
+                };
+                options.jobs = n;
             }
-        },
-        _ => {
-            eprintln!("usage: viewcap-cli <scenario-file> | --demo");
-            return ExitCode::FAILURE;
+            path if !path.starts_with('-') && source.is_none() => {
+                match std::fs::read_to_string(path) {
+                    Ok(s) => source = Some(s),
+                    Err(e) => {
+                        eprintln!("viewcap-cli: cannot read `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            _ => return usage(),
         }
+    }
+    let Some(source) = source else {
+        return usage();
     };
 
-    match run_scenario(&source) {
+    match run_scenario_with(&source, &options) {
         Ok(outcome) => {
             print!("{}", outcome.report);
             println!(
                 "-- {} check(s) answered YES, {} answered NO",
                 outcome.yes, outcome.no
             );
+            if stats {
+                println!("-- cache: {}", outcome.stats);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

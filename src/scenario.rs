@@ -22,20 +22,44 @@
 //! nonredundant V
 //! simplify V
 //! frontier V 2
+//!
+//! # many questions at once: deduplicated, cached, run in parallel
+//! batch {
+//!   check equivalent V W
+//!   check member V pi{A}(R)
+//!   check member W pi{A}(R)
+//! }
 //! ```
 //!
 //! Execution is deterministic; every command appends lines to the report.
+//! All `check`s (single or batched) route through the
+//! [`viewcap_engine::Engine`], so repeated questions — within a batch or
+//! across the whole scenario — are answered from the verdict cache. The
+//! report is byte-identical for every `--jobs` setting.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use viewcap_base::{Catalog, RelId};
 use viewcap_core::closure::capacity_members;
-use viewcap_core::equivalence::{dominates, equivalent};
 use viewcap_core::redundancy::make_nonredundant;
 use viewcap_core::simplify::simplify_view;
-use viewcap_core::{cap_contains, Query, SearchBudget, View};
+use viewcap_core::{Query, SearchBudget, View};
+use viewcap_engine::{CacheStats, Check, Decision, Engine, Verdict, Workload};
 use viewcap_expr::display::{display_expr, display_scheme};
 use viewcap_expr::parse_expr;
+
+/// Execution options for [`run_scenario_with`].
+#[derive(Clone, Debug)]
+pub struct ScenarioOptions {
+    /// Worker threads for `batch` blocks (`0` = available parallelism).
+    pub jobs: usize,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> Self {
+        ScenarioOptions { jobs: 1 }
+    }
+}
 
 /// A parsed-and-executed scenario.
 #[derive(Debug)]
@@ -46,6 +70,8 @@ pub struct ScenarioOutcome {
     pub yes: usize,
     /// Number of `check` commands that answered "no".
     pub no: usize,
+    /// Verdict-cache counters accumulated over the run.
+    pub stats: CacheStats,
 }
 
 /// Errors from scenario parsing or execution.
@@ -69,17 +95,30 @@ struct Runner {
     catalog: Catalog,
     views: BTreeMap<String, View>,
     budget: SearchBudget,
+    engine: Engine,
+    jobs: usize,
     report: String,
     yes: usize,
     no: usize,
 }
 
-/// Run a scenario from source text.
+/// Run a scenario from source text with default options (sequential).
 pub fn run_scenario(src: &str) -> Result<ScenarioOutcome, ScenarioError> {
+    run_scenario_with(src, &ScenarioOptions::default())
+}
+
+/// Run a scenario from source text.
+pub fn run_scenario_with(
+    src: &str,
+    options: &ScenarioOptions,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    let budget = SearchBudget::default();
     let mut runner = Runner {
         catalog: Catalog::new(),
         views: BTreeMap::new(),
-        budget: SearchBudget::default(),
+        engine: Engine::with_budget(budget.clone()),
+        jobs: options.jobs,
+        budget,
         report: String::new(),
         yes: 0,
         no: 0,
@@ -97,11 +136,8 @@ pub fn run_scenario(src: &str) -> Result<ScenarioOutcome, ScenarioError> {
         }
         let (head, rest) = split_word(&line);
         match head {
-            "rel" => runner
-                .cmd_rel(rest)
-                .map_err(|m| err(lineno, m))?,
+            "rel" => runner.cmd_rel(rest).map_err(|m| err(lineno, m))?,
             "view" => {
-                // Collect the block up to the closing brace.
                 let name = rest.trim_end_matches('{').trim().to_owned();
                 if name.is_empty() {
                     return Err(err(lineno, "view needs a name".into()));
@@ -109,24 +145,19 @@ pub fn run_scenario(src: &str) -> Result<ScenarioOutcome, ScenarioError> {
                 if !line.ends_with('{') {
                     return Err(err(lineno, "expected `{` to open the view block".into()));
                 }
-                let mut body = Vec::new();
-                loop {
-                    if i >= lines.len() {
-                        return Err(err(lineno, format!("view `{name}` is never closed")));
-                    }
-                    let bl = strip_comment(lines[i]).trim().to_owned();
-                    let blno = i + 1;
-                    i += 1;
-                    if bl == "}" {
-                        break;
-                    }
-                    if !bl.is_empty() {
-                        body.push((blno, bl));
-                    }
-                }
+                let body = collect_block(&lines, &mut i)
+                    .ok_or_else(|| err(lineno, format!("view `{name}` is never closed")))?;
                 runner.cmd_view(&name, &body).map_err(|(l, m)| err(l, m))?;
             }
             "check" => runner.cmd_check(rest).map_err(|m| err(lineno, m))?,
+            "batch" => {
+                if rest.trim() != "{" {
+                    return Err(err(lineno, "expected `batch {`".into()));
+                }
+                let body = collect_block(&lines, &mut i)
+                    .ok_or_else(|| err(lineno, "batch block is never closed".into()))?;
+                runner.cmd_batch(&body).map_err(|(l, m)| err(l, m))?;
+            }
             "nonredundant" => runner.cmd_nonredundant(rest).map_err(|m| err(lineno, m))?,
             "simplify" => runner.cmd_simplify(rest).map_err(|m| err(lineno, m))?,
             "frontier" => runner.cmd_frontier(rest).map_err(|m| err(lineno, m))?,
@@ -137,7 +168,26 @@ pub fn run_scenario(src: &str) -> Result<ScenarioOutcome, ScenarioError> {
         report: runner.report,
         yes: runner.yes,
         no: runner.no,
+        stats: runner.engine.cache_stats(),
     })
+}
+
+/// Collect nonempty lines (with 1-based line numbers) up to the closing
+/// `}` of a block, advancing `i` past it. `None` if the block never closes.
+fn collect_block(lines: &[&str], i: &mut usize) -> Option<Vec<(usize, String)>> {
+    let mut body = Vec::new();
+    loop {
+        let line = lines.get(*i)?;
+        let stripped = strip_comment(line).trim().to_owned();
+        let lineno = *i + 1;
+        *i += 1;
+        if stripped == "}" {
+            return Some(body);
+        }
+        if !stripped.is_empty() {
+            body.push((lineno, stripped));
+        }
+    }
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -190,8 +240,8 @@ impl Runner {
             let (vname, src) = entry
                 .split_once('=')
                 .ok_or((*lineno, "expected `Name = expression`".to_owned()))?;
-            let expr = parse_expr(src.trim(), &self.catalog)
-                .map_err(|e| (*lineno, e.to_string()))?;
+            let expr =
+                parse_expr(src.trim(), &self.catalog).map_err(|e| (*lineno, e.to_string()))?;
             let q = Query::from_expr(expr.clone(), &self.catalog);
             let rel = self
                 .catalog
@@ -201,6 +251,10 @@ impl Runner {
         }
         let view = View::from_exprs(pairs, &self.catalog)
             .map_err(|e| (body.first().map_or(0, |(l, _)| *l), e.to_string()))?;
+        // Warm the canonical-key memos now: every later check clones this
+        // view, and clones inherit the filled caches, so fingerprinting a
+        // whole workload against it costs one canonicalization per query.
+        let _ = viewcap_engine::view_fingerprint(&view);
         let _ = writeln!(
             self.report,
             "view {name} defined with {} relation(s)",
@@ -210,59 +264,116 @@ impl Runner {
         Ok(())
     }
 
-    fn cmd_check(&mut self, rest: &str) -> Result<(), String> {
+    /// Parse the tail of a `check` command into an engine [`Check`] plus
+    /// its display label.
+    fn parse_check(&self, rest: &str) -> Result<(String, Check), String> {
         let (kind, args) = split_word(rest);
         match kind {
             "equivalent" => {
                 let (a, b) = split_word(args);
-                let (va, vb) = (self.view(a)?.clone(), self.view(b)?.clone());
-                let res = equivalent(&va, &vb, &self.catalog).map_err(|e| e.to_string())?;
-                self.record_bool(
-                    &format!("check equivalent {a} {b}"),
-                    res.is_some(),
-                );
+                Ok((
+                    format!("check equivalent {a} {b}"),
+                    Check::Equivalent {
+                        left: self.view(a)?.clone(),
+                        right: self.view(b)?.clone(),
+                    },
+                ))
             }
             "dominates" => {
                 let (a, b) = split_word(args);
-                let (va, vb) = (self.view(a)?.clone(), self.view(b)?.clone());
-                let res = dominates(&va, &vb, &self.catalog).map_err(|e| e.to_string())?;
-                self.record_bool(&format!("check dominates {a} {b}"), res.is_some());
+                Ok((
+                    format!("check dominates {a} {b}"),
+                    Check::Dominates {
+                        dominator: self.view(a)?.clone(),
+                        dominated: self.view(b)?.clone(),
+                    },
+                ))
             }
             "member" => {
                 let (vname, expr_src) = split_word(args);
                 let view = self.view(vname)?.clone();
-                let expr =
-                    parse_expr(expr_src, &self.catalog).map_err(|e| e.to_string())?;
-                let goal = Query::from_expr(expr, &self.catalog);
-                let res = cap_contains(&view, &goal, &self.catalog, &self.budget)
-                    .map_err(|e| e.to_string())?;
-                match &res {
-                    Some(proof) => {
-                        let names: Vec<RelId> = view.schema();
-                        let skel = proof.skeleton_with_names(&names);
-                        let _ = writeln!(
-                            self.report,
-                            "check member {vname} {expr_src}: YES via {}",
-                            display_expr(&skel, &self.catalog)
-                        );
-                        self.yes += 1;
-                    }
-                    None => {
-                        let _ = writeln!(
-                            self.report,
-                            "check member {vname} {expr_src}: NO"
-                        );
-                        self.no += 1;
-                    }
-                }
+                let expr = parse_expr(expr_src, &self.catalog).map_err(|e| e.to_string())?;
+                Ok((
+                    format!("check member {vname} {expr_src}"),
+                    Check::Member {
+                        view,
+                        goal: Query::from_expr(expr, &self.catalog),
+                    },
+                ))
             }
-            other => return Err(format!("unknown check `{other}`")),
+            other => Err(format!("unknown check `{other}`")),
         }
+    }
+
+    /// Append the report line for one decided check.
+    fn record_decision(&mut self, label: &str, check: &Check, decision: &Decision) {
+        match (&*decision.verdict, check) {
+            (Verdict::Member(Some(proof)), Check::Member { view, .. }) => {
+                let names: Vec<RelId> = decision
+                    .member_witness_names(view)
+                    .unwrap_or_else(|| view.schema());
+                let skel = proof.skeleton_with_names(&names);
+                let _ = writeln!(
+                    self.report,
+                    "{label}: YES via {}",
+                    display_expr(&skel, &self.catalog)
+                );
+                self.yes += 1;
+            }
+            (verdict, _) => self.record_bool(label, verdict.is_yes()),
+        }
+    }
+
+    fn cmd_check(&mut self, rest: &str) -> Result<(), String> {
+        let (label, check) = self.parse_check(rest)?;
+        let decision = self
+            .engine
+            .decide(&check, &self.catalog)
+            .map_err(|e| e.to_string())?;
+        self.record_decision(&label, &check, &decision);
+        Ok(())
+    }
+
+    /// Run a `batch { ... }` block through the engine: every line is a
+    /// `check` command; the block is deduplicated, answered from the
+    /// verdict cache where possible, and the rest computed in parallel.
+    fn cmd_batch(&mut self, body: &[(usize, String)]) -> Result<(), (usize, String)> {
+        let mut workload = Workload::new();
+        for (lineno, entry) in body {
+            let (head, rest) = split_word(entry);
+            if head != "check" {
+                return Err((
+                    *lineno,
+                    format!("batch blocks only hold `check` commands, got `{head}`"),
+                ));
+            }
+            let (label, check) = self.parse_check(rest).map_err(|m| (*lineno, m))?;
+            workload.push(label, check);
+        }
+        let outcome = self.engine.run_batch(&workload, &self.catalog, self.jobs);
+        // `body` and `workload.requests` are zipped 1:1, so errors point at
+        // the failing check's own line.
+        for ((lineno, _), (request, result)) in body
+            .iter()
+            .zip(workload.requests.iter().zip(&outcome.results))
+        {
+            let decision = result.as_ref().map_err(|e| (*lineno, e.to_string()))?;
+            self.record_decision(&request.label, &request.check, decision);
+        }
+        let _ = writeln!(
+            self.report,
+            "batch: {} check(s), {} distinct, {} answered from cache, {} executed",
+            outcome.total, outcome.distinct, outcome.cache_hits, outcome.executed
+        );
         Ok(())
     }
 
     fn record_bool(&mut self, what: &str, outcome: bool) {
-        let _ = writeln!(self.report, "{what}: {}", if outcome { "YES" } else { "NO" });
+        let _ = writeln!(
+            self.report,
+            "{what}: {}",
+            if outcome { "YES" } else { "NO" }
+        );
         if outcome {
             self.yes += 1;
         } else {
@@ -317,8 +428,8 @@ impl Runner {
             .trim()
             .parse()
             .map_err(|_| format!("bad atom bound `{k_src}`"))?;
-        let members = capacity_members(&view, k, &self.catalog, &self.budget)
-            .map_err(|e| e.to_string())?;
+        let members =
+            capacity_members(&view, k, &self.catalog, &self.budget).map_err(|e| e.to_string())?;
         let _ = writeln!(
             self.report,
             "frontier {vname} {k}: {} distinct member(s)",
@@ -366,6 +477,25 @@ check member V R
         assert!(out.report.contains("check equivalent V W: YES"));
         assert!(out.report.contains("check member V R: NO"));
         assert!(out.report.contains("YES via"));
+    }
+
+    #[test]
+    fn cached_witnesses_survive_later_catalog_growth() {
+        // The second `check member` hits the verdict cache (equal view
+        // fingerprints), and its witness must render with W's name even
+        // though W (and S) were minted after the verdict was computed —
+        // the proof's catalog snapshot predates them.
+        let src = "rel R(A, B, C)\n\
+                   view V {\n  X = pi{A}(R)\n}\n\
+                   check member V pi{A}(R)\n\
+                   rel S(A, B)\n\
+                   view W {\n  Y = pi{A}(R)\n}\n\
+                   check member W pi{A}(R)\n";
+        let out = run_scenario(src).unwrap();
+        assert_eq!(out.yes, 2, "report:\n{}", out.report);
+        assert!(out.report.contains("check member V pi{A}(R): YES via X"));
+        assert!(out.report.contains("check member W pi{A}(R): YES via Y"));
+        assert_eq!(out.stats.hits, 1);
     }
 
     #[test]

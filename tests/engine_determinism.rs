@@ -1,0 +1,88 @@
+//! Scenario-level determinism of the batch engine: the report text a user
+//! sees must not depend on the `--jobs` setting, and rerunning a scenario's
+//! batches against a warm cache must answer identically.
+
+use proptest::prelude::*;
+use viewcap::scenario::{run_scenario_with, ScenarioOptions};
+
+/// A scenario with a batch big enough to keep 8 workers busy.
+const BATCH_SCENARIO: &str = r#"
+rel R(A, B, C)
+rel S(C, D)
+
+view V {
+  Joined = pi{A,B}(R) * pi{B,C}(R)
+}
+view W {
+  Left  = pi{A,B}(R)
+  Right = pi{B,C}(R)
+}
+view Wide {
+  Bridge = pi{B,C}(R) * S
+}
+
+batch {
+  check equivalent V W
+  check equivalent V Wide
+  check dominates V W
+  check dominates W V
+  check dominates Wide V
+  check member V pi{A}(R)
+  check member V pi{B}(R)
+  check member V pi{C}(R)
+  check member W pi{A,C}(pi{A,B}(R) * pi{B,C}(R))
+  check member Wide pi{B,D}(R * S)
+  check member V R
+  check member Wide pi{A}(R)
+}
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Byte-identical reports for every worker count, including
+    /// oversubscription.
+    #[test]
+    fn report_is_independent_of_jobs(jobs in 2usize..12) {
+        let sequential = run_scenario_with(BATCH_SCENARIO, &ScenarioOptions { jobs: 1 }).unwrap();
+        let parallel = run_scenario_with(BATCH_SCENARIO, &ScenarioOptions { jobs }).unwrap();
+        prop_assert_eq!(&parallel.report, &sequential.report);
+        prop_assert_eq!(parallel.yes, sequential.yes);
+        prop_assert_eq!(parallel.no, sequential.no);
+    }
+}
+
+#[test]
+fn warm_cache_answers_match_cold_answers() {
+    // The same batch twice in one scenario: the second must be answered
+    // entirely from the cache, with the same YES/NO lines.
+    let twice = format!(
+        "{BATCH_SCENARIO}\n{}",
+        BATCH_SCENARIO
+            .lines()
+            .skip_while(|l| !l.starts_with("batch"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let out = run_scenario_with(&twice, &ScenarioOptions { jobs: 4 }).unwrap();
+    let batch_lines: Vec<&str> = out
+        .report
+        .lines()
+        .filter(|l| l.starts_with("batch: "))
+        .collect();
+    assert_eq!(batch_lines.len(), 2, "report:\n{}", out.report);
+    assert!(
+        batch_lines[1].ends_with("12 answered from cache, 0 executed"),
+        "second batch should be fully cached: {}",
+        batch_lines[1]
+    );
+
+    // The per-check lines of both batches must be identical.
+    let checks: Vec<&str> = out
+        .report
+        .lines()
+        .filter(|l| l.starts_with("check "))
+        .collect();
+    let (first, second) = checks.split_at(checks.len() / 2);
+    assert_eq!(first, second, "report:\n{}", out.report);
+}

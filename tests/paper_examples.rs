@@ -14,8 +14,8 @@ use viewcap_core::essential::{
 use viewcap_core::redundancy::{is_nonredundant_view, is_redundant};
 use viewcap_expr::parse_expr;
 use viewcap_template::{
-    apply_assignment, canon::is_isomorphic, connected_components, eval_template,
-    find_homomorphism, for_each_homomorphism, reduce, substitute, template_of_expr, Homomorphism,
+    apply_assignment, canon::is_isomorphic, connected_components, eval_template, find_homomorphism,
+    for_each_homomorphism, reduce, substitute, template_of_expr, Homomorphism,
 };
 
 fn sym(a: AttrId, o: u32) -> Symbol {
@@ -59,18 +59,8 @@ mod figure1 {
     fn template_t(w: &World) -> Template {
         Template::new(vec![
             TaggedTuple::new(w.eta[0], vec![zero(w.a), sym(w.b, 1)], &w.cat).unwrap(),
-            TaggedTuple::new(
-                w.eta[1],
-                vec![sym(w.a, 1), zero(w.b), sym(w.c, 2)],
-                &w.cat,
-            )
-            .unwrap(),
-            TaggedTuple::new(
-                w.eta[1],
-                vec![sym(w.a, 1), sym(w.b, 2), zero(w.c)],
-                &w.cat,
-            )
-            .unwrap(),
+            TaggedTuple::new(w.eta[1], vec![sym(w.a, 1), zero(w.b), sym(w.c, 2)], &w.cat).unwrap(),
+            TaggedTuple::new(w.eta[1], vec![sym(w.a, 1), sym(w.b, 2), zero(w.c)], &w.cat).unwrap(),
         ])
         .unwrap()
     }
@@ -78,18 +68,8 @@ mod figure1 {
     /// S₁ = {(a₃, 0_B, c₃)@η₃, (0_A, b₃, c₃)@η₃} with TRS {A,B}.
     fn template_s1(w: &World) -> Template {
         Template::new(vec![
-            TaggedTuple::new(
-                w.eta[2],
-                vec![sym(w.a, 3), zero(w.b), sym(w.c, 3)],
-                &w.cat,
-            )
-            .unwrap(),
-            TaggedTuple::new(
-                w.eta[2],
-                vec![zero(w.a), sym(w.b, 3), sym(w.c, 3)],
-                &w.cat,
-            )
-            .unwrap(),
+            TaggedTuple::new(w.eta[2], vec![sym(w.a, 3), zero(w.b), sym(w.c, 3)], &w.cat).unwrap(),
+            TaggedTuple::new(w.eta[2], vec![zero(w.a), sym(w.b, 3), sym(w.c, 3)], &w.cat).unwrap(),
         ])
         .unwrap()
     }
@@ -97,14 +77,8 @@ mod figure1 {
     /// S₂ = {(0_A, 0_B, c₄)@η₄, (a₄, b₄, 0_C)@η₄} with TRS {A,B,C}.
     fn template_s2(w: &World) -> Template {
         Template::new(vec![
-            TaggedTuple::new(w.eta[3], vec![zero(w.a), zero(w.b), sym(w.c, 4)], &w.cat)
-                .unwrap(),
-            TaggedTuple::new(
-                w.eta[3],
-                vec![sym(w.a, 4), sym(w.b, 4), zero(w.c)],
-                &w.cat,
-            )
-            .unwrap(),
+            TaggedTuple::new(w.eta[3], vec![zero(w.a), zero(w.b), sym(w.c, 4)], &w.cat).unwrap(),
+            TaggedTuple::new(w.eta[3], vec![sym(w.a, 4), sym(w.b, 4), zero(w.c)], &w.cat).unwrap(),
         ])
         .unwrap()
     }
@@ -212,20 +186,14 @@ mod figure1 {
         let m = |a: AttrId, o: u32| sym(a, o + 40); // marks, clear of T/S symbols
         let expected = Template::new(vec![
             // ⟨τ₁,σ₁⟩, ⟨τ₁,σ₂⟩
-            TaggedTuple::new(w.eta[2], vec![m(w.a, 1), sym(w.b, 1), m(w.c, 1)], &w.cat)
-                .unwrap(),
-            TaggedTuple::new(w.eta[2], vec![zero(w.a), m(w.b, 1), m(w.c, 1)], &w.cat)
-                .unwrap(),
+            TaggedTuple::new(w.eta[2], vec![m(w.a, 1), sym(w.b, 1), m(w.c, 1)], &w.cat).unwrap(),
+            TaggedTuple::new(w.eta[2], vec![zero(w.a), m(w.b, 1), m(w.c, 1)], &w.cat).unwrap(),
             // ⟨τ₂,σ₃⟩, ⟨τ₂,σ₄⟩
-            TaggedTuple::new(w.eta[3], vec![sym(w.a, 1), zero(w.b), m(w.c, 2)], &w.cat)
-                .unwrap(),
-            TaggedTuple::new(w.eta[3], vec![m(w.a, 2), m(w.b, 2), sym(w.c, 2)], &w.cat)
-                .unwrap(),
+            TaggedTuple::new(w.eta[3], vec![sym(w.a, 1), zero(w.b), m(w.c, 2)], &w.cat).unwrap(),
+            TaggedTuple::new(w.eta[3], vec![m(w.a, 2), m(w.b, 2), sym(w.c, 2)], &w.cat).unwrap(),
             // ⟨τ₃,σ₃⟩, ⟨τ₃,σ₄⟩
-            TaggedTuple::new(w.eta[3], vec![sym(w.a, 1), sym(w.b, 2), m(w.c, 3)], &w.cat)
-                .unwrap(),
-            TaggedTuple::new(w.eta[3], vec![m(w.a, 3), m(w.b, 3), zero(w.c)], &w.cat)
-                .unwrap(),
+            TaggedTuple::new(w.eta[3], vec![sym(w.a, 1), sym(w.b, 2), m(w.c, 3)], &w.cat).unwrap(),
+            TaggedTuple::new(w.eta[3], vec![m(w.a, 3), m(w.b, 3), zero(w.c)], &w.cat).unwrap(),
         ])
         .unwrap();
         assert!(is_isomorphic(&sub.result, &expected));
@@ -321,18 +289,8 @@ mod figure2 {
     fn template_t(w: &World) -> Template {
         Template::new(vec![
             TaggedTuple::new(w.eta1, vec![zero(w.a), sym(w.b, 1)], &w.cat).unwrap(),
-            TaggedTuple::new(
-                w.eta2,
-                vec![sym(w.a, 1), sym(w.b, 1), zero(w.c)],
-                &w.cat,
-            )
-            .unwrap(),
-            TaggedTuple::new(
-                w.eta2,
-                vec![sym(w.a, 2), zero(w.b), zero(w.c)],
-                &w.cat,
-            )
-            .unwrap(),
+            TaggedTuple::new(w.eta2, vec![sym(w.a, 1), sym(w.b, 1), zero(w.c)], &w.cat).unwrap(),
+            TaggedTuple::new(w.eta2, vec![sym(w.a, 2), zero(w.b), zero(w.c)], &w.cat).unwrap(),
         ])
         .unwrap()
     }
@@ -341,8 +299,7 @@ mod figure2 {
         let t1 = TaggedTuple::new(w.eta1, vec![zero(w.a), sym(w.b, 1)], &w.cat).unwrap();
         let t2 =
             TaggedTuple::new(w.eta2, vec![sym(w.a, 1), sym(w.b, 1), zero(w.c)], &w.cat).unwrap();
-        let t3 =
-            TaggedTuple::new(w.eta2, vec![sym(w.a, 2), zero(w.b), zero(w.c)], &w.cat).unwrap();
+        let t3 = TaggedTuple::new(w.eta2, vec![sym(w.a, 2), zero(w.b), zero(w.c)], &w.cat).unwrap();
         (
             t.index_of(&t1).unwrap(),
             t.index_of(&t2).unwrap(),
@@ -359,7 +316,9 @@ mod figure2 {
         // Components: {τ₁, τ₂} linked by b₁, and {τ₃}.
         let comps = connected_components(&t);
         assert_eq!(comps.len(), 2);
-        assert!(comps.iter().any(|g| g.len() == 2 && g.contains(&i1) && g.contains(&i2)));
+        assert!(comps
+            .iter()
+            .any(|g| g.len() == 2 && g.contains(&i1) && g.contains(&i2)));
         assert!(comps.iter().any(|g| g == &vec![i3]));
     }
 
@@ -391,9 +350,12 @@ mod figure2 {
         assert_eq!(skeleton_template.len(), 3, "E has rows ε₁, ε₂, ε₃");
 
         let mut beta = Assignment::new();
-        beta.set(l1, queries[0].template().clone(), &scratch).unwrap();
-        beta.set(l2, queries[1].template().clone(), &scratch).unwrap();
-        beta.set(l3, queries[1].template().clone(), &scratch).unwrap();
+        beta.set(l1, queries[0].template().clone(), &scratch)
+            .unwrap();
+        beta.set(l2, queries[1].template().clone(), &scratch)
+            .unwrap();
+        beta.set(l3, queries[1].template().clone(), &scratch)
+            .unwrap();
         let substitution = substitute(&skeleton_template, &beta, &scratch).unwrap();
 
         // E → β must be a construction of T: equivalent templates.
@@ -426,9 +388,9 @@ mod figure2 {
                 .unwrap()
         };
         let want = [
-            (i1, member(e1, 0)),       // f(τ₁) ∈ S-block of ε₁ (S has one tuple)
-            (i2, member(e2, i3)),      // f(τ₂) = ⟨ε₂, τ₃⟩
-            (i3, member(e3, i3)),      // f(τ₃) = ⟨ε₃, τ₃⟩
+            (i1, member(e1, 0)),  // f(τ₁) ∈ S-block of ε₁ (S has one tuple)
+            (i2, member(e2, i3)), // f(τ₂) = ⟨ε₂, τ₃⟩
+            (i3, member(e3, i3)), // f(τ₃) = ⟨ε₃, τ₃⟩
         ];
         let mut found: Option<Homomorphism> = None;
         let _ = for_each_homomorphism(&goal, &substitution.result, &mut |h| {
@@ -485,13 +447,18 @@ mod figure2 {
         let (i1, i2, i3) = tuple_indices(&w, queries[1].template());
         let ess = essential_tuples(&queries, 1, &w.cat, &SearchBudget::default()).unwrap();
         assert!(ess[i3], "τ₃ is essential (Example 3.2.2)");
-        assert!(!ess[i1], "τ₁ is not self-descendent in Figure 2's construction");
-        assert!(!ess[i2], "τ₂ is not self-descendent in Figure 2's construction");
+        assert!(
+            !ess[i1],
+            "τ₁ is not self-descendent in Figure 2's construction"
+        );
+        assert!(
+            !ess[i2],
+            "τ₂ is not self-descendent in Figure 2's construction"
+        );
         // {τ₃} is an essential connected component; by Theorem 3.3.7 the
         // essential tuples are exactly the union of essential components.
         let comps =
-            essential_connected_components(&queries, 1, &w.cat, &SearchBudget::default())
-                .unwrap();
+            essential_connected_components(&queries, 1, &w.cat, &SearchBudget::default()).unwrap();
         assert_eq!(comps, vec![vec![i3]]);
     }
 
@@ -538,17 +505,17 @@ fn example_3_1_1_redundancy() {
     let s1 = Query::from_expr(parse_expr("pi{A,B}(R)", &cat).unwrap(), &cat);
     let s2 = Query::from_expr(parse_expr("pi{B,C}(R)", &cat).unwrap(), &cat);
     let set = [s, s1.clone(), s2.clone()];
-    let proof = is_redundant(&set, 0, &cat).unwrap().expect("S is redundant");
+    let proof = is_redundant(&set, 0, &cat)
+        .unwrap()
+        .expect("S is redundant");
     // The witnessing construction joins the two projections.
     assert_eq!(proof.skeleton.atom_count(), 2);
-    assert!(
-        viewcap_core::redundancy::is_nonredundant_set(
-            &[s1, s2],
-            &cat,
-            &SearchBudget::default()
-        )
-        .unwrap()
-    );
+    assert!(viewcap_core::redundancy::is_nonredundant_set(
+        &[s1, s2],
+        &cat,
+        &SearchBudget::default()
+    )
+    .unwrap());
 }
 
 /// Example 3.1.5: equivalent nonredundant views of different sizes.

@@ -16,9 +16,7 @@ use viewcap_gen::{
     chain_join_expr, chain_world, random_expr, random_instantiation, random_world, star_join_expr,
     star_world, WorldSpec,
 };
-use viewcap_template::{
-    eval_template, for_each_candidate, reduce, template_of_expr, SearchLimits,
-};
+use viewcap_template::{eval_template, for_each_candidate, reduce, template_of_expr, SearchLimits};
 
 /// Proposition 2.1.2 at scale: `T_E(α) = E(α)` on random expressions and
 /// random instantiations.
@@ -68,8 +66,7 @@ fn reduction_preserves_evaluation() {
 
 /// Normalization preserves both the mapping and the induced template.
 #[test]
-fn normalization_preserves_semantics_and_templates()
-{
+fn normalization_preserves_semantics_and_templates() {
     let mut rng = StdRng::seed_from_u64(9003);
     let (cat, rels) = random_world(&mut rng, &WorldSpec::default());
     for _ in 0..25 {
@@ -136,7 +133,10 @@ fn search_candidates_match_their_expressions() {
         },
     )
     .unwrap();
-    assert!(inspected >= 20, "engine produced only {inspected} candidates");
+    assert!(
+        inspected >= 20,
+        "engine produced only {inspected} candidates"
+    );
 }
 
 /// Chain-family agreement: evaluation through relations, expressions, and
@@ -196,9 +196,6 @@ fn mappings_are_monotone() {
         }
         let out_small = e.eval(&small, &cat);
         let out_big = e.eval(&big, &cat);
-        assert!(
-            out_small.is_subset_of(&out_big),
-            "monotonicity violated"
-        );
+        assert!(out_small.is_subset_of(&out_big), "monotonicity violated");
     }
 }

@@ -1,6 +1,6 @@
 //! The shipped scenario files must keep running (and answering correctly).
 
-use viewcap::scenario::run_scenario;
+use viewcap::scenario::{run_scenario, run_scenario_with, ScenarioOptions};
 
 #[test]
 fn example_3_1_5_scenario() {
@@ -18,6 +18,35 @@ fn security_audit_scenario() {
     assert_eq!(out.yes, 2, "report:\n{}", out.report);
     assert_eq!(out.no, 3);
     assert!(out.report.contains("pi{Name,Salary}(Staff): NO"));
+}
+
+#[test]
+fn batch_workload_scenario() {
+    let src = include_str!("../scenarios/batch_workload.vcap");
+    let out = run_scenario(src).unwrap();
+    assert_eq!(out.yes, 12, "report:\n{}", out.report);
+    assert_eq!(out.no, 1);
+    // First batch: orientation-free equivalence keys, canonical-template
+    // dedup, and a literal repeat collapse 10 checks to 7.
+    assert!(
+        out.report
+            .contains("batch: 10 check(s), 7 distinct, 0 answered from cache, 7 executed"),
+        "report:\n{}",
+        out.report
+    );
+    // Second batch: two of three answered from the warm cache.
+    assert!(
+        out.report
+            .contains("batch: 3 check(s), 3 distinct, 2 answered from cache, 1 executed"),
+        "report:\n{}",
+        out.report
+    );
+    assert_eq!(out.stats.hits, 2);
+
+    // The report must be byte-identical under parallel execution.
+    let par = run_scenario_with(src, &ScenarioOptions { jobs: 8 }).unwrap();
+    assert_eq!(par.report, out.report);
+    assert_eq!((par.yes, par.no), (out.yes, out.no));
 }
 
 #[test]

@@ -20,7 +20,9 @@
 //!   (Theorem 4.2.1), and regenerating the closure succeeds both ways.
 
 use viewcap::prelude::*;
-use viewcap_core::simplify::{is_simple, is_simplified_set, projection_provenance, simplify_queries};
+use viewcap_core::simplify::{
+    is_simple, is_simplified_set, projection_provenance, simplify_queries,
+};
 use viewcap_expr::parse_expr;
 
 fn world() -> Catalog {
@@ -49,7 +51,10 @@ fn neither_s_nor_t_is_simple_together() {
     let (s, t) = s_and_t(&cat);
     let set = [s, t];
     assert!(!is_simple(&set, 0, &cat).unwrap(), "S decomposes");
-    assert!(!is_simple(&set, 1, &cat).unwrap(), "T decomposes in the presence of S");
+    assert!(
+        !is_simple(&set, 1, &cat).unwrap(),
+        "T decomposes in the presence of S"
+    );
 }
 
 #[test]
@@ -117,7 +122,9 @@ fn simplified_equivalent_is_computed_and_verified() {
 
     // Same closure in both directions.
     for query in &simplified {
-        assert!(closure_contains(&set, query, &cat, &budget).unwrap().is_some());
+        assert!(closure_contains(&set, query, &cat, &budget)
+            .unwrap()
+            .is_some());
     }
     for query in &set {
         assert!(

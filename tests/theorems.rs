@@ -5,10 +5,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::ControlFlow;
 use viewcap::prelude::*;
-use viewcap_gen::{random_expr, random_instantiation, random_query, random_view, random_world, WorldSpec};
+use viewcap_gen::{
+    random_expr, random_instantiation, random_query, random_view, random_world, WorldSpec,
+};
 use viewcap_template::{
-    apply_assignment, eval_template, find_homomorphism, for_each_homomorphism, reduce,
-    substitute, template_of_expr,
+    apply_assignment, eval_template, find_homomorphism, for_each_homomorphism, reduce, substitute,
+    template_of_expr,
 };
 
 fn small_world(seed: u64) -> (StdRng, Catalog, Vec<RelId>) {
@@ -39,9 +41,17 @@ fn theorem_1_4_2_surrogates_randomized() {
 
         let direct = view.answer(&vq, &alpha, &cat).unwrap();
         let se = view.surrogate_expr(&vq, &cat).unwrap();
-        assert_eq!(se.eval(&alpha, &cat), direct, "expression surrogate, round {round}");
+        assert_eq!(
+            se.eval(&alpha, &cat),
+            direct,
+            "expression surrogate, round {round}"
+        );
         let sq = view.surrogate_query(&vq, &cat).unwrap();
-        assert_eq!(sq.eval(&alpha, &cat), direct, "template surrogate, round {round}");
+        assert_eq!(
+            sq.eval(&alpha, &cat),
+            direct,
+            "template surrogate, round {round}"
+        );
     }
 }
 
@@ -62,7 +72,9 @@ fn theorem_1_5_2_capacity_is_the_closure() {
     }
     // Closure under join.
     let joined = qs.queries()[0].join(&qs.queries()[1]);
-    assert!(cap_contains(&view, &joined, &cat, &budget).unwrap().is_some());
+    assert!(cap_contains(&view, &joined, &cat, &budget)
+        .unwrap()
+        .is_some());
     // Closure under projection (first proper projection of the join).
     if let Some(x) = joined.trs().proper_nonempty_subsets().into_iter().next() {
         let projected = joined.project(&x, &cat).unwrap();
@@ -152,7 +164,9 @@ fn proposition_2_4_1_frozen_instantiation() {
         // Freeze S: its tagged tuples become data.
         let mut alpha = Instantiation::new();
         for tup in s.tuples() {
-            alpha.insert_rows(tup.rel(), [tup.row().to_vec()], &cat).unwrap();
+            alpha
+                .insert_rows(tup.rel(), [tup.row().to_vec()], &cat)
+                .unwrap();
         }
         let id_row: Vec<Symbol> = s.trs().iter().map(Symbol::distinguished).collect();
         let semantic = eval_template(&t, &alpha, &cat).contains(&id_row);
@@ -360,7 +374,10 @@ fn surrogate_uniqueness_via_template_equivalence() {
         let vq = random_expr(&mut rng, &cat, &names, 2);
         let s1 = view.surrogate_query(&vq, &cat).unwrap();
         let s2 = Query::from_expr(view.surrogate_expr(&vq, &cat).unwrap(), &cat);
-        assert!(s1.equiv(&s2), "the two surrogate realizations must coincide");
+        assert!(
+            s1.equiv(&s2),
+            "the two surrogate realizations must coincide"
+        );
     }
 }
 
@@ -370,9 +387,18 @@ fn surrogate_uniqueness_via_template_equivalence() {
 fn homomorphisms_compose() {
     let (mut rng, cat, rels) = small_world(141);
     for _ in 0..10 {
-        let a = reduce(&template_of_expr(&random_expr(&mut rng, &cat, &rels, 2), &cat));
-        let b = reduce(&template_of_expr(&random_expr(&mut rng, &cat, &rels, 2), &cat));
-        let c = reduce(&template_of_expr(&random_expr(&mut rng, &cat, &rels, 1), &cat));
+        let a = reduce(&template_of_expr(
+            &random_expr(&mut rng, &cat, &rels, 2),
+            &cat,
+        ));
+        let b = reduce(&template_of_expr(
+            &random_expr(&mut rng, &cat, &rels, 2),
+            &cat,
+        ));
+        let c = reduce(&template_of_expr(
+            &random_expr(&mut rng, &cat, &rels, 1),
+            &cat,
+        ));
         let (Some(_f), Some(_g)) = (find_homomorphism(&a, &b), find_homomorphism(&b, &c)) else {
             continue;
         };
@@ -390,8 +416,14 @@ fn homomorphisms_compose() {
 fn hom_enumeration_contains_the_witness() {
     let (mut rng, cat, rels) = small_world(151);
     for _ in 0..10 {
-        let a = reduce(&template_of_expr(&random_expr(&mut rng, &cat, &rels, 2), &cat));
-        let b = reduce(&template_of_expr(&random_expr(&mut rng, &cat, &rels, 2), &cat));
+        let a = reduce(&template_of_expr(
+            &random_expr(&mut rng, &cat, &rels, 2),
+            &cat,
+        ));
+        let b = reduce(&template_of_expr(
+            &random_expr(&mut rng, &cat, &rels, 2),
+            &cat,
+        ));
         if let Some(w) = find_homomorphism(&a, &b) {
             let mut seen = false;
             let _ = for_each_homomorphism(&a, &b, &mut |h| {
