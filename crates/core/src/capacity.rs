@@ -43,13 +43,18 @@ pub struct SearchBudget {
 }
 
 /// A construction witnessing `Q ∈ closure(𝒯)` (Theorem 2.3.2).
+///
+/// Deliberately catalog-free: proofs are long-lived (the `viewcap-engine`
+/// verdict cache memoizes them, and cache persistence writes them to disk),
+/// so they must not pin the scratch-catalog snapshot they were computed in.
+/// Display goes through [`ClosureProof::skeleton_with_names`], which maps
+/// the scratch `λᵢ` onto caller-chosen names structurally; the `substituted`
+/// template mentions only underlying-schema names and evaluates against the
+/// caller's own catalog.
 #[derive(Clone, Debug)]
 pub struct ClosureProof {
     /// The skeleton expression over the scratch names `λᵢ`.
     pub skeleton: Expr,
-    /// The scratch catalog in which the `λᵢ` live (a clone of the caller's
-    /// catalog, extended).
-    pub catalog: Catalog,
     /// For each `λ` used anywhere in the search: `(λ, index into 𝒯)`.
     pub lambda_queries: Vec<(RelId, usize)>,
     /// The skeleton's (reduced) template over the `λᵢ`.
@@ -151,7 +156,6 @@ pub fn closure_contains(
             if equivalent_templates(&sub.result, goal.template()) {
                 proof = Some(ClosureProof {
                     skeleton: expr.clone(),
-                    catalog: scratch.clone(),
                     lambda_queries: lambda_queries.clone(),
                     skeleton_template: skel.clone(),
                     substituted: sub.result,

@@ -1,0 +1,358 @@
+//! Incremental re-checking: delta workloads over an evolving catalog.
+//!
+//! The decision procedures are one-shot, but real catalogs evolve: one
+//! view's defining query is edited and everything else stands. A
+//! [`DeltaWorkload`] keeps a *standing* workload of checks together with
+//! their last decisions and, per request, the canonical fingerprints of the
+//! views it touches. When a view is edited
+//! ([`DeltaWorkload::replace_view`]), only the requests whose dependency
+//! set contains the edited view are invalidated; [`DeltaWorkload::run`]
+//! re-poses exactly those to the engine (where the content-addressed
+//! verdict cache may *still* answer some of them — e.g. an edit that was
+//! reverted) and reuses every retained decision verbatim.
+//!
+//! **Correctness.** Fingerprints are content hashes, so a retained decision
+//! can only be wrong if an unedited request's answer changed — impossible,
+//! since its operand views (and hence the capacity questions they pose) are
+//! untouched. Two distinct views may share a fingerprint (equivalent
+//! defining-query multisets); replacement therefore matches operands by
+//! fingerprint *and* view schema, so editing one of two equivalent views
+//! never rewrites checks against the other. The differential conformance
+//! suite (`tests/delta_conformance.rs`) asserts byte-identical agreement
+//! with cold full re-runs across randomized edit sequences.
+
+use crate::cache::CacheKey;
+use crate::engine::{Decision, Engine};
+use crate::fingerprint::{view_fingerprint, Fingerprint};
+use crate::workload::{Check, Request, Workload};
+use std::collections::HashMap;
+use viewcap_base::Catalog;
+use viewcap_core::View;
+use viewcap_template::SearchOverflow;
+
+/// One standing request: the labeled check, its cache key, the fingerprints
+/// of the views it touches, and its retained decision (`None` = dirty).
+struct Standing {
+    request: Request,
+    key: CacheKey,
+    view_deps: Vec<Fingerprint>,
+    decision: Option<Result<Decision, SearchOverflow>>,
+}
+
+/// Summary of one [`DeltaWorkload::run`].
+#[derive(Debug)]
+pub struct DeltaOutcome {
+    /// Per-request outcomes, positionally aligned with the standing
+    /// workload. `Err` means the bounded search overflowed.
+    pub results: Vec<Result<Decision, SearchOverflow>>,
+    /// Standing requests.
+    pub total: usize,
+    /// Requests whose retained decision was reused without re-posing.
+    pub reused: usize,
+    /// Requests re-posed to the engine (dirty or never decided).
+    pub recomputed: usize,
+    /// Of the re-posed distinct classes, how many the verdict cache still
+    /// answered (e.g. a reverted edit, or cross-view sharing).
+    pub cache_hits: usize,
+    /// Distinct classes the engine actually computed.
+    pub executed: usize,
+}
+
+/// A standing workload with fingerprint-tracked dependencies and retained
+/// decisions, supporting catalog edits at the view level.
+#[derive(Default)]
+pub struct DeltaWorkload {
+    standing: Vec<Standing>,
+    /// `(cache key, label)` → standing indices, so `push_decided` upserts
+    /// in O(1) instead of scanning the workload (which would make feeding
+    /// an n-check batch O(n²)). Multiple indices under one key only when
+    /// fingerprint-equal but distinct views share a label — disambiguated
+    /// by operand schemas at lookup.
+    index: HashMap<(CacheKey, String), Vec<usize>>,
+}
+
+/// The fingerprints of every view a check touches (its dependency set).
+fn view_deps(check: &Check) -> Vec<Fingerprint> {
+    match check {
+        Check::Member { view, .. } => vec![view_fingerprint(view)],
+        Check::Dominates {
+            dominator,
+            dominated,
+        } => vec![view_fingerprint(dominator), view_fingerprint(dominated)],
+        Check::Equivalent { left, right } => {
+            vec![view_fingerprint(left), view_fingerprint(right)]
+        }
+    }
+}
+
+/// Does `operand` denote exactly the view `target`? Fingerprint equality
+/// pins the defining-query multiset; schema equality pins *which* view.
+fn same_view(operand: &View, target_fp: Fingerprint, target: &View) -> bool {
+    view_fingerprint(operand) == target_fp && operand.schema() == target.schema()
+}
+
+/// Same-kind checks over the same concrete views (by schema; the shared
+/// cache key already pins the semantic content). Equivalence is matched in
+/// either orientation, mirroring its orientation-free key.
+fn same_operands(a: &Check, b: &Check) -> bool {
+    match (a, b) {
+        (Check::Member { view: v1, .. }, Check::Member { view: v2, .. }) => {
+            v1.schema() == v2.schema()
+        }
+        (
+            Check::Dominates {
+                dominator: d1,
+                dominated: e1,
+            },
+            Check::Dominates {
+                dominator: d2,
+                dominated: e2,
+            },
+        ) => d1.schema() == d2.schema() && e1.schema() == e2.schema(),
+        (
+            Check::Equivalent {
+                left: l1,
+                right: r1,
+            },
+            Check::Equivalent {
+                left: l2,
+                right: r2,
+            },
+        ) => {
+            (l1.schema() == l2.schema() && r1.schema() == r2.schema())
+                || (l1.schema() == r2.schema() && r1.schema() == l2.schema())
+        }
+        _ => false,
+    }
+}
+
+impl DeltaWorkload {
+    /// Empty standing workload.
+    pub fn new() -> Self {
+        DeltaWorkload::default()
+    }
+
+    /// Number of standing requests.
+    pub fn len(&self) -> usize {
+        self.standing.len()
+    }
+
+    /// Is the standing workload empty?
+    pub fn is_empty(&self) -> bool {
+        self.standing.is_empty()
+    }
+
+    /// The standing requests, in submission order.
+    pub fn requests(&self) -> impl ExactSizeIterator<Item = &Request> + '_ {
+        self.standing.iter().map(|s| &s.request)
+    }
+
+    /// Clone the standing requests into a plain [`Workload`] — what a cold
+    /// engine would be asked; the conformance baseline.
+    pub fn to_workload(&self) -> Workload {
+        Workload {
+            requests: self.requests().cloned().collect(),
+        }
+    }
+
+    /// Index of the standing request that poses *the same question the
+    /// same way*: equal cache key, equal operand views (by schema — a
+    /// fingerprint-equal but distinct view is a different question for
+    /// editing purposes), and equal label. Anything looser would silently
+    /// drop user-posed checks from the standing workload.
+    fn position_of(&self, key: &CacheKey, check: &Check, label: &str) -> Option<usize> {
+        self.index
+            .get(&(*key, label.to_owned()))?
+            .iter()
+            .copied()
+            .find(|&i| same_operands(&self.standing[i].request.check, check))
+    }
+
+    fn index_insert(&mut self, key: CacheKey, label: &str, i: usize) {
+        self.index
+            .entry((key, label.to_owned()))
+            .or_default()
+            .push(i);
+    }
+
+    fn index_remove(&mut self, key: CacheKey, label: &str, i: usize) {
+        if let Some(slots) = self.index.get_mut(&(key, label.to_owned())) {
+            slots.retain(|&j| j != i);
+        }
+    }
+
+    /// Append an undecided check; it will compute on the next
+    /// [`DeltaWorkload::run`]. Returns its index.
+    pub fn push(&mut self, label: impl Into<String>, check: Check) -> usize {
+        self.push_inner(label.into(), check, None)
+    }
+
+    /// Append a check that was already decided (e.g. by
+    /// [`Engine::decide`]), seeding its retained decision so `run` will not
+    /// re-pose it. If an *identical* standing request exists (same key,
+    /// same operand views, same label), its decision is refreshed in place
+    /// instead. Returns the index.
+    pub fn push_decided(
+        &mut self,
+        label: impl Into<String>,
+        check: Check,
+        decision: Decision,
+    ) -> usize {
+        let label = label.into();
+        let key = Engine::cache_key(&check);
+        if let Some(i) = self.position_of(&key, &check, &label) {
+            self.standing[i].decision = Some(Ok(decision));
+            return i;
+        }
+        self.push_inner(label, check, Some(Ok(decision)))
+    }
+
+    fn push_inner(
+        &mut self,
+        label: String,
+        check: Check,
+        decision: Option<Result<Decision, SearchOverflow>>,
+    ) -> usize {
+        let key = Engine::cache_key(&check);
+        let deps = view_deps(&check);
+        let i = self.standing.len();
+        self.index_insert(key, &label, i);
+        self.standing.push(Standing {
+            request: Request { label, check },
+            key,
+            view_deps: deps,
+            decision,
+        });
+        i
+    }
+
+    /// Apply a catalog edit: the view `old` (typically with one defining
+    /// query added, removed, or replaced) becomes `new`. Every standing
+    /// request that touches `old` — found by fingerprint dependency
+    /// tracking, confirmed by schema — has that operand swapped for `new`
+    /// and its retained decision invalidated. Returns how many requests
+    /// were invalidated.
+    pub fn replace_view(&mut self, old: &View, new: &View) -> usize {
+        let old_fp = view_fingerprint(old);
+        let mut invalidated = 0;
+        for i in 0..self.standing.len() {
+            let s = &mut self.standing[i];
+            // Fast path: fingerprint dependency tracking.
+            if !s.view_deps.contains(&old_fp) {
+                continue;
+            }
+            let swap =
+                |v: &View| -> Option<View> { same_view(v, old_fp, old).then(|| new.clone()) };
+            let touched = match &mut s.request.check {
+                Check::Member { view, .. } => match swap(view) {
+                    Some(n) => {
+                        *view = n;
+                        true
+                    }
+                    None => false,
+                },
+                Check::Dominates {
+                    dominator,
+                    dominated,
+                } => {
+                    let mut t = false;
+                    for v in [dominator, dominated] {
+                        if let Some(n) = swap(v) {
+                            *v = n;
+                            t = true;
+                        }
+                    }
+                    t
+                }
+                Check::Equivalent { left, right } => {
+                    let mut t = false;
+                    for v in [left, right] {
+                        if let Some(n) = swap(v) {
+                            *v = n;
+                            t = true;
+                        }
+                    }
+                    t
+                }
+            };
+            if touched {
+                let old_key = s.key;
+                let new_key = Engine::cache_key(&s.request.check);
+                let label = s.request.label.clone();
+                s.key = new_key;
+                s.view_deps = view_deps(&s.request.check);
+                s.decision = None;
+                invalidated += 1;
+                if new_key != old_key {
+                    self.index_remove(old_key, &label, i);
+                    self.index_insert(new_key, &label, i);
+                }
+            }
+        }
+        invalidated
+    }
+
+    /// Remove every standing request that touches `view` (a view being
+    /// dropped from the catalog). Returns how many were removed.
+    pub fn remove_view(&mut self, view: &View) -> usize {
+        let fp = view_fingerprint(view);
+        let before = self.standing.len();
+        self.standing.retain(|s| {
+            !(s.view_deps.contains(&fp)
+                && match &s.request.check {
+                    Check::Member { view: v, .. } => same_view(v, fp, view),
+                    Check::Dominates {
+                        dominator,
+                        dominated,
+                    } => same_view(dominator, fp, view) || same_view(dominated, fp, view),
+                    Check::Equivalent { left, right } => {
+                        same_view(left, fp, view) || same_view(right, fp, view)
+                    }
+                })
+        });
+        // Removal shifts indices; rebuild the upsert index.
+        let mut index: HashMap<(CacheKey, String), Vec<usize>> = HashMap::new();
+        for (i, s) in self.standing.iter().enumerate() {
+            index
+                .entry((s.key, s.request.label.clone()))
+                .or_default()
+                .push(i);
+        }
+        self.index = index;
+        before - self.standing.len()
+    }
+
+    /// Decide the standing workload: re-pose only the dirty requests as one
+    /// batch (deduplicated, cache-resolved, parallel across `jobs`
+    /// workers), reuse every retained decision, and return the full
+    /// positionally-aligned picture.
+    pub fn run(&mut self, engine: &Engine, catalog: &Catalog, jobs: usize) -> DeltaOutcome {
+        let dirty: Vec<usize> = (0..self.standing.len())
+            .filter(|&i| self.standing[i].decision.is_none())
+            .collect();
+
+        let mut sub = Workload::new();
+        for &i in &dirty {
+            let r = &self.standing[i].request;
+            sub.push(r.label.clone(), r.check.clone());
+        }
+        let batch = engine.run_batch(&sub, catalog, jobs);
+        for (&i, result) in dirty.iter().zip(batch.results) {
+            self.standing[i].decision = Some(result);
+        }
+
+        let results = self
+            .standing
+            .iter()
+            .map(|s| s.decision.clone().expect("every request decided by run"))
+            .collect();
+        DeltaOutcome {
+            results,
+            total: self.standing.len(),
+            reused: self.standing.len() - dirty.len(),
+            recomputed: dirty.len(),
+            cache_hits: batch.cache_hits,
+            executed: batch.executed,
+        }
+    }
+}

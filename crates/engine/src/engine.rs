@@ -118,10 +118,26 @@ impl Engine {
 
     /// Engine with an explicit search budget.
     pub fn with_budget(budget: SearchBudget) -> Self {
-        Engine {
-            cache: VerdictCache::new(),
-            budget,
-        }
+        Engine::with_cache(budget, VerdictCache::new())
+    }
+
+    /// Engine over a caller-provided verdict cache — a bounded one
+    /// ([`VerdictCache::bounded`]) or one warmed from disk
+    /// ([`crate::persist::load_cache`]).
+    pub fn with_cache(budget: SearchBudget, cache: VerdictCache) -> Self {
+        Engine { cache, budget }
+    }
+
+    /// The engine's verdict cache (e.g. for persistence via
+    /// [`crate::persist::save_cache`]).
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
+    /// The engine's search budget, so callers driving non-engine
+    /// procedures alongside the engine can stay budget-consistent.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
     }
 
     /// Snapshot the cache counters.

@@ -31,6 +31,13 @@ impl Fingerprint {
     pub fn as_u128(self) -> u128 {
         self.0
     }
+
+    /// Rebuild a fingerprint from its raw value. Crate-internal: only the
+    /// persistence layer ([`crate::persist`]) may resurrect fingerprints,
+    /// and only ones that were produced by this module and saved verbatim.
+    pub(crate) fn from_raw(bits: u128) -> Fingerprint {
+        Fingerprint(bits)
+    }
 }
 
 impl fmt::Display for Fingerprint {
@@ -64,7 +71,7 @@ fn fold(words: impl Iterator<Item = u64>) -> Fingerprint {
 /// Test-only: a fingerprint with a chosen bit pattern.
 #[cfg(test)]
 pub(crate) fn test_fingerprint(n: u128) -> Fingerprint {
-    Fingerprint(n)
+    Fingerprint::from_raw(n)
 }
 
 /// Fingerprint of a query: hash of its reduced template's canonical key.

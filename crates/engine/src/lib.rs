@@ -14,10 +14,18 @@
 //!   templates, invariant under relation renaming and defining-query
 //!   reordering;
 //! * [`cache`] — a sharded `RwLock` verdict cache memoizing outcomes
-//!   *with their constructive witnesses*;
+//!   *with their constructive witnesses*, optionally bounded by a sharded
+//!   LRU-ish eviction policy;
 //! * [`workload`] / [`engine`] — batches of labeled checks, deduplicated
 //!   by fingerprint and executed across `std::thread::scope` workers with
-//!   deterministic, submission-ordered reassembly.
+//!   deterministic, submission-ordered reassembly;
+//! * [`delta`] — incremental re-checking: a standing workload that, after
+//!   a catalog edit (one view's defining query added / removed /
+//!   replaced), invalidates exactly the affected decisions via fingerprint
+//!   dependency tracking and re-poses only those;
+//! * [`persist`] — a versioned, checksummed on-disk format for the verdict
+//!   cache, witnesses included, so warm caches survive across batches and
+//!   processes.
 //!
 //! ```
 //! use viewcap_base::Catalog;
@@ -63,13 +71,17 @@
 //! ```
 
 pub mod cache;
+pub mod delta;
 pub mod engine;
 pub mod fingerprint;
+pub mod persist;
 pub mod verdict;
 pub mod workload;
 
 pub use cache::{CacheKey, CacheStats, VerdictCache};
+pub use delta::{DeltaOutcome, DeltaWorkload};
 pub use engine::{effective_jobs, BatchOutcome, Decision, Engine};
 pub use fingerprint::{query_fingerprint, view_fingerprint, view_query_fingerprints, Fingerprint};
+pub use persist::{load_cache, load_cache_from_path, save_cache, save_cache_to_path, PersistError};
 pub use verdict::{CheckKind, Verdict};
 pub use workload::{Check, Request, Workload};

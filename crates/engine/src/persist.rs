@@ -1,0 +1,467 @@
+//! Verdict-cache persistence: a versioned, checksummed on-disk format.
+//!
+//! The cache is content-addressed — keys are canonical fingerprints, and a
+//! fingerprint never changes meaning — so a saved cache can warm any later
+//! process working against the *same catalog construction* (fingerprints
+//! embed `RelId`s, which are only stable within one catalog's minting
+//! order; a scenario file re-run is the canonical use).
+//!
+//! ## Format (version 1)
+//!
+//! ```text
+//! magic      8  bytes  b"VCAPCACH"
+//! version    u32 LE
+//! checksum   u64 LE    FNV-1a over the payload bytes
+//! payload:
+//!   entry_count u64 LE
+//!   entries, sorted by (kind, left, right):
+//!     key        kind u8, left u128 LE, right u128 LE
+//!     fps        u32 count, u128 LE each    (left_query_fps)
+//!     verdict    tag u8, then the witness when the answer was YES
+//! ```
+//!
+//! Witnesses serialize structurally ([`ClosureProof`]: skeleton expression,
+//! λ table, both templates). Everything is integers; no strings, no
+//! catalogs. Loading is strictly bounds-checked and returns
+//! [`PersistError`] — never panics — on truncation, corruption (checksum),
+//! version skew, or structurally invalid witnesses ([`Template::new`]
+//! re-validates template invariants on the way in).
+
+use crate::cache::{CacheKey, Entry, VerdictCache};
+use crate::fingerprint::Fingerprint;
+use crate::verdict::{CheckKind, Verdict};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use viewcap_base::{AttrId, RelId, Scheme, Symbol};
+use viewcap_core::capacity::ClosureProof;
+use viewcap_core::equivalence::{DominanceWitness, EquivalenceWitness};
+use viewcap_expr::Expr;
+use viewcap_template::{TaggedTuple, Template};
+
+/// Leading magic of every cache file.
+pub const MAGIC: &[u8; 8] = b"VCAPCACH";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a cache file was rejected.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version is not [`FORMAT_VERSION`].
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// The payload checksum does not match.
+    ChecksumMismatch,
+    /// Structurally invalid data (truncation, bad tags, bad invariants).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "cache file I/O error: {e}"),
+            PersistError::BadMagic => write!(f, "not a viewcap cache file (bad magic)"),
+            PersistError::VersionMismatch { found, expected } => write!(
+                f,
+                "cache file version {found} is not the supported version {expected}"
+            ),
+            PersistError::ChecksumMismatch => {
+                write!(f, "cache file checksum mismatch (corrupted file)")
+            }
+            PersistError::Corrupt(what) => write!(f, "corrupt cache file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------- writing
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Rel(r) => {
+                self.u8(0);
+                self.u32(r.0);
+            }
+            Expr::Project(child, scheme) => {
+                self.u8(1);
+                self.expr(child);
+                self.scheme(scheme);
+            }
+            Expr::Join(children) => {
+                self.u8(2);
+                self.u32(children.len() as u32);
+                for c in children {
+                    self.expr(c);
+                }
+            }
+        }
+    }
+
+    fn scheme(&mut self, s: &Scheme) {
+        self.u32(s.len() as u32);
+        for a in s.iter() {
+            self.u32(a.0);
+        }
+    }
+
+    fn template(&mut self, t: &Template) {
+        self.u32(t.len() as u32);
+        for tuple in t.tuples() {
+            self.u32(tuple.rel().0);
+            self.u32(tuple.row().len() as u32);
+            for sym in tuple.row() {
+                self.u32(sym.attr().0);
+                self.u32(sym.ord());
+            }
+        }
+    }
+
+    fn proof(&mut self, p: &ClosureProof) {
+        self.expr(&p.skeleton);
+        self.u32(p.lambda_queries.len() as u32);
+        for &(lam, idx) in &p.lambda_queries {
+            self.u32(lam.0);
+            self.u32(idx as u32);
+        }
+        self.template(&p.skeleton_template);
+        self.template(&p.substituted);
+    }
+
+    fn dominance(&mut self, w: &DominanceWitness) {
+        self.u32(w.proofs.len() as u32);
+        for p in &w.proofs {
+            self.proof(p);
+        }
+    }
+
+    fn verdict(&mut self, v: &Verdict) {
+        match v {
+            Verdict::Member(None) => self.u8(0),
+            Verdict::Member(Some(p)) => {
+                self.u8(1);
+                self.proof(p);
+            }
+            Verdict::Dominates(None) => self.u8(2),
+            Verdict::Dominates(Some(w)) => {
+                self.u8(3);
+                self.dominance(w);
+            }
+            Verdict::Equivalent(None) => self.u8(4),
+            Verdict::Equivalent(Some(w)) => {
+                self.u8(5);
+                self.dominance(&w.v_dominates_w);
+                self.dominance(&w.w_dominates_v);
+            }
+        }
+    }
+}
+
+/// Serialize a cache to bytes (deterministic: entries sorted by key).
+pub fn save_cache(cache: &VerdictCache) -> Vec<u8> {
+    let snapshot = cache.snapshot();
+    let mut w = Writer { buf: Vec::new() };
+    w.u64(snapshot.len() as u64);
+    for (key, entry) in &snapshot {
+        w.u8(match key.kind {
+            CheckKind::Member => 0,
+            CheckKind::Dominates => 1,
+            CheckKind::Equivalent => 2,
+        });
+        w.u128(key.left.as_u128());
+        w.u128(key.right.as_u128());
+        w.u32(entry.left_query_fps.len() as u32);
+        for fp in entry.left_query_fps.iter() {
+            w.u128(fp.as_u128());
+        }
+        w.verdict(&entry.verdict);
+    }
+    let payload = w.buf;
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Serialize a cache into a file (written atomically via a sibling
+/// temporary, so a crash never leaves a half-written cache behind). The
+/// temporary *appends* a pid-qualified suffix to the full file name, so
+/// distinct cache files in one directory — or concurrent processes —
+/// never share a temporary.
+pub fn save_cache_to_path(cache: &VerdictCache, path: &Path) -> Result<(), PersistError> {
+    let bytes = save_cache(cache);
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp-{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------- reading
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn corrupt<T>(what: &str) -> Result<T, PersistError> {
+        Err(PersistError::Corrupt(what.to_owned()))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.bytes.len() - self.pos < n {
+            return Reader::corrupt("unexpected end of payload");
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, PersistError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// A count that must be realizable within the remaining payload
+    /// (`min_bytes` per element) — rejects absurd lengths before allocating.
+    fn count(&mut self, min_bytes: usize) -> Result<usize, PersistError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_bytes) > self.bytes.len() - self.pos {
+            return Reader::corrupt("length prefix exceeds payload");
+        }
+        Ok(n)
+    }
+
+    fn expr(&mut self, depth: usize) -> Result<Expr, PersistError> {
+        if depth > 64 {
+            return Reader::corrupt("expression nesting too deep");
+        }
+        match self.u8()? {
+            0 => Ok(Expr::Rel(RelId(self.u32()?))),
+            1 => {
+                let child = self.expr(depth + 1)?;
+                let scheme = self.scheme()?;
+                if scheme.is_empty() {
+                    return Reader::corrupt("empty projection scheme");
+                }
+                // Direct construction: the validating `Expr::project` needs
+                // a catalog that knows the scratch λ names, which no loader
+                // has. `Template::new` below still checks witness shape.
+                Ok(Expr::Project(Box::new(child), scheme))
+            }
+            2 => {
+                let n = self.count(2)?;
+                if n < 2 {
+                    return Reader::corrupt("join with fewer than two operands");
+                }
+                let children = (0..n)
+                    .map(|_| self.expr(depth + 1))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Expr::Join(children))
+            }
+            _ => Reader::corrupt("unknown expression tag"),
+        }
+    }
+
+    fn scheme(&mut self) -> Result<Scheme, PersistError> {
+        let n = self.count(4)?;
+        let attrs = (0..n)
+            .map(|_| self.u32().map(AttrId))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Scheme::collect(attrs))
+    }
+
+    fn template(&mut self) -> Result<Template, PersistError> {
+        let n = self.count(8)?;
+        let mut tuples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rel = RelId(self.u32()?);
+            let width = self.count(8)?;
+            let row = (0..width)
+                .map(|_| {
+                    let attr = AttrId(self.u32()?);
+                    let ord = self.u32()?;
+                    Ok(Symbol::new(attr, ord))
+                })
+                .collect::<Result<Vec<_>, PersistError>>()?;
+            tuples.push(TaggedTuple::from_raw_parts(rel, row));
+        }
+        Template::new(tuples).map_err(|e| PersistError::Corrupt(format!("invalid template: {e}")))
+    }
+
+    fn proof(&mut self) -> Result<ClosureProof, PersistError> {
+        let skeleton = self.expr(0)?;
+        let n = self.count(8)?;
+        let lambda_queries = (0..n)
+            .map(|_| Ok((RelId(self.u32()?), self.u32()? as usize)))
+            .collect::<Result<Vec<_>, PersistError>>()?;
+        let skeleton_template = self.template()?;
+        let substituted = self.template()?;
+        Ok(ClosureProof {
+            skeleton,
+            lambda_queries,
+            skeleton_template,
+            substituted,
+        })
+    }
+
+    fn dominance(&mut self) -> Result<DominanceWitness, PersistError> {
+        let n = self.count(1)?;
+        let proofs = (0..n)
+            .map(|_| self.proof())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DominanceWitness { proofs })
+    }
+
+    fn verdict(&mut self) -> Result<Verdict, PersistError> {
+        Ok(match self.u8()? {
+            0 => Verdict::Member(None),
+            1 => Verdict::Member(Some(self.proof()?)),
+            2 => Verdict::Dominates(None),
+            3 => Verdict::Dominates(Some(self.dominance()?)),
+            4 => Verdict::Equivalent(None),
+            5 => Verdict::Equivalent(Some(EquivalenceWitness {
+                v_dominates_w: self.dominance()?,
+                w_dominates_v: self.dominance()?,
+            })),
+            _ => return Reader::corrupt("unknown verdict tag"),
+        })
+    }
+}
+
+/// Deserialize a cache from bytes into a cache bounded by `max_entries`
+/// (`None` = unbounded). If the saved cache is larger than the bound, only
+/// the final `max_entries` entries are kept: the excess is decoded (the
+/// whole payload is still integrity-checked) but never inserted, avoiding
+/// one full eviction scan per surplus entry. Stamps do not persist, so no
+/// entry is more deserving than another; skipping the front of the sorted
+/// stream is as good as any policy and keeps loading linear.
+pub fn load_cache(bytes: &[u8], max_entries: Option<usize>) -> Result<VerdictCache, PersistError> {
+    if bytes.len() < 20 || &bytes[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let checksum = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let payload = &bytes[20..];
+    if fnv1a64(payload) != checksum {
+        return Err(PersistError::ChecksumMismatch);
+    }
+
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let count = r.u64()?;
+    // Every entry is at least 38 bytes (key + fp-table length + tag).
+    if count.saturating_mul(38) > payload.len() as u64 {
+        return Reader::corrupt("entry count exceeds payload");
+    }
+    let cache = VerdictCache::bounded(max_entries);
+    let keep_from = match max_entries {
+        Some(m) => count.saturating_sub(m.max(1) as u64),
+        None => 0,
+    };
+    for i in 0..count {
+        let kind = match r.u8()? {
+            0 => CheckKind::Member,
+            1 => CheckKind::Dominates,
+            2 => CheckKind::Equivalent,
+            _ => return Reader::corrupt("unknown check kind"),
+        };
+        let key = CacheKey {
+            kind,
+            left: Fingerprint::from_raw(r.u128()?),
+            right: Fingerprint::from_raw(r.u128()?),
+        };
+        let n = r.count(16)?;
+        let fps = (0..n)
+            .map(|_| r.u128().map(Fingerprint::from_raw))
+            .collect::<Result<Vec<_>, _>>()?;
+        let verdict = r.verdict()?;
+        if verdict.kind() != kind {
+            return Reader::corrupt("verdict kind disagrees with its key");
+        }
+        if i >= keep_from {
+            cache.insert(
+                key,
+                Entry {
+                    verdict: Arc::new(verdict),
+                    left_query_fps: Arc::from(fps.as_slice()),
+                },
+            );
+        }
+    }
+    if r.pos != payload.len() {
+        return Reader::corrupt("trailing bytes after final entry");
+    }
+    Ok(cache)
+}
+
+/// Load a cache file. A missing file is an [`PersistError::Io`] error;
+/// callers that want "missing = start cold" should check existence first.
+pub fn load_cache_from_path(
+    path: &Path,
+    max_entries: Option<usize>,
+) -> Result<VerdictCache, PersistError> {
+    let bytes = std::fs::read(path)?;
+    load_cache(&bytes, max_entries)
+}

@@ -1,0 +1,272 @@
+//! Verdict-cache persistence and eviction:
+//!
+//! * save → load round trips warm-hit every fingerprint, witnesses intact;
+//! * corrupted / truncated / version-mismatched files are rejected with an
+//!   error, never a panic;
+//! * bounded caches stay correct (only slower), with exact hit/miss/
+//!   eviction counters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use viewcap_base::Catalog;
+use viewcap_core::{Query, SearchBudget, View};
+use viewcap_engine::{
+    load_cache, load_cache_from_path, save_cache, save_cache_to_path, BatchOutcome, Check, Engine,
+    PersistError, VerdictCache, Workload,
+};
+use viewcap_gen::{random_query, random_view, random_world, WorldSpec};
+
+/// A seeded mixed workload (as in the determinism suite, but smaller).
+fn random_workload(seed: u64) -> (Catalog, Workload) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = WorldSpec {
+        attrs: 4,
+        relations: 2,
+        min_arity: 1,
+        max_arity: 2,
+    };
+    let (mut cat, rels) = random_world(&mut rng, &spec);
+    let views: Vec<View> = (0..2)
+        .map(|_| random_view(&mut rng, &mut cat, &rels, 2, 2))
+        .collect();
+    let mut load = Workload::new();
+    load.push(
+        "equivalent",
+        Check::Equivalent {
+            left: views[0].clone(),
+            right: views[1].clone(),
+        },
+    );
+    load.push(
+        "dominates",
+        Check::Dominates {
+            dominator: views[0].clone(),
+            dominated: views[1].clone(),
+        },
+    );
+    for (i, v) in views.iter().enumerate() {
+        load.push(
+            format!("member {i}"),
+            Check::Member {
+                view: v.clone(),
+                goal: random_query(&mut rng, &cat, &rels, 2),
+            },
+        );
+    }
+    (cat, load)
+}
+
+fn signature(outcome: &BatchOutcome) -> Vec<Result<(bool, Option<usize>), String>> {
+    outcome
+        .results
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .map(|d| (d.verdict.is_yes(), d.verdict.witness_atoms()))
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn round_trip_warm_hits_every_fingerprint() {
+    for seed in 0..6u64 {
+        let (cat, load) = random_workload(seed);
+        let engine = Engine::new();
+        let cold = engine.run_batch(&load, &cat, 2);
+        if cold.results.iter().any(|r| r.is_err()) {
+            continue; // overflows are not cached; nothing to round-trip
+        }
+
+        let bytes = save_cache(engine.cache());
+        let loaded = load_cache(&bytes, None).expect("round trip");
+
+        // Every saved fingerprint is present after the reload...
+        for (key, entry) in engine.cache().snapshot() {
+            let got = loaded.get(&key).expect("fingerprint survives the trip");
+            assert_eq!(got.verdict.is_yes(), entry.verdict.is_yes());
+            assert_eq!(got.verdict.witness_atoms(), entry.verdict.witness_atoms());
+            assert_eq!(got.left_query_fps, entry.left_query_fps);
+        }
+
+        // ...and a fresh engine over the loaded cache computes nothing.
+        let warm_engine = Engine::with_cache(SearchBudget::default(), loaded);
+        let warm = warm_engine.run_batch(&load, &cat, 2);
+        assert_eq!(warm.executed, 0, "seed {seed}: warm run recomputed");
+        assert_eq!(warm.cache_hits, warm.distinct);
+        assert_eq!(signature(&cold), signature(&warm));
+        for d in warm.results.iter().flatten() {
+            assert!(d.from_cache);
+        }
+    }
+}
+
+#[test]
+fn saved_files_are_deterministic() {
+    let (cat, load) = random_workload(3);
+    let engine = Engine::new();
+    engine.run_batch(&load, &cat, 1);
+    let a = save_cache(engine.cache());
+    // Re-running the same (now warm) workload must not change the bytes.
+    engine.run_batch(&load, &cat, 4);
+    let b = save_cache(engine.cache());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn file_round_trip_via_path() {
+    let (cat, load) = random_workload(1);
+    let engine = Engine::new();
+    engine.run_batch(&load, &cat, 1);
+
+    let path = std::env::temp_dir().join(format!("viewcap-cache-{}.bin", std::process::id()));
+    save_cache_to_path(engine.cache(), &path).expect("save");
+    let loaded = load_cache_from_path(&path, None).expect("load");
+    assert_eq!(loaded.stats().entries, engine.cache().stats().entries);
+    let _ = std::fs::remove_file(&path);
+
+    // A missing file is an I/O error, not a panic.
+    assert!(matches!(
+        load_cache_from_path(&path, None),
+        Err(PersistError::Io(_))
+    ));
+}
+
+#[test]
+fn every_truncation_is_rejected_cleanly() {
+    let (cat, load) = random_workload(2);
+    let engine = Engine::new();
+    engine.run_batch(&load, &cat, 1);
+    let bytes = save_cache(engine.cache());
+    assert!(engine.cache().stats().entries > 0);
+
+    for len in 0..bytes.len() {
+        assert!(
+            load_cache(&bytes[..len], None).is_err(),
+            "truncation to {len} bytes was accepted"
+        );
+    }
+    // The untruncated file still loads.
+    assert!(load_cache(&bytes, None).is_ok());
+}
+
+#[test]
+fn corrupted_payload_bytes_are_rejected_cleanly() {
+    let (cat, load) = random_workload(4);
+    let engine = Engine::new();
+    engine.run_batch(&load, &cat, 1);
+    let bytes = save_cache(engine.cache());
+
+    // Flip one bit in a sweep of payload positions: the checksum must
+    // catch every one of them.
+    for pos in (20..bytes.len()).step_by(7) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x40;
+        assert!(
+            matches!(load_cache(&bad, None), Err(PersistError::ChecksumMismatch)),
+            "flip at {pos} was not caught"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_and_version_are_rejected() {
+    let engine = Engine::new();
+    let bytes = save_cache(engine.cache());
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] ^= 1;
+    assert!(matches!(
+        load_cache(&wrong_magic, None),
+        Err(PersistError::BadMagic)
+    ));
+
+    let mut future_version = bytes.clone();
+    future_version[8] = 0xFF;
+    assert!(matches!(
+        load_cache(&future_version, None),
+        Err(PersistError::VersionMismatch { .. })
+    ));
+
+    assert!(matches!(load_cache(&[], None), Err(PersistError::BadMagic)));
+}
+
+#[test]
+fn loading_into_a_bounded_cache_respects_the_bound() {
+    let (cat, load) = random_workload(5);
+    let engine = Engine::new();
+    engine.run_batch(&load, &cat, 1);
+    let saved_entries = engine.cache().stats().entries;
+    assert!(saved_entries >= 2);
+
+    let bytes = save_cache(engine.cache());
+    let bounded = load_cache(&bytes, Some(1)).expect("load");
+    let stats = bounded.stats();
+    assert_eq!(stats.entries, 1);
+    // Surplus entries are skipped during the load, not insert-then-evicted.
+    assert_eq!(stats.evictions, 0);
+    // The kept entry is the last of the sorted stream.
+    let last_key = engine.cache().snapshot().last().unwrap().0;
+    assert!(bounded.get(&last_key).is_some());
+}
+
+/// Capacity-1 caches still answer every check correctly — only slower —
+/// and the hit/miss/eviction counters stay exact under eviction.
+#[test]
+fn capacity_one_engine_is_correct_and_exactly_counted() {
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    let ab = cat.scheme(&["A", "B"]).unwrap();
+    let name = cat.fresh_relation("V", ab);
+    let q = |src: &str| Query::from_expr(viewcap_expr::parse_expr(src, &cat).unwrap(), &cat);
+    let view = View::new(vec![(q("pi{A,B}(R)"), name)], &cat).unwrap();
+    let check = |src: &str| Check::Member {
+        view: view.clone(),
+        goal: q(src),
+    };
+    let (c1, c2) = (check("pi{A}(R)"), check("pi{B}(R)"));
+
+    let unbounded = Engine::new();
+    let tiny = Engine::with_cache(SearchBudget::default(), VerdictCache::bounded(Some(1)));
+
+    // c1 (miss) — c2 (miss, evicts c1) — c1 (miss again!) — c1 (hit).
+    for (i, c) in [&c1, &c2, &c1, &c1].into_iter().enumerate() {
+        let a = tiny.decide(c, &cat).unwrap();
+        let b = unbounded.decide(c, &cat).unwrap();
+        assert_eq!(
+            a.verdict.is_yes(),
+            b.verdict.is_yes(),
+            "step {i}: bounded cache changed an answer"
+        );
+    }
+    let stats = tiny.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.evictions, stats.entries),
+        (1, 3, 2, 1),
+        "exact counters under eviction"
+    );
+
+    // The unbounded engine saw the same questions with no evictions.
+    let free = unbounded.cache_stats();
+    assert_eq!((free.hits, free.misses, free.evictions), (2, 2, 0));
+}
+
+/// A batch workload through a capacity-1 engine matches the unbounded
+/// engine's verdicts, and the stats identity `hits + misses = lookups`
+/// holds exactly.
+#[test]
+fn capacity_one_batches_match_unbounded_batches() {
+    for seed in 0..4u64 {
+        let (cat, load) = random_workload(seed);
+        let tiny = Engine::with_cache(SearchBudget::default(), VerdictCache::bounded(Some(1)));
+        let free = Engine::new();
+        let a = tiny.run_batch(&load, &cat, 2);
+        let b = free.run_batch(&load, &cat, 2);
+        assert_eq!(signature(&a), signature(&b), "seed {seed}");
+
+        let stats = tiny.cache_stats();
+        // One lookup per distinct class per batch.
+        assert_eq!(stats.hits + stats.misses, a.distinct as u64);
+        assert!(stats.entries <= 1);
+    }
+}

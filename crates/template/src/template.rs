@@ -46,6 +46,18 @@ impl TaggedTuple {
         Ok(TaggedTuple { rel, row })
     }
 
+    /// Reassemble a tagged tuple from raw parts **without** catalog
+    /// validation.
+    ///
+    /// Exists for deserialization (the verdict-cache persistence layer):
+    /// cached witnesses mention scratch names `λᵢ` that were minted in a
+    /// decision procedure's private catalog clone, so no catalog the loader
+    /// holds can validate them. Callers outside a deserializer should use
+    /// [`TaggedTuple::new`].
+    pub fn from_raw_parts(rel: RelId, row: Vec<Symbol>) -> Self {
+        TaggedTuple { rel, row }
+    }
+
     /// The all-distinguished tagged tuple for `η` — the template of the
     /// atomic expression `η` (Algorithm 2.1.1(i)).
     pub fn all_distinguished(rel: RelId, catalog: &Catalog) -> Self {

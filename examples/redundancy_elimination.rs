@@ -50,11 +50,22 @@ fn main() {
     println!("\nRedundancy analysis:");
     for (i, (_, name)) in view.pairs().iter().enumerate() {
         match is_redundant(qs.queries(), i, &cat).unwrap() {
-            Some(proof) => println!(
-                "  {:<12} REDUNDANT — derivable as {}",
-                cat.rel_name(*name),
-                display_expr(&proof.skeleton, &proof.catalog)
-            ),
+            Some(proof) => {
+                // The proof's λ indices refer to the *other* queries; map
+                // them back onto the surviving view-relation names.
+                let others: Vec<RelId> = view
+                    .schema()
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, n)| n)
+                    .collect();
+                println!(
+                    "  {:<12} REDUNDANT — derivable as {}",
+                    cat.rel_name(*name),
+                    display_expr(&proof.skeleton_with_names(&others), &cat)
+                );
+            }
             None => println!("  {:<12} essential to the capacity", cat.rel_name(*name)),
         }
     }

@@ -74,7 +74,7 @@ fn main() {
         if let Some(proof) = verdict {
             println!(
                 "          via {}",
-                display_expr(&proof.skeleton, &proof.catalog)
+                display_expr(&proof.skeleton_with_names(&view.schema()), &cat)
             );
         }
     }

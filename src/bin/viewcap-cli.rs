@@ -5,15 +5,27 @@
 //! $ viewcap-cli --demo                       # built-in demonstration
 //! $ viewcap-cli --jobs 8 scenarios/batch_workload.vcap
 //! $ viewcap-cli --stats scenarios/batch_workload.vcap
+//! $ viewcap-cli --cache-file /tmp/verdicts.vcapcache --cache-max 10000 \
+//!       scenarios/incremental_edit.vcap
 //! ```
 //!
 //! Scenario syntax is documented in [`viewcap::scenario`]; `scenarios/` in
 //! the repository holds ready-made files. `--jobs N` sets the worker-thread
 //! count for `batch` blocks (`0` = all cores; the report is identical for
 //! every setting), and `--stats` appends the verdict-cache counters.
+//!
+//! `--cache-file PATH` persists the verdict cache across runs: an existing
+//! file is loaded before the scenario (a corrupted or version-mismatched
+//! file is rejected with an error, never silently discarded), and the
+//! cache — witnesses included — is saved back on success. Fingerprints
+//! embed catalog-relative ids, so share a cache file only between scenarios
+//! that declare the same catalog in the same order. `--cache-max N` bounds
+//! the cache to `N` verdicts with LRU-ish eviction (`0` = unbounded).
 
 use std::process::ExitCode;
-use viewcap::scenario::{run_scenario_with, ScenarioOptions};
+use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
+use viewcap_core::SearchBudget;
+use viewcap_engine::{load_cache_from_path, save_cache_to_path, Engine, VerdictCache};
 
 const DEMO: &str = r#"
 # Built-in demo: Example 3.1.5 of Connors (JCSS 1986).
@@ -41,10 +53,20 @@ batch {
   check member V pi{A}(R)
   check member V R
 }
+
+# Replace V's defining query and re-decide the standing workload: only the
+# checks touching V recompute.
+edit V {
+  Joined = R
+}
+recheck
 "#;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: viewcap-cli [--jobs N] [--stats] <scenario-file> | --demo");
+    eprintln!(
+        "usage: viewcap-cli [--jobs N] [--stats] [--cache-file PATH] [--cache-max N] \
+         <scenario-file> | --demo"
+    );
     ExitCode::FAILURE
 }
 
@@ -52,6 +74,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut options = ScenarioOptions::default();
     let mut stats = false;
+    let mut cache_file: Option<std::path::PathBuf> = None;
+    let mut cache_max: Option<usize> = None;
     let mut source: Option<String> = None;
 
     let mut it = args.iter();
@@ -65,6 +89,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 options.jobs = n;
+            }
+            "--cache-file" => {
+                let Some(path) = it.next() else {
+                    eprintln!("viewcap-cli: --cache-file needs a path");
+                    return ExitCode::FAILURE;
+                };
+                cache_file = Some(path.into());
+            }
+            "--cache-max" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("viewcap-cli: --cache-max needs a number (0 = unbounded)");
+                    return ExitCode::FAILURE;
+                };
+                cache_max = (n > 0).then_some(n);
             }
             path if !path.starts_with('-') && source.is_none() => {
                 match std::fs::read_to_string(path) {
@@ -82,7 +120,19 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    match run_scenario_with(&source, &options) {
+    let cache = match &cache_file {
+        Some(path) if path.exists() => match load_cache_from_path(path, cache_max) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("viewcap-cli: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => VerdictCache::bounded(cache_max),
+    };
+    let engine = Engine::with_cache(SearchBudget::default(), cache);
+
+    match run_scenario_with_engine(&source, &options, &engine) {
         Ok(outcome) => {
             print!("{}", outcome.report);
             println!(
@@ -91,6 +141,12 @@ fn main() -> ExitCode {
             );
             if stats {
                 println!("-- cache: {}", outcome.stats);
+            }
+            if let Some(path) = &cache_file {
+                if let Err(e) = save_cache_to_path(engine.cache(), path) {
+                    eprintln!("viewcap-cli: cannot save cache `{}`: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }

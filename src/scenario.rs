@@ -29,13 +29,31 @@
 //!   check member V pi{A}(R)
 //!   check member W pi{A}(R)
 //! }
+//!
+//! # catalog edits: add / replace / drop one view's defining queries
+//! edit V {
+//!   Joined = R            # replace (or add) the pair named Joined
+//!   drop Extra            # remove the pair named Extra
+//! }
+//!
+//! # re-decide the standing workload incrementally: only checks touching
+//! # edited views recompute, everything else is reused
+//! recheck
 //! ```
 //!
 //! Execution is deterministic; every command appends lines to the report.
 //! All `check`s (single or batched) route through the
 //! [`viewcap_engine::Engine`], so repeated questions — within a batch or
-//! across the whole scenario — are answered from the verdict cache. The
-//! report is byte-identical for every `--jobs` setting.
+//! across the whole scenario — are answered from the verdict cache. Every
+//! decided check also joins the scenario's *standing workload*
+//! ([`viewcap_engine::DeltaWorkload`]): `edit` blocks invalidate exactly
+//! the standing checks that touch the edited view, and `recheck` re-poses
+//! only those, reporting how much was reused. The report is byte-identical
+//! for every `--jobs` setting.
+//!
+//! Replacing a defining query with one of a different target scheme mints
+//! a fresh catalog relation (the display name gains a `$n` suffix), since
+//! a relation name's type is fixed at declaration.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -44,7 +62,9 @@ use viewcap_core::closure::capacity_members;
 use viewcap_core::redundancy::make_nonredundant;
 use viewcap_core::simplify::simplify_view;
 use viewcap_core::{Query, SearchBudget, View};
-use viewcap_engine::{CacheStats, Check, Decision, Engine, Verdict, Workload};
+use viewcap_engine::{
+    CacheStats, Check, Decision, DeltaWorkload, Engine, Request, Verdict, Workload,
+};
 use viewcap_expr::display::{display_expr, display_scheme};
 use viewcap_expr::parse_expr;
 
@@ -91,11 +111,21 @@ impl std::fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
-struct Runner {
+/// A scenario view plus the *logical* (as-declared) name of each defining
+/// pair. Catalog relation names can drift when an edit changes a pair's
+/// target scheme (a fresh `name$n` relation is minted); edits keep
+/// addressing pairs by their logical names regardless.
+struct NamedView {
+    view: View,
+    logical: Vec<String>,
+}
+
+struct Runner<'a> {
     catalog: Catalog,
-    views: BTreeMap<String, View>,
+    views: BTreeMap<String, NamedView>,
     budget: SearchBudget,
-    engine: Engine,
+    engine: &'a Engine,
+    delta: DeltaWorkload,
     jobs: usize,
     report: String,
     yes: usize,
@@ -107,18 +137,31 @@ pub fn run_scenario(src: &str) -> Result<ScenarioOutcome, ScenarioError> {
     run_scenario_with(src, &ScenarioOptions::default())
 }
 
-/// Run a scenario from source text.
+/// Run a scenario from source text with a fresh, unbounded engine.
 pub fn run_scenario_with(
     src: &str,
     options: &ScenarioOptions,
 ) -> Result<ScenarioOutcome, ScenarioError> {
-    let budget = SearchBudget::default();
+    let engine = Engine::with_budget(SearchBudget::default());
+    run_scenario_with_engine(src, options, &engine)
+}
+
+/// Run a scenario against a caller-provided engine — one with a bounded
+/// and/or disk-loaded verdict cache, or one shared across scenario runs
+/// (the cache is content-addressed, so reuse is sound as long as the
+/// scenarios declare the same catalog in the same order).
+pub fn run_scenario_with_engine(
+    src: &str,
+    options: &ScenarioOptions,
+    engine: &Engine,
+) -> Result<ScenarioOutcome, ScenarioError> {
     let mut runner = Runner {
         catalog: Catalog::new(),
         views: BTreeMap::new(),
-        engine: Engine::with_budget(budget.clone()),
+        engine,
+        delta: DeltaWorkload::new(),
         jobs: options.jobs,
-        budget,
+        budget: engine.budget().clone(),
         report: String::new(),
         yes: 0,
         no: 0,
@@ -150,6 +193,26 @@ pub fn run_scenario_with(
                 runner.cmd_view(&name, &body).map_err(|(l, m)| err(l, m))?;
             }
             "check" => runner.cmd_check(rest).map_err(|m| err(lineno, m))?,
+            "edit" => {
+                let name = rest.trim_end_matches('{').trim().to_owned();
+                if name.is_empty() {
+                    return Err(err(lineno, "edit needs a view name".into()));
+                }
+                if !line.ends_with('{') {
+                    return Err(err(lineno, "expected `{` to open the edit block".into()));
+                }
+                let body = collect_block(&lines, &mut i)
+                    .ok_or_else(|| err(lineno, format!("edit `{name}` is never closed")))?;
+                runner
+                    .cmd_edit(lineno, &name, &body)
+                    .map_err(|(l, m)| err(l, m))?;
+            }
+            "recheck" => {
+                if !rest.trim().is_empty() {
+                    return Err(err(lineno, "recheck takes no arguments".into()));
+                }
+                runner.cmd_recheck().map_err(|m| err(lineno, m))?;
+            }
             "batch" => {
                 if rest.trim() != "{" {
                     return Err(err(lineno, "expected `batch {`".into()));
@@ -204,10 +267,11 @@ fn split_word(line: &str) -> (&str, &str) {
     }
 }
 
-impl Runner {
+impl Runner<'_> {
     fn view(&self, name: &str) -> Result<&View, String> {
         self.views
             .get(name)
+            .map(|nv| &nv.view)
             .ok_or_else(|| format!("unknown view `{name}`"))
     }
 
@@ -236,6 +300,7 @@ impl Runner {
 
     fn cmd_view(&mut self, name: &str, body: &[(usize, String)]) -> Result<(), (usize, String)> {
         let mut pairs: Vec<(viewcap_expr::Expr, RelId)> = Vec::new();
+        let mut logical: Vec<String> = Vec::new();
         for (lineno, entry) in body {
             let (vname, src) = entry
                 .split_once('=')
@@ -248,6 +313,7 @@ impl Runner {
                 .add_relation(vname.trim(), q.trs())
                 .map_err(|e| (*lineno, e.to_string()))?;
             pairs.push((expr, rel));
+            logical.push(vname.trim().to_owned());
         }
         let view = View::from_exprs(pairs, &self.catalog)
             .map_err(|e| (body.first().map_or(0, |(l, _)| *l), e.to_string()))?;
@@ -260,7 +326,8 @@ impl Runner {
             "view {name} defined with {} relation(s)",
             view.len()
         );
-        self.views.insert(name.to_owned(), view);
+        self.views
+            .insert(name.to_owned(), NamedView { view, logical });
         Ok(())
     }
 
@@ -331,6 +398,7 @@ impl Runner {
             .decide(&check, &self.catalog)
             .map_err(|e| e.to_string())?;
         self.record_decision(&label, &check, &decision);
+        self.delta.push_decided(label, check, decision);
         Ok(())
     }
 
@@ -359,11 +427,156 @@ impl Runner {
         {
             let decision = result.as_ref().map_err(|e| (*lineno, e.to_string()))?;
             self.record_decision(&request.label, &request.check, decision);
+            self.delta.push_decided(
+                request.label.clone(),
+                request.check.clone(),
+                decision.clone(),
+            );
         }
         let _ = writeln!(
             self.report,
             "batch: {} check(s), {} distinct, {} answered from cache, {} executed",
             outcome.total, outcome.distinct, outcome.cache_hits, outcome.executed
+        );
+        Ok(())
+    }
+
+    /// Apply an `edit NAME { ... }` block: add, replace, or drop defining
+    /// pairs of one view, then invalidate exactly the standing checks that
+    /// touch it.
+    fn cmd_edit(
+        &mut self,
+        lineno: usize,
+        name: &str,
+        body: &[(usize, String)],
+    ) -> Result<(), (usize, String)> {
+        let named = self
+            .views
+            .get(name)
+            .ok_or_else(|| (lineno, format!("unknown view `{name}`")))?;
+        let old = named.view.clone();
+        let mut pairs: Vec<(Query, RelId)> = old.pairs().to_vec();
+        let mut logical = named.logical.clone();
+        for (ln, entry) in body {
+            if let Some(dropped) = entry.strip_prefix("drop ") {
+                let dname = dropped.trim();
+                let pos = logical.iter().position(|l| l == dname).ok_or_else(|| {
+                    (
+                        *ln,
+                        format!("view `{name}` has no defining relation `{dname}`"),
+                    )
+                })?;
+                pairs.remove(pos);
+                logical.remove(pos);
+            } else {
+                let (vname, src) = entry.split_once('=').ok_or((
+                    *ln,
+                    "expected `Name = expression` or `drop Name`".to_owned(),
+                ))?;
+                let vname = vname.trim();
+                let expr =
+                    parse_expr(src.trim(), &self.catalog).map_err(|e| (*ln, e.to_string()))?;
+                let q = Query::from_expr(expr, &self.catalog);
+                match logical.iter().position(|l| l == vname) {
+                    Some(pos) => {
+                        // Replace, addressed by the pair's logical name.
+                        let rel = self
+                            .pair_relation(name, vname, &q, Some(pairs[pos].1))
+                            .map_err(|m| (*ln, m))?;
+                        pairs[pos] = (q, rel);
+                    }
+                    None => {
+                        // Add a new defining pair.
+                        let rel = self
+                            .pair_relation(name, vname, &q, None)
+                            .map_err(|m| (*ln, m))?;
+                        pairs.push((q, rel));
+                        logical.push(vname.to_owned());
+                    }
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return Err((
+                lineno,
+                format!("edit would leave view `{name}` with no defining queries"),
+            ));
+        }
+        let new_view = View::new(pairs, &self.catalog).map_err(|e| (lineno, e.to_string()))?;
+        // Warm the canonical-key memos, as `cmd_view` does.
+        let _ = viewcap_engine::view_fingerprint(&new_view);
+        let invalidated = self.delta.replace_view(&old, &new_view);
+        let _ = writeln!(
+            self.report,
+            "edit {name}: {} defining relation(s), {invalidated} standing check(s) invalidated",
+            new_view.len()
+        );
+        self.views.insert(
+            name.to_owned(),
+            NamedView {
+                view: new_view,
+                logical,
+            },
+        );
+        Ok(())
+    }
+
+    /// The catalog relation to bind a pair named `logical` with query `q`
+    /// in the view `view_name`: keep `current` when its type already
+    /// matches; else reuse the catalog relation called `logical` when its
+    /// type matches *and no other view uses it* (so a reverted edit — or a
+    /// re-added dropped pair — gets its original name back); else mint a
+    /// fresh `logical$n` of the right type (a relation name's type is
+    /// fixed at declaration). A name serving as another view's defining
+    /// relation is rejected, mirroring the duplicate error a `view` block
+    /// would raise.
+    fn pair_relation(
+        &mut self,
+        view_name: &str,
+        logical: &str,
+        q: &Query,
+        current: Option<RelId>,
+    ) -> Result<RelId, String> {
+        let trs = q.trs();
+        if let Some(rel) = current {
+            if *self.catalog.scheme_of(rel) == trs {
+                return Ok(rel);
+            }
+        }
+        match self.catalog.lookup_rel(logical) {
+            Ok(rel) if self.rel_in_other_view(rel, view_name) => Err(format!(
+                "relation `{logical}` is a defining relation of another view"
+            )),
+            Ok(rel) if *self.catalog.scheme_of(rel) == trs => Ok(rel),
+            Ok(_) => Ok(self.catalog.fresh_relation(logical, trs)),
+            Err(_) => Ok(self
+                .catalog
+                .add_relation(logical, trs)
+                .expect("lookup said the name is free")),
+        }
+    }
+
+    /// Is `rel` currently a defining relation of any view other than
+    /// `this`?
+    fn rel_in_other_view(&self, rel: RelId, this: &str) -> bool {
+        self.views
+            .iter()
+            .any(|(n, nv)| n != this && nv.view.schema().contains(&rel))
+    }
+
+    /// Re-decide the standing workload: reuse retained decisions, re-pose
+    /// only the checks invalidated by `edit` blocks.
+    fn cmd_recheck(&mut self) -> Result<(), String> {
+        let outcome = self.delta.run(self.engine, &self.catalog, self.jobs);
+        let requests: Vec<Request> = self.delta.requests().cloned().collect();
+        for (request, result) in requests.iter().zip(&outcome.results) {
+            let decision = result.as_ref().map_err(|e| e.to_string())?;
+            self.record_decision(&request.label, &request.check, decision);
+        }
+        let _ = writeln!(
+            self.report,
+            "recheck: {} check(s), {} reused, {} recomputed ({} from verdict cache, {} executed)",
+            outcome.total, outcome.reused, outcome.recomputed, outcome.cache_hits, outcome.executed
         );
         Ok(())
     }
@@ -496,6 +709,101 @@ check member V R
         assert!(out.report.contains("check member V pi{A}(R): YES via X"));
         assert!(out.report.contains("check member W pi{A}(R): YES via Y"));
         assert_eq!(out.stats.hits, 1);
+    }
+
+    #[test]
+    fn fingerprint_equal_views_keep_separate_standing_checks() {
+        // V and V2 define the same query under different names, so their
+        // canonical fingerprints coincide — but they are different views.
+        // Editing V2 must leave the V check reused and re-decide only V2's,
+        // and both lines must appear in every recheck.
+        let src = "rel R(A, B, C)\n\
+                   view V {\n  X = pi{A,B}(R)\n}\n\
+                   view V2 {\n  Y = pi{A,B}(R)\n}\n\
+                   check member V pi{A}(R)\n\
+                   check member V2 pi{A}(R)\n\
+                   edit V2 {\n  Y = R\n}\n\
+                   recheck\n";
+        let out = run_scenario(src).unwrap();
+        assert!(
+            out.report
+                .contains("edit V2: 1 defining relation(s), 1 standing check(s) invalidated"),
+            "report:\n{}",
+            out.report
+        );
+        assert!(out.report.contains(
+            "recheck: 2 check(s), 1 reused, 1 recomputed (0 from verdict cache, 1 executed)"
+        ));
+        // Both standing checks report twice (cold + recheck), each under
+        // its own witness names.
+        let count = |needle: &str| out.report.matches(needle).count();
+        assert_eq!(count("check member V pi{A}(R): YES via pi{A}(X)"), 2);
+        assert_eq!(count("check member V2 pi{A}(R): YES via pi{A}(Y)"), 1);
+        // After the edit, V2's pair was re-minted as Y$1 (R's scheme differs
+        // from Y's), and the witness follows.
+        assert_eq!(count("check member V2 pi{A}(R): YES via pi{A}(Y$1)"), 1);
+    }
+
+    #[test]
+    fn scheme_changing_edits_stay_addressable_by_logical_name() {
+        // Replacing X with a narrower query mints a fresh relation (X$n),
+        // but the pair keeps its logical name: a second edit — here a full
+        // revert — still addresses `X`, and the revert gets the original
+        // catalog name (and the original cached verdict) back.
+        let src = "rel R(A, B)\n\
+                   view V {\n  X = R\n}\n\
+                   check member V pi{A}(R)\n\
+                   edit V {\n  X = pi{A}(R)\n}\n\
+                   recheck\n\
+                   edit V {\n  X = R\n}\n\
+                   recheck\n";
+        let out = run_scenario(src).unwrap();
+        let rechecks: Vec<&str> = out
+            .report
+            .lines()
+            .filter(|l| l.starts_with("recheck:"))
+            .collect();
+        assert_eq!(rechecks.len(), 2, "report:\n{}", out.report);
+        // The revert is answered from the verdict cache, not recomputed.
+        assert!(
+            rechecks[1].contains("1 recomputed (1 from verdict cache, 0 executed)"),
+            "report:\n{}",
+            out.report
+        );
+        // And the reverted pair renders under its original name again.
+        assert!(out.report.ends_with(
+            "check member V pi{A}(R): YES via pi{A}(X)\n\
+             recheck: 1 check(s), 0 reused, 1 recomputed (1 from verdict cache, 0 executed)\n"
+        ));
+        // Dropping and re-adding by logical name also works.
+        let src2 = "rel R(A, B)\n\
+                    view W {\n  P = pi{A}(R)\n  Q = pi{B}(R)\n}\n\
+                    edit W {\n  drop P\n}\n\
+                    edit W {\n  P = pi{A}(R)\n}\n\
+                    check member W pi{A}(R)\n";
+        let out2 = run_scenario(src2).unwrap();
+        assert!(
+            out2.report.contains("check member W pi{A}(R): YES via P"),
+            "report:\n{}",
+            out2.report
+        );
+    }
+
+    #[test]
+    fn edits_cannot_claim_another_views_defining_relation() {
+        // `view` blocks reject duplicate pair names; `edit` must too, not
+        // silently alias another view's catalog relation.
+        let src = "rel R(A, B)\n\
+                   view V {\n  X = pi{A}(R)\n}\n\
+                   view W {\n  Y = pi{B}(R)\n}\n\
+                   edit W {\n  X = pi{A}(R)\n}\n";
+        let err = run_scenario(src).unwrap_err();
+        assert_eq!(err.line, 9);
+        assert!(
+            err.to_string()
+                .contains("defining relation of another view"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn closure_witnesses_validate_by_evaluation() {
         for round in 0..3 {
             let alpha = random_instantiation(&mut rng, &cat, &rels, 3 + round, 3);
             assert_eq!(
-                eval_template(&proof.substituted, &alpha, &proof.catalog),
+                eval_template(&proof.substituted, &alpha, &cat),
                 goal.eval(&alpha, &cat),
                 "witness disagrees with goal on data"
             );

@@ -1,6 +1,8 @@
 //! The shipped scenario files must keep running (and answering correctly).
 
-use viewcap::scenario::{run_scenario, run_scenario_with, ScenarioOptions};
+use viewcap::scenario::{
+    run_scenario, run_scenario_with, run_scenario_with_engine, ScenarioOptions,
+};
 
 #[test]
 fn example_3_1_5_scenario() {
@@ -47,6 +49,79 @@ fn batch_workload_scenario() {
     let par = run_scenario_with(src, &ScenarioOptions { jobs: 8 }).unwrap();
     assert_eq!(par.report, out.report);
     assert_eq!((par.yes, par.no), (out.yes, out.no));
+}
+
+#[test]
+fn incremental_edit_scenario() {
+    let src = include_str!("../scenarios/incremental_edit.vcap");
+    let out = run_scenario(src).unwrap();
+    assert_eq!((out.yes, out.no), (12, 3), "report:\n{}", out.report);
+
+    // Edit 1 replaces V's defining query: the three V-touching standing
+    // checks are invalidated, the two W/Probe-only checks are reused.
+    assert!(
+        out.report
+            .contains("edit V: 1 defining relation(s), 3 standing check(s) invalidated"),
+        "report:\n{}",
+        out.report
+    );
+    assert!(out.report.contains(
+        "recheck: 5 check(s), 2 reused, 3 recomputed (0 from verdict cache, 3 executed)"
+    ));
+
+    // The verdict flips with the edit: V = {R} strictly dominates W.
+    assert!(out.report.contains("check equivalent V W: NO"));
+
+    // Edit 2 rebuilds W (drop + add): four checks invalidated, and the
+    // added pair's witness renders under its new name.
+    assert!(out
+        .report
+        .contains("edit W: 2 defining relation(s), 4 standing check(s) invalidated"));
+    assert!(out.report.contains(
+        "recheck: 5 check(s), 1 reused, 4 recomputed (0 from verdict cache, 4 executed)"
+    ));
+    assert!(out.report.contains("check member W R: YES via Full"));
+
+    // Incremental re-checking must be deterministic under parallelism.
+    let par = run_scenario_with(src, &ScenarioOptions { jobs: 4 }).unwrap();
+    assert_eq!(par.report, out.report);
+}
+
+#[test]
+fn persisted_cache_warms_a_rerun_without_changing_verdicts() {
+    use viewcap_core::SearchBudget;
+    use viewcap_engine::{load_cache, save_cache, Engine};
+
+    let src = include_str!("../scenarios/incremental_edit.vcap");
+    let options = ScenarioOptions::default();
+
+    // Cold run, then persist the engine's verdict cache.
+    let cold_engine = Engine::new();
+    let cold = run_scenario_with_engine(src, &options, &cold_engine).unwrap();
+    let bytes = save_cache(cold_engine.cache());
+
+    // Warm run over the reloaded cache: nothing recomputes...
+    let warm_engine = Engine::with_cache(
+        SearchBudget::default(),
+        load_cache(&bytes, None).expect("round trip"),
+    );
+    let warm = run_scenario_with_engine(src, &options, &warm_engine).unwrap();
+    assert_eq!(warm.stats.misses, 0, "report:\n{}", warm.report);
+    assert!(warm.report.contains(
+        "recheck: 5 check(s), 1 reused, 4 recomputed (4 from verdict cache, 0 executed)"
+    ));
+
+    // ...and every verdict and rendered witness is byte-identical (only
+    // the cache-provenance counters may differ between cold and warm).
+    let verdicts = |report: &str| -> Vec<String> {
+        report
+            .lines()
+            .filter(|l| !l.starts_with("batch:") && !l.starts_with("recheck:"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(verdicts(&cold.report), verdicts(&warm.report));
+    assert_eq!((cold.yes, cold.no), (warm.yes, warm.no));
 }
 
 #[test]
