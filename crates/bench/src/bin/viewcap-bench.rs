@@ -1,0 +1,427 @@
+//! `viewcap-bench` — the repository's fixed benchmark suite.
+//!
+//! Runs three workloads and writes a machine-readable report
+//! (`BENCH_PR4.json` by default):
+//!
+//! 1. **shared-goal batches** — a batch of membership checks against one
+//!    view, decided twice: per-goal (a fresh `ClosureContext`, i.e. a fresh
+//!    bounded enumeration, per goal — the pre-PR-4 behavior) and shared
+//!    (one context probed per goal). Reports wall times, the summed
+//!    `SearchStats::combos`, and the speedup.
+//! 2. **engine batch** — the same checks through `Engine::run_batch`,
+//!    reporting the context-pool reuse counters (`EnumStats`).
+//! 3. **scenarios** — every `.vcap` file in `scenarios/`, timed end to end
+//!    with cache and enumeration counters.
+//!
+//! ```console
+//! $ viewcap-bench                         # full run, BENCH_PR4.json
+//! $ viewcap-bench --smoke                 # 1 iteration + counter asserts
+//! $ viewcap-bench --iters 5 --out /tmp/bench.json
+//! ```
+//!
+//! `--smoke` is what CI runs: a single iteration whose reuse counters are
+//! asserted to be live (nonzero, and shared work strictly below per-goal
+//! work); violations exit nonzero.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
+use viewcap_base::Catalog;
+use viewcap_core::{ClosureContext, Query, SearchBudget, View};
+use viewcap_engine::{Check, Engine, Workload};
+use viewcap_expr::parse_expr;
+
+struct Config {
+    iters: usize,
+    smoke: bool,
+    out: std::path::PathBuf,
+    scenarios_dir: std::path::PathBuf,
+}
+
+/// The fixed shared-goal workload: one view, many membership goals.
+fn shared_goal_workload() -> (Catalog, View, Vec<(String, Query)>) {
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    cat.relation("S", &["C", "D"]).unwrap();
+    let ab = cat.scheme(&["A", "B"]).unwrap();
+    let bc = cat.scheme(&["B", "C"]).unwrap();
+    let cd = cat.scheme(&["C", "D"]).unwrap();
+    let v1 = cat.fresh_relation("v1", ab);
+    let v2 = cat.fresh_relation("v2", bc);
+    let v3 = cat.fresh_relation("v3", cd);
+    let view = View::from_exprs(
+        vec![
+            (parse_expr("pi{A,B}(R)", &cat).unwrap(), v1),
+            (parse_expr("pi{B,C}(R)", &cat).unwrap(), v2),
+            (parse_expr("pi{C,D}(S)", &cat).unwrap(), v3),
+        ],
+        &cat,
+    )
+    .unwrap();
+    // Mostly goals whose reduced templates have 3–4 atoms: each forces the
+    // bounded enumeration up to that level, which is exactly the work the
+    // shared space pays once instead of per goal. A few small goals ride
+    // along for coverage.
+    let goals = [
+        // Members, bound 3–4.
+        "pi{A}(R) * pi{B}(R) * pi{C}(R)",
+        "pi{A}(R) * pi{B}(R) * pi{D}(S)",
+        "pi{A}(R) * pi{C}(R) * pi{D}(S)",
+        "pi{B}(R) * pi{C}(R) * pi{D}(S)",
+        "pi{A,B}(R) * pi{C}(R) * pi{D}(S)",
+        "pi{A}(R) * pi{B,C}(R) * pi{D}(S)",
+        "pi{A}(R) * pi{B}(R) * pi{C,D}(S)",
+        "pi{A}(R) * pi{B}(R) * pi{C}(R) * pi{D}(S)",
+        "pi{A}(R) * pi{B}(R) * pi{C}(R) * pi{C,D}(S)",
+        // Non-members, bound 2–4 (full enumeration up to the bound).
+        "pi{A,C}(R) * pi{B}(R) * pi{D}(S)",
+        "pi{A,D}(R * S) * pi{B}(R)",
+        "pi{A,D}(R * S) * pi{B}(R) * pi{C}(R)",
+        "R * pi{D}(S)",
+        // Small members for coverage.
+        "pi{A,B}(R)",
+        "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))",
+        "pi{B,D}(pi{B,C}(R) * pi{C,D}(S))",
+    ]
+    .iter()
+    .map(|src| {
+        (
+            (*src).to_owned(),
+            Query::from_expr(parse_expr(src, &cat).unwrap(), &cat),
+        )
+    })
+    .collect();
+    (cat, view, goals)
+}
+
+struct SharedGoalReport {
+    goals: usize,
+    iters: usize,
+    baseline_ms: f64,
+    shared_ms: f64,
+    speedup: f64,
+    baseline_combos: u64,
+    shared_combos: u64,
+    verdicts: Vec<bool>,
+}
+
+fn bench_shared_goals(config: &Config) -> SharedGoalReport {
+    let (cat, view, goals) = shared_goal_workload();
+    let budget = SearchBudget::default();
+    let queries: Vec<Query> = view.query_set().queries().to_vec();
+
+    // Per-goal baseline: a fresh context (fresh enumeration) per goal.
+    let mut baseline_combos = 0u64;
+    let mut baseline_verdicts = Vec::new();
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        baseline_combos = 0;
+        baseline_verdicts.clear();
+        for (_, goal) in &goals {
+            let mut context = ClosureContext::new(&queries, &cat, &budget);
+            let verdict = context.contains(goal).expect("default budget suffices");
+            baseline_verdicts.push(verdict.is_some());
+            baseline_combos += context.search_stats().combos;
+        }
+    }
+    let baseline_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+
+    // Shared: one context, one enumeration, probed per goal.
+    let mut shared_combos = 0u64;
+    let mut shared_verdicts = Vec::new();
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        shared_verdicts.clear();
+        let mut context = ClosureContext::new(&queries, &cat, &budget);
+        for (_, goal) in &goals {
+            let verdict = context.contains(goal).expect("default budget suffices");
+            shared_verdicts.push(verdict.is_some());
+        }
+        shared_combos = context.search_stats().combos;
+    }
+    let shared_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+
+    assert_eq!(
+        baseline_verdicts, shared_verdicts,
+        "shared context changed a verdict"
+    );
+    SharedGoalReport {
+        goals: goals.len(),
+        iters: config.iters,
+        baseline_ms,
+        shared_ms,
+        speedup: baseline_ms / shared_ms.max(1e-9),
+        baseline_combos,
+        shared_combos,
+        verdicts: shared_verdicts,
+    }
+}
+
+struct EngineBatchReport {
+    checks: usize,
+    wall_ms: f64,
+    contexts: u64,
+    probes: u64,
+    combos: u64,
+    executed: usize,
+}
+
+fn bench_engine_batch(config: &Config) -> EngineBatchReport {
+    let (cat, view, goals) = shared_goal_workload();
+    let mut workload = Workload::new();
+    for (label, goal) in &goals {
+        workload.push(
+            label.clone(),
+            Check::Member {
+                view: view.clone(),
+                goal: goal.clone(),
+            },
+        );
+    }
+    let mut report = None;
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        // Cold engine per iteration: the point is enumeration sharing
+        // within one batch, not verdict-cache warmth across iterations.
+        let engine = Engine::new();
+        let outcome = engine.run_batch(&workload, &cat, 1);
+        let stats = engine.enum_stats();
+        report = Some(EngineBatchReport {
+            checks: workload.len(),
+            wall_ms: 0.0,
+            contexts: stats.contexts,
+            probes: stats.probes,
+            combos: stats.combos,
+            executed: outcome.executed,
+        });
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+    let mut report = report.expect("iters >= 1");
+    report.wall_ms = wall_ms;
+    report
+}
+
+struct ScenarioReport {
+    name: String,
+    wall_ms: f64,
+    yes: usize,
+    no: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    contexts: u64,
+    probes: u64,
+    combos: u64,
+}
+
+fn bench_scenarios(config: &Config) -> Vec<ScenarioReport> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&config.scenarios_dir) else {
+        eprintln!(
+            "viewcap-bench: no scenario directory at `{}`, skipping scenario suite",
+            config.scenarios_dir.display()
+        );
+        return out;
+    };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "vcap"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("viewcap-bench: cannot read `{}`: {e}", path.display());
+                continue;
+            }
+        };
+        let name = path.file_stem().map_or_else(
+            || path.display().to_string(),
+            |s| s.to_string_lossy().into(),
+        );
+        let mut last = None;
+        let start = Instant::now();
+        for _ in 0..config.iters {
+            let engine = Engine::new();
+            let outcome = run_scenario_with_engine(&source, &ScenarioOptions { jobs: 1 }, &engine)
+                .unwrap_or_else(|e| panic!("scenario `{name}` failed: {e}"));
+            last = Some(outcome);
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+        let outcome = last.expect("iters >= 1");
+        out.push(ScenarioReport {
+            name,
+            wall_ms,
+            yes: outcome.yes,
+            no: outcome.no,
+            cache_hits: outcome.stats.hits,
+            cache_misses: outcome.stats.misses,
+            contexts: outcome.enum_stats.contexts,
+            probes: outcome.enum_stats.probes,
+            combos: outcome.enum_stats.combos,
+        });
+    }
+    out
+}
+
+fn json_report(
+    config: &Config,
+    shared: &SharedGoalReport,
+    batch: &EngineBatchReport,
+    scenarios: &[ScenarioReport],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"BENCH_PR4\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"shared_goal\": {{");
+    let _ = writeln!(s, "    \"goals\": {},", shared.goals);
+    let _ = writeln!(s, "    \"iters\": {},", shared.iters);
+    let _ = writeln!(s, "    \"baseline_ms\": {:.3},", shared.baseline_ms);
+    let _ = writeln!(s, "    \"shared_ms\": {:.3},", shared.shared_ms);
+    let _ = writeln!(s, "    \"speedup\": {:.2},", shared.speedup);
+    let _ = writeln!(s, "    \"baseline_combos\": {},", shared.baseline_combos);
+    let _ = writeln!(s, "    \"shared_combos\": {},", shared.shared_combos);
+    let verdicts: Vec<String> = shared.verdicts.iter().map(|v| v.to_string()).collect();
+    let _ = writeln!(s, "    \"verdicts\": [{}]", verdicts.join(", "));
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"engine_batch\": {{");
+    let _ = writeln!(s, "    \"checks\": {},", batch.checks);
+    let _ = writeln!(s, "    \"wall_ms\": {:.3},", batch.wall_ms);
+    let _ = writeln!(s, "    \"contexts\": {},", batch.contexts);
+    let _ = writeln!(s, "    \"probes\": {},", batch.probes);
+    let _ = writeln!(s, "    \"combos\": {},", batch.combos);
+    let _ = writeln!(s, "    \"executed\": {}", batch.executed);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"scenarios\": [");
+    for (i, sc) in scenarios.iter().enumerate() {
+        let comma = if i + 1 == scenarios.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"yes\": {}, \"no\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"contexts\": {}, \"probes\": {}, \
+             \"combos\": {}}}{comma}",
+            sc.name,
+            sc.wall_ms,
+            sc.yes,
+            sc.no,
+            sc.cache_hits,
+            sc.cache_misses,
+            sc.contexts,
+            sc.probes,
+            sc.combos
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: viewcap-bench [--smoke] [--iters N] [--out PATH] [--scenarios DIR]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = Config {
+        iters: 3,
+        smoke: false,
+        out: "BENCH_PR4.json".into(),
+        scenarios_dir: "scenarios".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                config.smoke = true;
+                config.iters = 1;
+            }
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.iters = n,
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => config.out = p.into(),
+                None => return usage(),
+            },
+            "--scenarios" => match it.next() {
+                Some(p) => config.scenarios_dir = p.into(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let shared = bench_shared_goals(&config);
+    let batch = bench_engine_batch(&config);
+    let scenarios = bench_scenarios(&config);
+
+    println!(
+        "shared-goal: {} goals, baseline {:.2} ms / shared {:.2} ms ({:.2}x), \
+         combos {} -> {}",
+        shared.goals,
+        shared.baseline_ms,
+        shared.shared_ms,
+        shared.speedup,
+        shared.baseline_combos,
+        shared.shared_combos
+    );
+    println!(
+        "engine-batch: {} checks in {:.2} ms, {} context(s), {} probe(s), {} combos",
+        batch.checks, batch.wall_ms, batch.contexts, batch.probes, batch.combos
+    );
+    for sc in &scenarios {
+        println!(
+            "scenario {}: {:.2} ms, {} yes / {} no, {} context(s), {} combos",
+            sc.name, sc.wall_ms, sc.yes, sc.no, sc.contexts, sc.combos
+        );
+    }
+
+    let report = json_report(&config, &shared, &batch, &scenarios);
+    if let Err(e) = std::fs::write(&config.out, &report) {
+        eprintln!(
+            "viewcap-bench: cannot write `{}`: {e}",
+            config.out.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", config.out.display());
+
+    if config.smoke {
+        // The counters must be live and the sharing real, or PR 4's whole
+        // premise regressed.
+        let mut failures = Vec::new();
+        if shared.shared_combos == 0 {
+            failures.push("shared_combos is 0".to_owned());
+        }
+        if shared.baseline_combos <= shared.shared_combos {
+            failures.push(format!(
+                "no combo amortization: baseline {} <= shared {}",
+                shared.baseline_combos, shared.shared_combos
+            ));
+        }
+        if batch.contexts != 1 {
+            failures.push(format!("expected 1 engine context, got {}", batch.contexts));
+        }
+        if batch.probes < batch.checks as u64 {
+            failures.push(format!(
+                "engine probes {} below check count {}",
+                batch.probes, batch.checks
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("viewcap-bench: smoke failure: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("smoke checks passed");
+    }
+    ExitCode::SUCCESS
+}

@@ -22,11 +22,13 @@
 
 use crate::error::CoreError;
 use crate::query::Query;
+use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
 use viewcap_base::{Catalog, RelId};
 use viewcap_expr::Expr;
 use viewcap_template::{
-    equivalent_templates, substitute, Assignment, SearchLimits, SearchOverflow, Template,
+    equivalent_templates, substitute, Assignment, CandidateSpace, SearchLimits, SearchOptions,
+    SearchOverflow, SearchStats, Template,
 };
 
 use crate::view::View;
@@ -88,85 +90,178 @@ impl ClosureProof {
     }
 }
 
+/// The per-query-set state of the membership procedure, built once and
+/// probed per goal.
+///
+/// Everything expensive about `closure_contains` — the scratch catalog with
+/// its minted `λᵢ`, the assignment `β(λᵢ) = Tᵢ`, the RN maps, and above all
+/// the bounded enumeration of normalized λ-skeletons — depends only on the
+/// query set, never on the goal. A `ClosureContext` owns that state
+/// (including a lazily extended [`CandidateSpace`]); [`ClosureContext::contains`]
+/// is then a cheap probe: it filters the memoized candidate roots by the
+/// goal's target scheme and RN set and tests substitution equivalence.
+///
+/// **Soundness of sharing.** The candidate space is a function of
+/// `(catalog, λ-atoms, atom bound)` alone; a goal only *selects* from it
+/// (by TRS, RN, and bound) and never contributes to it, so two goals probed
+/// against one context see exactly the candidates each would see from a
+/// fresh enumeration, in the same order. Per-probe [`SearchLimits`]
+/// semantics are preserved by the space (budgets are counted per probe and
+/// overflow still means "unknown"); the differential conformance suite
+/// checks verdict *and* witness agreement against fresh per-goal runs.
+pub struct ClosureContext {
+    /// Scratch catalog: the caller's catalog plus the minted `λᵢ`.
+    scratch: Catalog,
+    /// `β(λᵢ) = Tᵢ`.
+    beta: Assignment,
+    /// `(λ, index into the query set)`, in query-set order.
+    lambda_queries: Vec<(RelId, usize)>,
+    /// Union of the queries' RN sets (quick goal rejection).
+    union_rn: BTreeSet<RelId>,
+    /// Each λ's RN contribution (skeleton-level RN filter).
+    rn_of_lambda: HashMap<RelId, BTreeSet<RelId>>,
+    /// The shared, lazily extended enumeration memo.
+    space: CandidateSpace,
+    /// Budget applied to every probe.
+    budget: SearchBudget,
+    /// Goals probed so far (for reuse reporting).
+    probes: u64,
+}
+
+impl ClosureContext {
+    /// Build the per-query-set state. Cheap: no enumeration happens until
+    /// the first [`ClosureContext::contains`] call.
+    pub fn new(queries: &[Query], catalog: &Catalog, budget: &SearchBudget) -> ClosureContext {
+        let mut scratch = catalog.clone();
+        let mut beta = Assignment::new();
+        let mut lambda_queries = Vec::with_capacity(queries.len());
+        let mut atoms = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let lam = scratch.fresh_relation("lam", q.trs());
+            beta.set(lam, q.template().clone(), &scratch)
+                .expect("λ type minted to match");
+            lambda_queries.push((lam, i));
+            atoms.push(lam);
+        }
+        let union_rn: BTreeSet<RelId> = queries.iter().flat_map(|q| q.rel_names()).collect();
+        let rn_of_lambda: HashMap<RelId, BTreeSet<RelId>> = lambda_queries
+            .iter()
+            .map(|&(lam, i)| (lam, queries[i].rel_names()))
+            .collect();
+        let space = CandidateSpace::new(&atoms, SearchOptions::default());
+        ClosureContext {
+            scratch,
+            beta,
+            lambda_queries,
+            union_rn,
+            rn_of_lambda,
+            space,
+            budget: budget.clone(),
+            probes: 0,
+        }
+    }
+
+    /// Decide `goal ∈ closure(queries)` by probing the shared candidate
+    /// space; identical to a fresh [`closure_contains`] call, including
+    /// overflow behavior.
+    ///
+    /// `Err` means the search budget was exhausted — the answer is unknown,
+    /// *not* "no".
+    pub fn contains(&mut self, goal: &Query) -> Result<Option<ClosureProof>, SearchOverflow> {
+        self.probes += 1;
+        if self.lambda_queries.is_empty() {
+            return Ok(None);
+        }
+        // Quick rejection: equivalent mappings have equal RN sets, and every
+        // construction's RN is covered by the union of the queries' RNs.
+        if !goal.rel_names().iter().all(|r| self.union_rn.contains(r)) {
+            return Ok(None);
+        }
+
+        let max_atoms = self
+            .budget
+            .max_atoms_override
+            .unwrap_or_else(|| goal.template().len());
+        let goal_trs = goal.trs();
+        // RN(goal) must equal the union of the assigned queries' RNs over
+        // the skeleton's tags.
+        let goal_rn = goal.rel_names();
+
+        let ClosureContext {
+            scratch,
+            beta,
+            lambda_queries,
+            rn_of_lambda,
+            space,
+            budget,
+            ..
+        } = self;
+        let scratch: &Catalog = scratch;
+        let mut proof = None;
+        space.probe(
+            scratch,
+            max_atoms,
+            Some(&goal_trs),
+            &budget.limits,
+            &mut |expr, skel| {
+                let skel_rn: BTreeSet<RelId> = skel
+                    .rel_names()
+                    .into_iter()
+                    .flat_map(|lam| rn_of_lambda[&lam].iter().copied())
+                    .collect();
+                if skel_rn != goal_rn {
+                    return ControlFlow::Continue(());
+                }
+                let sub = substitute(skel, beta, scratch).expect("every λ is assigned");
+                if equivalent_templates(&sub.result, goal.template()) {
+                    proof = Some(ClosureProof {
+                        skeleton: expr.clone(),
+                        lambda_queries: lambda_queries.clone(),
+                        skeleton_template: skel.clone(),
+                        substituted: sub.result,
+                    });
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )?;
+        Ok(proof)
+    }
+
+    /// Cumulative enumeration counters of the underlying candidate space —
+    /// the total search work this context has paid across all its goals.
+    pub fn search_stats(&self) -> SearchStats {
+        self.space.stats()
+    }
+
+    /// Goals probed through this context.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// The budget every probe runs under.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
+    }
+}
+
 /// Decide `goal ∈ closure(queries)` and produce a construction on success.
 ///
 /// `Err` means the search budget was exhausted — the answer is unknown,
 /// *not* "no".
+///
+/// One-shot wrapper over [`ClosureContext`]; callers deciding several goals
+/// against one query set should build the context once and call
+/// [`ClosureContext::contains`] per goal — the bounded enumeration is
+/// goal-independent and amortizes across probes.
 pub fn closure_contains(
     queries: &[Query],
     goal: &Query,
     catalog: &Catalog,
     budget: &SearchBudget,
 ) -> Result<Option<ClosureProof>, SearchOverflow> {
-    if queries.is_empty() {
-        return Ok(None);
-    }
-    // Quick rejection: equivalent mappings have equal RN sets, and every
-    // construction's RN is covered by the union of the queries' RNs.
-    let union: std::collections::BTreeSet<RelId> =
-        queries.iter().flat_map(|q| q.rel_names()).collect();
-    if !goal.rel_names().iter().all(|r| union.contains(r)) {
-        return Ok(None);
-    }
-
-    // Scratch names λᵢ and the assignment β(λᵢ) = Tᵢ.
-    let mut scratch = catalog.clone();
-    let mut beta = Assignment::new();
-    let mut lambda_queries = Vec::with_capacity(queries.len());
-    let mut atoms = Vec::with_capacity(queries.len());
-    for (i, q) in queries.iter().enumerate() {
-        let lam = scratch.fresh_relation("lam", q.trs());
-        beta.set(lam, q.template().clone(), &scratch)
-            .expect("λ type minted to match");
-        lambda_queries.push((lam, i));
-        atoms.push(lam);
-    }
-
-    let max_atoms = budget
-        .max_atoms_override
-        .unwrap_or_else(|| goal.template().len());
-    let goal_trs = goal.trs();
-
-    // RN(goal) must equal the union of the assigned queries' RNs over the
-    // skeleton's tags; precompute each λ's contribution for a cheap filter.
-    let goal_rn = goal.rel_names();
-    let rn_of_lambda: std::collections::HashMap<RelId, std::collections::BTreeSet<RelId>> =
-        lambda_queries
-            .iter()
-            .map(|&(lam, i)| (lam, queries[i].rel_names()))
-            .collect();
-
-    let mut proof = None;
-    viewcap_template::for_each_candidate(
-        &scratch,
-        &atoms,
-        max_atoms,
-        Some(&goal_trs),
-        &budget.limits,
-        &mut |expr, skel| {
-            let skel_rn: std::collections::BTreeSet<RelId> = skel
-                .rel_names()
-                .into_iter()
-                .flat_map(|lam| rn_of_lambda[&lam].iter().copied())
-                .collect();
-            if skel_rn != goal_rn {
-                return ControlFlow::Continue(());
-            }
-            let sub = substitute(skel, &beta, &scratch).expect("every λ is assigned");
-            if equivalent_templates(&sub.result, goal.template()) {
-                proof = Some(ClosureProof {
-                    skeleton: expr.clone(),
-                    lambda_queries: lambda_queries.clone(),
-                    skeleton_template: skel.clone(),
-                    substituted: sub.result,
-                });
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        },
-    )?;
-    Ok(proof)
+    ClosureContext::new(queries, catalog, budget).contains(goal)
 }
 
 /// Theorem 2.4.11: is `goal` in the query capacity of the view?
@@ -305,6 +400,80 @@ mod tests {
         assert!(cap_contains(&view, &no, &cat, &SearchBudget::default())
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn shared_context_amortizes_and_agrees_with_fresh_runs() {
+        let cat = setup();
+        let set = [q(&cat, "pi{A,B}(R)"), q(&cat, "pi{B,C}(R)")];
+        let budget = SearchBudget::default();
+        let goals = [
+            "pi{A,B}(R)",
+            "pi{B,C}(R)",
+            "pi{A}(R)",
+            "pi{B}(R)",
+            "pi{A,B}(R) * pi{B,C}(R)",
+            "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))",
+            "R",
+        ];
+        let mut context = ClosureContext::new(&set, &cat, &budget);
+        let mut per_goal_combos = 0u64;
+        for src in goals {
+            let goal = q(&cat, src);
+            let shared = context.contains(&goal).unwrap();
+            let fresh = closure_contains(&set, &goal, &cat, &budget).unwrap();
+            assert_eq!(shared.is_some(), fresh.is_some(), "{src}");
+            if let (Some(s), Some(f)) = (&shared, &fresh) {
+                // Identical witnesses, not merely equivalent ones: same
+                // skeleton, same λ table, same substituted template.
+                assert_eq!(
+                    format!("{:?}", s.skeleton),
+                    format!("{:?}", f.skeleton),
+                    "{src}"
+                );
+                assert_eq!(s.lambda_queries, f.lambda_queries, "{src}");
+                assert!(equivalent_templates(&s.substituted, &f.substituted));
+            }
+            // Each fresh run pays its own enumeration from scratch.
+            let mut fresh_ctx = ClosureContext::new(&set, &cat, &budget);
+            let _ = fresh_ctx.contains(&q(&cat, src)).unwrap();
+            per_goal_combos += fresh_ctx.search_stats().combos;
+        }
+        // The shared context's total enumeration work is strictly below the
+        // per-goal sum: the space was built once and probed seven times.
+        assert!(
+            context.search_stats().combos < per_goal_combos,
+            "shared {} vs per-goal {}",
+            context.search_stats().combos,
+            per_goal_combos
+        );
+        assert_eq!(context.probes(), goals.len() as u64);
+    }
+
+    #[test]
+    fn context_bound_extension_is_order_independent() {
+        // Probing a small-bound goal first must not change what a later
+        // large-bound goal sees, and vice versa.
+        let cat = setup();
+        let set = [q(&cat, "pi{A,B}(R)"), q(&cat, "pi{B,C}(R)")];
+        let budget = SearchBudget::default();
+        let small = q(&cat, "pi{A}(R)"); // 1-atom goal template
+        let large = q(&cat, "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))"); // 2 atoms
+        let mut up = ClosureContext::new(&set, &cat, &budget);
+        let s1 = up.contains(&small).unwrap();
+        let l1 = up.contains(&large).unwrap();
+        let mut down = ClosureContext::new(&set, &cat, &budget);
+        let l2 = down.contains(&large).unwrap();
+        let s2 = down.contains(&small).unwrap();
+        for (a, b) in [(&s1, &s2), (&l1, &l2)] {
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(format!("{:?}", x.skeleton), format!("{:?}", y.skeleton));
+                }
+                (None, None) => {}
+                _ => panic!("probe order changed a verdict"),
+            }
+        }
     }
 
     #[test]

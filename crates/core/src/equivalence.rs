@@ -9,7 +9,7 @@
 //! query, i.e. explicit constructions re-deriving one view's definition
 //! from the other's.
 
-use crate::capacity::{closure_contains, ClosureProof, SearchBudget};
+use crate::capacity::{ClosureContext, ClosureProof, SearchBudget};
 use crate::view::View;
 use viewcap_base::Catalog;
 use viewcap_template::SearchOverflow;
@@ -31,6 +31,24 @@ pub struct EquivalenceWitness {
     pub w_dominates_v: DominanceWitness,
 }
 
+/// Lemma 1.5.4 against a prebuilt [`ClosureContext`] over the dominator's
+/// defining query set: all of `w`'s defining queries probe one shared
+/// candidate-space enumeration. This is the entry point the batch engine
+/// uses to amortize repeated dominance/equivalence checks against one view.
+pub fn dominates_via(
+    v_context: &mut ClosureContext,
+    w: &View,
+) -> Result<Option<DominanceWitness>, SearchOverflow> {
+    let mut proofs = Vec::with_capacity(w.len());
+    for (q, _) in w.pairs() {
+        match v_context.contains(q)? {
+            Some(p) => proofs.push(p),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(DominanceWitness { proofs }))
+}
+
 /// Lemma 1.5.4: does `v` dominate `w`?
 pub fn dominates_with(
     v: &View,
@@ -38,15 +56,8 @@ pub fn dominates_with(
     catalog: &Catalog,
     budget: &SearchBudget,
 ) -> Result<Option<DominanceWitness>, SearchOverflow> {
-    let v_queries = v.query_set();
-    let mut proofs = Vec::with_capacity(w.len());
-    for (q, _) in w.pairs() {
-        match closure_contains(v_queries.queries(), q, catalog, budget)? {
-            Some(p) => proofs.push(p),
-            None => return Ok(None),
-        }
-    }
-    Ok(Some(DominanceWitness { proofs }))
+    let mut context = ClosureContext::new(v.query_set().queries(), catalog, budget);
+    dominates_via(&mut context, w)
 }
 
 /// Lemma 1.5.4 with the default budget.
@@ -58,6 +69,26 @@ pub fn dominates(
     dominates_with(v, w, catalog, &SearchBudget::default())
 }
 
+/// Theorems 1.5.5/2.4.12 against prebuilt contexts for both sides; each
+/// direction reuses (and extends) its view's shared enumeration.
+pub fn equivalent_via(
+    v_context: &mut ClosureContext,
+    w_context: &mut ClosureContext,
+    v: &View,
+    w: &View,
+) -> Result<Option<EquivalenceWitness>, SearchOverflow> {
+    let Some(v_dominates_w) = dominates_via(v_context, w)? else {
+        return Ok(None);
+    };
+    let Some(w_dominates_v) = dominates_via(w_context, v)? else {
+        return Ok(None);
+    };
+    Ok(Some(EquivalenceWitness {
+        v_dominates_w,
+        w_dominates_v,
+    }))
+}
+
 /// Theorems 1.5.5/2.4.12: are the views equivalent?
 pub fn equivalent_with(
     v: &View,
@@ -65,16 +96,9 @@ pub fn equivalent_with(
     catalog: &Catalog,
     budget: &SearchBudget,
 ) -> Result<Option<EquivalenceWitness>, SearchOverflow> {
-    let Some(v_dominates_w) = dominates_with(v, w, catalog, budget)? else {
-        return Ok(None);
-    };
-    let Some(w_dominates_v) = dominates_with(w, v, catalog, budget)? else {
-        return Ok(None);
-    };
-    Ok(Some(EquivalenceWitness {
-        v_dominates_w,
-        w_dominates_v,
-    }))
+    let mut v_context = ClosureContext::new(v.query_set().queries(), catalog, budget);
+    let mut w_context = ClosureContext::new(w.query_set().queries(), catalog, budget);
+    equivalent_via(&mut v_context, &mut w_context, v, w)
 }
 
 /// Theorems 1.5.5/2.4.12 with the default budget.

@@ -33,7 +33,7 @@ pub mod redundancy;
 pub mod simplify;
 pub mod view;
 
-pub use capacity::{cap_contains, closure_contains, ClosureProof, SearchBudget};
+pub use capacity::{cap_contains, closure_contains, ClosureContext, ClosureProof, SearchBudget};
 pub use closure::{capacity_members, closure_members, ClosureMember};
 pub use equivalence::{dominates, equivalent, DominanceWitness, EquivalenceWitness};
 pub use error::CoreError;

@@ -194,17 +194,27 @@ mod tests {
             ("pi{A}(R) * pi{B}(R)", true), // cross product
             ("R", false),                  // lost correlation
         ];
+        // The cross-check drives the bounded search the way production
+        // callers do: one shared ClosureContext probed per goal.
+        let mut context =
+            crate::capacity::ClosureContext::new(&set, &cat, &SearchBudget::default());
         for (src, expected) in cases {
             let goal = q(&cat, src);
-            let fast = closure_contains(&set, &goal, &cat, &SearchBudget::default())
+            let fast = context.contains(&goal).unwrap().is_some();
+            let fresh = closure_contains(&set, &goal, &cat, &SearchBudget::default())
                 .unwrap()
                 .is_some();
             let slow = closure_contains_paper(&set, &goal, &cat, &PaperProcedureConfig::default())
                 .unwrap()
                 .is_some();
             assert_eq!(fast, expected, "bounded search wrong on {src}");
+            assert_eq!(
+                fresh, fast,
+                "shared context disagrees with fresh search on {src}"
+            );
             assert_eq!(slow, expected, "paper procedure wrong on {src}");
         }
+        assert_eq!(context.probes(), cases.len() as u64);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! Theorem 3.1.7** bound every nonredundant equivalent of `𝒱` by
 //! `Σᵢ #(RN(Tᵢ))`.
 
-use crate::capacity::{closure_contains, ClosureProof, SearchBudget};
+use crate::capacity::{ClosureContext, ClosureProof, SearchBudget};
 use crate::error::CoreError;
 use crate::query::Query;
 use crate::view::View;
@@ -17,6 +17,11 @@ use viewcap_template::SearchOverflow;
 
 /// Is `queries[i]` redundant in the set? Returns the witnessing
 /// construction from the *other* queries when it is.
+///
+/// Routed through [`ClosureContext`] like every other membership question.
+/// Note that redundancy tests cannot share one context across indices: the
+/// generating set `𝒯 − {Tᵢ}` differs for every `i`, and the candidate space
+/// is a function of the generating set's λ-atoms.
 pub fn is_redundant_with(
     queries: &[Query],
     i: usize,
@@ -29,7 +34,7 @@ pub fn is_redundant_with(
         .filter(|(j, _)| *j != i)
         .map(|(_, q)| q.clone())
         .collect();
-    closure_contains(&rest, &queries[i], catalog, budget)
+    ClosureContext::new(&rest, catalog, budget).contains(&queries[i])
 }
 
 /// [`is_redundant_with`] under the default budget.
@@ -116,6 +121,7 @@ pub fn nonredundant_size_bound(view: &View) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::capacity::closure_contains;
     use crate::equivalence::equivalent;
     use viewcap_expr::parse_expr;
 

@@ -11,11 +11,15 @@
 //! lock, so hits never serialize on writes); when an insert pushes the
 //! total past capacity, the globally least-recently-stamped entry is
 //! evicted — "sharded LRU-ish": exact LRU victims, approximate only in that
-//! concurrent stamping can race the victim scan. Eviction scans every shard
-//! and is O(entries); it only runs on inserts at capacity, where the
-//! decision procedure cost dwarfs it. All counters ([`CacheStats`]) are
-//! exact: hits and misses are counted at lookup, evictions at removal,
-//! whatever the capacity.
+//! concurrent stamping can race the victim scan. Victim selection keeps a
+//! lazy min-heap of `(stamp, key)` per shard: inserts push their stamp,
+//! hits only touch the entry's atomic stamp, and eviction pops each
+//! shard's heap until the top agrees with its entry's current stamp
+//! (stale tops are re-pushed at their fresh stamp, tops for removed keys
+//! are dropped), then takes the minimum across shards — O(log entries)
+//! amortized instead of the old full scan per insert at capacity. All
+//! counters ([`CacheStats`]) are exact: hits and misses are counted at
+//! lookup, evictions at removal, whatever the capacity.
 //!
 //! Soundness: equal fingerprints imply isomorphic reduced templates (see
 //! [`crate::fingerprint`]), and every memoized procedure is invariant under
@@ -27,7 +31,8 @@
 
 use crate::fingerprint::Fingerprint;
 use crate::verdict::{CheckKind, Verdict};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -75,6 +80,81 @@ struct Slot {
     stamp: AtomicU64,
 }
 
+/// A lazy heap record: the stamp a key had when it was pushed. The
+/// authoritative stamp lives in the entry's [`Slot`]; a heap record whose
+/// stamp disagrees is stale and is dropped (key gone) or re-pushed at the
+/// fresh stamp (key touched since) when it surfaces at the top.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    stamp: u64,
+    key: CacheKey,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.stamp, self.key.sort_key()).cmp(&(other.stamp, other.key.sort_key()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One shard: the entry map plus the lazy eviction heap over it.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Slot>,
+    /// Min-heap (via [`Reverse`]) of possibly stale `(stamp, key)` records.
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl Shard {
+    /// Pop stale heap tops until the top record agrees with its entry's
+    /// current stamp; returns that validated minimum, or `None` for an
+    /// empty shard. Requires exclusive access (stamps cannot move under a
+    /// write lock, so at most one re-push happens per key).
+    fn validated_min(&mut self) -> Option<HeapEntry> {
+        // Lazy deletion can leave the heap larger than the map; rebuild it
+        // from the authoritative stamps when it has grown too stale.
+        if self.heap.len() > 2 * self.map.len() + 64 {
+            self.heap = self
+                .map
+                .iter()
+                .map(|(key, slot)| {
+                    Reverse(HeapEntry {
+                        stamp: slot.stamp.load(Ordering::Relaxed),
+                        key: *key,
+                    })
+                })
+                .collect();
+        }
+        while let Some(&Reverse(top)) = self.heap.peek() {
+            match self.map.get(&top.key) {
+                // The key was evicted or never re-inserted: drop the record.
+                None => {
+                    self.heap.pop();
+                }
+                Some(slot) => {
+                    let current = slot.stamp.load(Ordering::Relaxed);
+                    if current == top.stamp {
+                        return Some(top);
+                    }
+                    // Touched since it was pushed: re-file under the fresh
+                    // stamp and keep looking.
+                    self.heap.pop();
+                    self.heap.push(Reverse(HeapEntry {
+                        stamp: current,
+                        key: top.key,
+                    }));
+                }
+            }
+        }
+        None
+    }
+}
+
 /// Counters for one cache (monotonic; snapshot via [`VerdictCache::stats`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
@@ -100,7 +180,7 @@ impl fmt::Display for CacheStats {
 
 /// Sharded fingerprint-keyed verdict store with optional capacity bound.
 pub struct VerdictCache {
-    shards: Vec<RwLock<HashMap<CacheKey, Slot>>>,
+    shards: Vec<RwLock<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -131,7 +211,7 @@ impl VerdictCache {
     pub fn bounded(max_entries: Option<usize>) -> Self {
         VerdictCache {
             shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(Shard::default()))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -162,7 +242,10 @@ impl VerdictCache {
         let shard = self.shards[self.shard_index(key)]
             .read()
             .expect("cache lock");
-        let found = shard.get(key).map(|slot| {
+        let found = shard.map.get(key).map(|slot| {
+            // The heap record for this key is now stale; eviction re-files
+            // it lazily. Hits touch only this atomic, never the heap, so
+            // they keep running under the read lock.
             slot.stamp.store(self.tick(), Ordering::Relaxed);
             slot.entry.clone()
         });
@@ -184,16 +267,22 @@ impl VerdictCache {
                 .write()
                 .expect("cache lock");
             let stamp = self.tick();
+            let mut fresh = false;
             shard
+                .map
                 .entry(key)
                 .and_modify(|slot| slot.stamp.store(stamp, Ordering::Relaxed))
                 .or_insert_with(|| {
                     self.len.fetch_add(1, Ordering::Relaxed);
+                    fresh = true;
                     Slot {
                         entry,
                         stamp: AtomicU64::new(stamp),
                     }
                 });
+            if fresh {
+                shard.heap.push(Reverse(HeapEntry { stamp, key }));
+            }
         }
         if let Some(max) = self.max_entries {
             while self.len.load(Ordering::Relaxed) > max && self.evict_oldest() {}
@@ -203,25 +292,28 @@ impl VerdictCache {
     /// Remove the globally least-recently-stamped entry. Returns `false`
     /// when nothing could be evicted (empty cache, or lost every race).
     fn evict_oldest(&self) -> bool {
-        // Pass 1: find the global minimum stamp under read locks.
-        let mut victim: Option<(usize, CacheKey, u64)> = None;
+        // Pass 1: each shard's validated heap minimum (popping records made
+        // stale by hits or earlier evictions), then the global minimum.
+        let mut victim: Option<(usize, HeapEntry)> = None;
         for (i, shard) in self.shards.iter().enumerate() {
-            let shard = shard.read().expect("cache lock");
-            for (key, slot) in shard.iter() {
-                let stamp = slot.stamp.load(Ordering::Relaxed);
-                if victim.is_none_or(|(_, _, best)| stamp < best) {
-                    victim = Some((i, *key, stamp));
+            let mut shard = shard.write().expect("cache lock");
+            if let Some(min) = shard.validated_min() {
+                if victim.is_none_or(|(_, best)| min < best) {
+                    victim = Some((i, min));
                 }
             }
         }
-        // Pass 2: remove it (if a concurrent touch re-stamped it, evict
-        // anyway — "LRU-ish", and the bound is what matters).
-        let Some((i, key, _)) = victim else {
+        // Pass 2: remove it (if a concurrent touch re-stamped it between
+        // the passes, evict anyway — "LRU-ish", and the bound is what
+        // matters). The victim's heap record stays behind and is dropped
+        // lazily the next time it surfaces.
+        let Some((i, HeapEntry { key, .. })) = victim else {
             return false;
         };
         let removed = self.shards[i]
             .write()
             .expect("cache lock")
+            .map
             .remove(&key)
             .is_some();
         if removed {
@@ -240,6 +332,7 @@ impl VerdictCache {
             .flat_map(|s| {
                 s.read()
                     .expect("cache lock")
+                    .map
                     .iter()
                     .map(|(k, slot)| (*k, slot.entry.clone()))
                     .collect::<Vec<_>>()
@@ -350,6 +443,50 @@ mod tests {
         cache.insert(k, entry());
         let stats = cache.stats();
         assert_eq!((stats.entries, stats.evictions), (1, 0));
+    }
+
+    #[test]
+    fn heap_eviction_matches_a_reference_lru_model() {
+        // Sequential operations make the access stamps exact, so the lazy
+        // per-shard heaps must agree with a literal LRU list at every step.
+        let cap = 8usize;
+        let cache = VerdictCache::bounded(Some(cap));
+        let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        // `model` keeps keys in recency order, most recent last.
+        let mut model: Vec<u128> = Vec::new();
+        for _ in 0..2000 {
+            let n = (next() % 32) as u128;
+            let k = key(CheckKind::Member, n, n);
+            if next() % 2 == 0 {
+                let hit = cache.get(&k).is_some();
+                assert_eq!(hit, model.contains(&n), "presence diverged on {n}");
+                if hit {
+                    model.retain(|&x| x != n);
+                    model.push(n);
+                }
+            } else {
+                cache.insert(k, entry());
+                model.retain(|&x| x != n);
+                model.push(n);
+                if model.len() > cap {
+                    model.remove(0);
+                }
+            }
+            assert!(cache.stats().entries <= cap);
+        }
+        let present: std::collections::BTreeSet<u128> = cache
+            .snapshot()
+            .iter()
+            .map(|(k, _)| k.left.as_u128())
+            .collect();
+        let expected: std::collections::BTreeSet<u128> = model.iter().copied().collect();
+        assert_eq!(present, expected, "cache contents diverged from LRU model");
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! reassembles per-request results in submission order.
 //!
 //! **Determinism.** Parallel execution returns results identical to
-//! sequential execution: the fingerprint pass and deduplication are
-//! sequential, exactly one (order-determined) representative per
-//! fingerprint class computes, every decision procedure is itself
-//! deterministic, and reassembly is positional. Thread scheduling can only
-//! change *when* a verdict is computed, never *which* verdict a request
-//! receives.
+//! sequential execution: the fingerprint pass, deduplication, and shared
+//! [`ClosureContext`] creation are sequential, exactly one
+//! (order-determined) representative per fingerprint class computes, every
+//! decision procedure is itself deterministic (context probes included —
+//! the candidate space is a deterministic function of the query set,
+//! whichever probe builds it), and reassembly is positional. Thread
+//! scheduling can only change *when* a verdict is computed, never *which*
+//! verdict a request receives.
 
 use crate::cache::{CacheKey, CacheStats, Entry, VerdictCache};
 use crate::fingerprint::{
@@ -20,12 +22,12 @@ use crate::fingerprint::{
 use crate::verdict::{CheckKind, Verdict};
 use crate::workload::{Check, Workload};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use viewcap_base::{Catalog, RelId};
-use viewcap_core::capacity::cap_contains;
-use viewcap_core::equivalence::{dominates_with, equivalent_with};
-use viewcap_core::{SearchBudget, View};
+use viewcap_core::equivalence::{dominates_via, EquivalenceWitness};
+use viewcap_core::{ClosureContext, SearchBudget, View};
 use viewcap_template::SearchOverflow;
 
 /// The outcome of deciding one request.
@@ -94,14 +96,198 @@ pub struct BatchOutcome {
     pub executed: usize,
 }
 
+/// Cumulative candidate-space reuse counters across an engine's
+/// [`ClosureContext`] pool (see [`Engine::enum_stats`]).
+///
+/// `probes - contexts` is roughly how many membership questions were
+/// answered without re-deriving the bounded enumeration; `combos` is the
+/// total enumeration work actually paid. A batch of N checks against one
+/// view shows `contexts == 1, probes >= N` where the uncached engine paid
+/// the enumeration N times over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Closure contexts built (one per distinct ordered defining-query
+    /// fingerprint table).
+    pub contexts: u64,
+    /// Goal probes served across all contexts.
+    pub probes: u64,
+    /// Join combinations examined across all shared candidate spaces.
+    pub combos: u64,
+    /// Candidate roots kept across all shared candidate spaces.
+    pub roots: u64,
+}
+
+impl fmt::Display for EnumStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} context(s), {} probe(s), {} combination(s) examined, {} root(s) kept",
+            self.contexts, self.probes, self.combos, self.roots
+        )
+    }
+}
+
+/// Most contexts the pool retains. Contexts are pure caches (dropping one
+/// only costs re-enumeration), so a bound keeps long-lived engines — e.g.
+/// a [`crate::DeltaWorkload`] cycling through many view versions — from
+/// accumulating one fully built candidate space per version forever.
+const MAX_CONTEXTS: usize = 64;
+
+/// A pooled context plus its last-use stamp (for LRU retirement).
+struct PooledContext {
+    context: Arc<Mutex<ClosureContext>>,
+    last_used: u64,
+}
+
+struct PoolInner {
+    map: HashMap<Vec<Fingerprint>, PooledContext>,
+    clock: u64,
+    /// Counters harvested from retired contexts, so [`EnumStats`] stays
+    /// cumulative across evictions.
+    retired: EnumStats,
+}
+
+/// The engine's pool of [`ClosureContext`]s, one per *ordered* table of
+/// defining-query fingerprints.
+///
+/// Keying by the ordered table (not the order-free view fingerprint) keeps
+/// witness λ indices positional: two views listing equivalent queries in
+/// different orders get separate contexts, while re-posed checks against
+/// the same view — across batches and [`crate::DeltaWorkload`] re-checks —
+/// share one lazily extended enumeration. Fingerprint-equal views with
+/// *isomorphic but non-identical* defining templates share a context, so
+/// their witnesses carry the creator's λ templates — the same
+/// representative-per-class semantics the verdict cache already applies on
+/// hits; rendered output ([`crate::Decision::member_witness_names`]) is
+/// unaffected. [`Engine::run_batch`] pre-creates the contexts a batch
+/// needs sequentially, so which view defines a shared context never
+/// depends on worker scheduling.
+struct ContextPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl ContextPool {
+    fn new() -> Self {
+        ContextPool {
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                clock: 0,
+                retired: EnumStats::default(),
+            }),
+        }
+    }
+
+    /// The context for `view`'s defining query set, created on first use.
+    ///
+    /// Creation is cheap (no enumeration runs until the first probe). Past
+    /// [`MAX_CONTEXTS`] the least-recently-used other context is retired,
+    /// its counters folded into the pool's totals.
+    fn for_view(
+        &self,
+        view: &View,
+        catalog: &Catalog,
+        budget: &SearchBudget,
+    ) -> Arc<Mutex<ClosureContext>> {
+        let key = view_query_fingerprints(view);
+        let mut inner = self.inner.lock().expect("context pool lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let context = match inner.map.get_mut(&key) {
+            Some(pooled) => {
+                pooled.last_used = stamp;
+                Arc::clone(&pooled.context)
+            }
+            None => {
+                let context = Arc::new(Mutex::new(ClosureContext::new(
+                    view.query_set().queries(),
+                    catalog,
+                    budget,
+                )));
+                inner.map.insert(
+                    key,
+                    PooledContext {
+                        context: Arc::clone(&context),
+                        last_used: stamp,
+                    },
+                );
+                context
+            }
+        };
+        while inner.map.len() > MAX_CONTEXTS {
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, p)| p.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let Some(retiree) = inner.map.remove(&victim) else {
+                break;
+            };
+            // Harvest the retiree's counters. Safe to lock here: workers
+            // never hold a context lock while touching the pool.
+            let retiree = retiree.context.lock().expect("context lock");
+            let s = retiree.search_stats();
+            inner.retired.contexts += 1;
+            inner.retired.probes += retiree.probes();
+            inner.retired.combos += s.combos;
+            inner.retired.roots += s.roots_visited;
+        }
+        context
+    }
+
+    /// Create (or touch) the contexts `check` will probe. Called
+    /// sequentially for a batch's cache misses before workers start, so
+    /// context creation order — and therefore which fingerprint-equal view
+    /// defines a shared context — is submission-order-deterministic.
+    fn prewarm(&self, check: &Check, flipped: bool, catalog: &Catalog, budget: &SearchBudget) {
+        match check {
+            Check::Member { view, .. } => {
+                self.for_view(view, catalog, budget);
+            }
+            Check::Dominates { dominator, .. } => {
+                self.for_view(dominator, catalog, budget);
+            }
+            Check::Equivalent { left, right } => {
+                let (v, w) = if flipped {
+                    (right, left)
+                } else {
+                    (left, right)
+                };
+                self.for_view(v, catalog, budget);
+                self.for_view(w, catalog, budget);
+            }
+        }
+    }
+
+    fn stats(&self) -> EnumStats {
+        let inner = self.inner.lock().expect("context pool lock");
+        let mut out = inner.retired;
+        out.contexts += inner.map.len() as u64;
+        for pooled in inner.map.values() {
+            let context = pooled.context.lock().expect("context lock");
+            let s = context.search_stats();
+            out.probes += context.probes();
+            out.combos += s.combos;
+            out.roots += s.roots_visited;
+        }
+        out
+    }
+}
+
 /// The concurrent batch decision engine.
 ///
-/// Holds the verdict cache and the search budget. One engine serves one
-/// [`Catalog`] (fingerprints embed `RelId`s, which are only meaningful
-/// within a catalog).
+/// Holds the verdict cache, the search budget, and a pool of shared
+/// [`ClosureContext`]s (one per view fingerprint table), so a batch of N
+/// checks against one view — and every delta re-check touching it — pays
+/// the bounded enumeration once. One engine serves one [`Catalog`]
+/// (fingerprints embed `RelId`s, which are only meaningful within a
+/// catalog).
 pub struct Engine {
     cache: VerdictCache,
     budget: SearchBudget,
+    contexts: ContextPool,
 }
 
 impl Default for Engine {
@@ -125,7 +311,28 @@ impl Engine {
     /// ([`VerdictCache::bounded`]) or one warmed from disk
     /// ([`crate::persist::load_cache`]).
     pub fn with_cache(budget: SearchBudget, cache: VerdictCache) -> Self {
-        Engine { cache, budget }
+        Engine {
+            cache,
+            budget,
+            contexts: ContextPool::new(),
+        }
+    }
+
+    /// Snapshot the candidate-space reuse counters across the engine's
+    /// context pool.
+    pub fn enum_stats(&self) -> EnumStats {
+        self.contexts.stats()
+    }
+
+    /// Contexts currently retained (test hook for the pool bound).
+    #[cfg(test)]
+    fn live_contexts(&self) -> usize {
+        self.contexts
+            .inner
+            .lock()
+            .expect("context pool lock")
+            .map
+            .len()
     }
 
     /// The engine's verdict cache (e.g. for persistence via
@@ -187,10 +394,15 @@ impl Engine {
         }
     }
 
-    /// Run the underlying decision procedure (no cache involvement).
-    /// `flipped` is the check's orientation as computed by
-    /// [`Engine::key_and_orientation`], threaded through so equivalence
-    /// checks need not re-derive it from the fingerprints.
+    /// Run the underlying decision procedure (no cache involvement),
+    /// probing the shared per-view [`ClosureContext`]s so repeated checks
+    /// against one view amortize the bounded enumeration. `flipped` is the
+    /// check's orientation as computed by [`Engine::key_and_orientation`],
+    /// threaded through so equivalence checks need not re-derive it from
+    /// the fingerprints.
+    ///
+    /// At most one context lock is held at a time (equivalence probes its
+    /// two sides sequentially), so concurrent workers cannot deadlock.
     fn compute(
         &self,
         check: &Check,
@@ -198,17 +410,19 @@ impl Engine {
         catalog: &Catalog,
     ) -> Result<Entry, SearchOverflow> {
         let (verdict, left_view) = match check {
-            Check::Member { view, goal } => (
-                Verdict::Member(cap_contains(view, goal, catalog, &self.budget)?),
-                view,
-            ),
+            Check::Member { view, goal } => {
+                let context = self.contexts.for_view(view, catalog, &self.budget);
+                let proof = context.lock().expect("context lock").contains(goal)?;
+                (Verdict::Member(proof), view)
+            }
             Check::Dominates {
                 dominator,
                 dominated,
-            } => (
-                Verdict::Dominates(dominates_with(dominator, dominated, catalog, &self.budget)?),
-                dominator,
-            ),
+            } => {
+                let context = self.contexts.for_view(dominator, catalog, &self.budget);
+                let witness = dominates_via(&mut context.lock().expect("context lock"), dominated)?;
+                (Verdict::Dominates(witness), dominator)
+            }
             Check::Equivalent { left, right } => {
                 // Compute in canonical (fingerprint-ordered) orientation so
                 // the stored witness means the same thing for every request
@@ -218,10 +432,21 @@ impl Engine {
                 } else {
                     (left, right)
                 };
-                (
-                    Verdict::Equivalent(equivalent_with(v, w, catalog, &self.budget)?),
-                    v,
-                )
+                let context = self.contexts.for_view(v, catalog, &self.budget);
+                let v_dominates_w = dominates_via(&mut context.lock().expect("context lock"), w)?;
+                let witness = match v_dominates_w {
+                    None => None,
+                    Some(v_dominates_w) => {
+                        let context = self.contexts.for_view(w, catalog, &self.budget);
+                        let w_dominates_v =
+                            dominates_via(&mut context.lock().expect("context lock"), v)?;
+                        w_dominates_v.map(|w_dominates_v| EquivalenceWitness {
+                            v_dominates_w,
+                            w_dominates_v,
+                        })
+                    }
+                };
+                (Verdict::Equivalent(witness), v)
             }
         };
         Ok(Entry {
@@ -284,7 +509,13 @@ impl Engine {
             .collect();
         let cache_hits = distinct - todo.len();
 
-        // 3. Compute the misses across scoped workers.
+        // 3. Compute the misses across scoped workers. Contexts are
+        //    pre-created sequentially first, so shared-context creation
+        //    order never depends on worker scheduling.
+        for &slot in &todo {
+            let (_, check, flipped) = representatives[slot];
+            self.contexts.prewarm(check, flipped, catalog, &self.budget);
+        }
         let workers = effective_jobs(jobs).min(todo.len());
         if workers <= 1 {
             for &slot in &todo {
@@ -367,5 +598,245 @@ pub fn effective_jobs(jobs: usize) -> usize {
         jobs
     } else {
         std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewcap_core::Query;
+    use viewcap_expr::parse_expr;
+
+    /// One view, many goals: `(catalog, view, goals)` for the shared-space
+    /// amortization tests.
+    fn shared_goal_setup() -> (Catalog, View, Vec<Query>) {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let bc = cat.scheme(&["B", "C"]).unwrap();
+        let v1 = cat.fresh_relation("v1", ab);
+        let v2 = cat.fresh_relation("v2", bc);
+        let view = View::from_exprs(
+            vec![
+                (parse_expr("pi{A,B}(R)", &cat).unwrap(), v1),
+                (parse_expr("pi{B,C}(R)", &cat).unwrap(), v2),
+            ],
+            &cat,
+        )
+        .unwrap();
+        let goals = [
+            "pi{A,B}(R)",
+            "pi{B,C}(R)",
+            "pi{A}(R)",
+            "pi{B}(R)",
+            "pi{C}(R)",
+            "pi{A,B}(R) * pi{B,C}(R)",
+            "pi{A,C}(pi{A,B}(R) * pi{B,C}(R))",
+            "R",
+        ]
+        .iter()
+        .map(|src| Query::from_expr(parse_expr(src, &cat).unwrap(), &cat))
+        .collect();
+        (cat, view, goals)
+    }
+
+    #[test]
+    fn one_view_batches_share_a_single_context() {
+        let (cat, view, goals) = shared_goal_setup();
+        let mut workload = Workload::new();
+        for (i, goal) in goals.iter().enumerate() {
+            workload.push(
+                format!("goal {i}"),
+                Check::Member {
+                    view: view.clone(),
+                    goal: goal.clone(),
+                },
+            );
+        }
+        let engine = Engine::new();
+        let outcome = engine.run_batch(&workload, &cat, 4);
+        assert_eq!(outcome.total, goals.len());
+        let stats = engine.enum_stats();
+        assert_eq!(stats.contexts, 1, "one view, one context");
+        assert_eq!(stats.probes, goals.len() as u64);
+        assert!(stats.combos > 0);
+
+        // The amortization is real: per-goal engines (fresh context each)
+        // pay strictly more total enumeration work.
+        let mut per_goal_combos = 0;
+        for goal in &goals {
+            let fresh = Engine::new();
+            fresh
+                .decide(
+                    &Check::Member {
+                        view: view.clone(),
+                        goal: goal.clone(),
+                    },
+                    &cat,
+                )
+                .unwrap();
+            per_goal_combos += fresh.enum_stats().combos;
+        }
+        assert!(
+            stats.combos < per_goal_combos,
+            "shared {} vs per-goal {}",
+            stats.combos,
+            per_goal_combos
+        );
+    }
+
+    #[test]
+    fn fingerprint_equal_views_share_a_context_deterministically() {
+        // V1 and V2 define the same queries in join-commuted forms: equal
+        // ordered fingerprint tables, so they share one pooled context.
+        // Which view defines it must be submission-order-determined (the
+        // prewarm pass), so every jobs value returns identical results.
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let (n1, n2) = (
+            cat.fresh_relation("x", ab.clone()),
+            cat.fresh_relation("y", ab),
+        );
+        let v1 = View::from_exprs(
+            vec![(
+                viewcap_expr::parse_expr("pi{A,B}(pi{A,B}(R) * pi{B,C}(R))", &cat).unwrap(),
+                n1,
+            )],
+            &cat,
+        )
+        .unwrap();
+        let v2 = View::from_exprs(
+            vec![(
+                viewcap_expr::parse_expr("pi{A,B}(pi{B,C}(R) * pi{A,B}(R))", &cat).unwrap(),
+                n2,
+            )],
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(
+            view_query_fingerprints(&v1),
+            view_query_fingerprints(&v2),
+            "test premise: the views must be fingerprint-equal"
+        );
+        let goals = ["pi{A}(R)", "pi{B}(R)", "pi{A,B}(R)", "R"];
+        let mut workload = Workload::new();
+        for (i, src) in goals.iter().enumerate() {
+            let goal = Query::from_expr(parse_expr(src, &cat).unwrap(), &cat);
+            let view = if i % 2 == 0 { &v1 } else { &v2 };
+            workload.push(
+                format!("goal {i}"),
+                Check::Member {
+                    view: view.clone(),
+                    goal,
+                },
+            );
+        }
+        let render = |jobs: usize| {
+            let engine = Engine::new();
+            let outcome = engine.run_batch(&workload, &cat, jobs);
+            let stats = engine.enum_stats();
+            assert_eq!(stats.contexts, 1, "fingerprint-equal views share");
+            outcome
+                .results
+                .iter()
+                .map(|r| {
+                    let d = r.as_ref().unwrap();
+                    format!("{} {:?}", d.verdict.is_yes(), d.verdict)
+                })
+                .collect::<Vec<_>>()
+        };
+        let sequential = render(1);
+        for _ in 0..5 {
+            assert_eq!(render(4), sequential, "jobs=4 diverged from jobs=1");
+        }
+    }
+
+    #[test]
+    fn context_pool_is_bounded_and_keeps_cumulative_stats() {
+        // Fingerprint-equal views reuse one context: four distinct goals
+        // against two fp-equal views = four computed verdicts (the rest are
+        // verdict-cache hits), all probing a single pooled context.
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B"]).unwrap();
+        let engine = Engine::new();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let x = cat.fresh_relation("x", ab.clone());
+        let y = cat.fresh_relation("y", ab);
+        let views = [
+            View::from_exprs(vec![(parse_expr("R", &cat).unwrap(), x)], &cat).unwrap(),
+            View::from_exprs(vec![(parse_expr("R", &cat).unwrap(), y)], &cat).unwrap(),
+        ];
+        let goal_srcs = ["pi{A}(R)", "pi{B}(R)", "R", "pi{A}(R) * pi{B}(R)"];
+        for view in &views {
+            for src in goal_srcs {
+                let goal = Query::from_expr(parse_expr(src, &cat).unwrap(), &cat);
+                let _ = engine
+                    .decide(
+                        &Check::Member {
+                            view: view.clone(),
+                            goal,
+                        },
+                        &cat,
+                    )
+                    .unwrap();
+            }
+        }
+        let stats = engine.enum_stats();
+        assert_eq!((stats.contexts, stats.probes), (1, goal_srcs.len() as u64));
+        assert_eq!(engine.live_contexts(), 1);
+        let total = super::MAX_CONTEXTS + 10;
+
+        // …while more distinct query sets than MAX_CONTEXTS stay bounded,
+        // with the counters cumulative across retirements.
+        let engine = Engine::new();
+        for i in 0..total {
+            let rel = cat.relation(&format!("S{i}"), &["A", "B"]).unwrap();
+            let ab = cat.scheme(&["A", "B"]).unwrap();
+            let name = cat.fresh_relation(&format!("w{i}"), ab);
+            let view = View::from_exprs(vec![(viewcap_expr::Expr::rel(rel), name)], &cat).unwrap();
+            let g = Query::from_expr(parse_expr(&format!("pi{{A}}(S{i})"), &cat).unwrap(), &cat);
+            let _ = engine
+                .decide(&Check::Member { view, goal: g }, &cat)
+                .unwrap();
+        }
+        let stats = engine.enum_stats();
+        assert_eq!(
+            stats.contexts, total as u64,
+            "retired contexts still counted"
+        );
+        assert_eq!(stats.probes, total as u64);
+        assert_eq!(engine.live_contexts(), super::MAX_CONTEXTS);
+    }
+
+    #[test]
+    fn shared_contexts_keep_parallel_batches_deterministic() {
+        let (cat, view, goals) = shared_goal_setup();
+        let mut workload = Workload::new();
+        for (i, goal) in goals.iter().enumerate() {
+            workload.push(
+                format!("goal {i}"),
+                Check::Member {
+                    view: view.clone(),
+                    goal: goal.clone(),
+                },
+            );
+        }
+        let render = |jobs: usize| {
+            let engine = Engine::new();
+            let outcome = engine.run_batch(&workload, &cat, jobs);
+            outcome
+                .results
+                .iter()
+                .map(|r| match r {
+                    Ok(d) => format!("{} {:?}", d.verdict.is_yes(), d.verdict.witness_atoms()),
+                    Err(e) => format!("overflow {e}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        let sequential = render(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(render(jobs), sequential, "jobs={jobs}");
+        }
     }
 }

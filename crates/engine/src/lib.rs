@@ -80,7 +80,7 @@ pub mod workload;
 
 pub use cache::{CacheKey, CacheStats, VerdictCache};
 pub use delta::{DeltaOutcome, DeltaWorkload};
-pub use engine::{effective_jobs, BatchOutcome, Decision, Engine};
+pub use engine::{effective_jobs, BatchOutcome, Decision, Engine, EnumStats};
 pub use fingerprint::{query_fingerprint, view_fingerprint, view_query_fingerprints, Fingerprint};
 pub use persist::{load_cache, load_cache_from_path, save_cache, save_cache_to_path, PersistError};
 pub use verdict::{CheckKind, Verdict};

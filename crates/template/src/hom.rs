@@ -56,12 +56,87 @@ impl Homomorphism {
     }
 }
 
-/// Internal: candidate target-tuple lists per source tuple.
+/// Below this target size (or when relation ids are absurdly sparse) the
+/// flat O(|src| · |dst|) scan wins: its inner loop is a branch-predictable
+/// integer compare, and bucket construction would cost more than it saves.
+const BUCKET_MIN_DST: usize = 24;
+
+/// Candidate target-tuple lists per source tuple.
 ///
 /// A target tuple is a candidate for a source tuple when the tags agree and
 /// every distinguished source entry meets the same distinguished entry in
 /// the target (valuations fix distinguished symbols).
-fn candidate_lists(src: &Template, dst: &Template) -> Option<Vec<Vec<usize>>> {
+///
+/// Destination tuples are pre-bucketed by relation tag (a counting sort
+/// over the dense `RelId` indices), so construction is O(|src| · bucket)
+/// rather than O(|src| · |dst|) — on large multirelational templates each
+/// source tuple scans only the same-tag slice of the target. Buckets
+/// preserve tuple order, so candidate lists (and therefore the backtracking
+/// search) are identical to the flat scan's; small targets keep the flat
+/// scan, which is faster there.
+///
+/// Public for the benchmark harness (`viewcap-bench` measures the bucketed
+/// construction against the flat scan); decision procedures reach it
+/// through [`find_homomorphism`] / [`template_contains`].
+pub fn candidate_lists(src: &Template, dst: &Template) -> Option<Vec<Vec<usize>>> {
+    let max_id = dst
+        .tuples()
+        .iter()
+        .map(|t| t.rel().index())
+        .max()
+        .unwrap_or(0);
+    if dst.len() < BUCKET_MIN_DST || max_id > 64 * dst.len() + 1024 {
+        return candidate_lists_flat(src, dst);
+    }
+    // Counting sort of target tuple indices by relation tag:
+    // `flat[offsets[r]..offsets[r + 1]]` lists the targets tagged `r`, in
+    // tuple order.
+    let mut offsets = vec![0usize; max_id + 2];
+    for dt in dst.tuples() {
+        offsets[dt.rel().index() + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut flat = vec![0usize; dst.len()];
+    let mut cursor = offsets.clone();
+    for (j, dt) in dst.tuples().iter().enumerate() {
+        let r = dt.rel().index();
+        flat[cursor[r]] = j;
+        cursor[r] += 1;
+    }
+
+    let mut out = Vec::with_capacity(src.len());
+    for st in src.tuples() {
+        let r = st.rel().index();
+        let bucket = if r <= max_id {
+            &flat[offsets[r]..offsets[r + 1]]
+        } else {
+            &[]
+        };
+        let mut cands = Vec::new();
+        'target: for &j in bucket {
+            let dt = &dst.tuples()[j];
+            for (a, b) in st.row().iter().zip(dt.row()) {
+                if a.is_distinguished() && a != b {
+                    continue 'target;
+                }
+            }
+            cands.push(j);
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        out.push(cands);
+    }
+    Some(out)
+}
+
+/// The flat O(|src| · |dst|) scan used for small targets, and the single
+/// semantic reference for the bucketed path — the conformance test and the
+/// `viewcap-bench` delta benchmark both compare against this function
+/// rather than keeping private copies.
+pub fn candidate_lists_flat(src: &Template, dst: &Template) -> Option<Vec<Vec<usize>>> {
     let mut out = Vec::with_capacity(src.len());
     for st in src.tuples() {
         let mut cands = Vec::new();
@@ -368,6 +443,53 @@ mod tests {
             ControlFlow::Continue(())
         });
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn bucketed_candidate_lists_match_the_flat_scan() {
+        // The tag-bucketed construction must produce exactly the lists the
+        // flat O(|src|·|dst|) reference scan produces, in the same order.
+        let naive = candidate_lists_flat;
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B", "C"]).unwrap();
+        let s = cat.relation("S", &["A", "B"]).unwrap();
+        let [a, b, c] = ["A", "B", "C"].map(|n| cat.lookup_attr(n).unwrap());
+        let row_r = |av: u32, bv: u32, cv: u32| {
+            TaggedTuple::new(
+                r,
+                vec![Symbol::new(a, av), Symbol::new(b, bv), Symbol::new(c, cv)],
+                &cat,
+            )
+            .unwrap()
+        };
+        let row_s = |av: u32, bv: u32| {
+            TaggedTuple::new(s, vec![Symbol::new(a, av), Symbol::new(b, bv)], &cat).unwrap()
+        };
+        let src = Template::new(vec![row_r(0, 1, 2), row_s(0, 3)]).unwrap();
+        // Small target: exercises the flat path.
+        let dst = Template::new(vec![
+            row_r(0, 4, 5),
+            row_r(0, 0, 6),
+            row_s(0, 7),
+            row_s(8, 9),
+        ])
+        .unwrap();
+        assert_eq!(candidate_lists(&src, &dst), naive(&src, &dst));
+        // Large target (past BUCKET_MIN_DST): exercises the counting-sort
+        // path, which must produce the same lists in the same order.
+        let mut rows = Vec::new();
+        for v in 0..16u32 {
+            rows.push(row_r(0, v + 10, v + 40));
+            rows.push(row_s(0, v + 70));
+        }
+        let big = Template::new(rows).unwrap();
+        assert!(big.len() >= BUCKET_MIN_DST);
+        assert_eq!(candidate_lists(&src, &big), naive(&src, &big));
+        // And a no-candidate case returns None both ways.
+        let only_s = Template::new(vec![row_s(0, 1)]).unwrap();
+        let only_r = Template::new(vec![row_r(0, 1, 2)]).unwrap();
+        assert_eq!(candidate_lists(&only_s, &only_r), naive(&only_s, &only_r));
+        assert_eq!(candidate_lists(&only_s, &only_r), None);
     }
 
     #[test]

@@ -50,15 +50,15 @@ pub use error::TemplateError;
 pub use eval::eval_template;
 pub use from_expr::template_of_expr;
 pub use hom::{
-    equivalent_templates, find_homomorphism, for_each_homomorphism, template_contains,
-    Homomorphism, Valuation,
+    candidate_lists, candidate_lists_flat, equivalent_templates, find_homomorphism,
+    for_each_homomorphism, template_contains, Homomorphism, Valuation,
 };
 pub use ops::{join_templates, project_template};
 pub use recognize::expression_realization;
 pub use reduce::reduce;
 pub use search::{
-    for_each_candidate, for_each_candidate_with, SearchLimits, SearchOptions, SearchOverflow,
-    SearchStats,
+    for_each_candidate, for_each_candidate_with, CandidateSpace, SearchLimits, SearchOptions,
+    SearchOverflow, SearchStats,
 };
 pub use subst::{apply_assignment, substitute, Assignment, Substitution};
 pub use template::{TaggedTuple, Template};

@@ -122,9 +122,14 @@ struct Part {
 }
 
 /// Semantic dedup: canonical-key buckets confirmed by equivalence.
+///
+/// Insertions are journaled so a partially built level can be rolled back
+/// (see [`CandidateSpace::ensure_level`]); [`Dedup::commit`] discards the
+/// journal once a level is final.
 struct Dedup {
     enabled: bool,
     buckets: HashMap<CanonKey, Vec<Template>>,
+    trail: Vec<CanonKey>,
 }
 
 impl Dedup {
@@ -132,6 +137,7 @@ impl Dedup {
         Dedup {
             enabled,
             buckets: HashMap::new(),
+            trail: Vec::new(),
         }
     }
 
@@ -141,13 +147,347 @@ impl Dedup {
             return false;
         }
         let key = canonical_key(t);
-        let bucket = self.buckets.entry(key).or_default();
+        let bucket = self.buckets.entry(key.clone()).or_default();
         if bucket.iter().any(|u| equivalent_templates(u, t)) {
             stats.dedup_hits += 1;
             return true;
         }
         bucket.push(t.clone());
+        self.trail.push(key);
         false
+    }
+
+    /// Journal position for a later [`Dedup::rollback`].
+    fn checkpoint(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Undo every insertion after `checkpoint` (insertions are push-only,
+    /// so reverse popping restores the buckets exactly).
+    fn rollback(&mut self, checkpoint: usize) {
+        while self.trail.len() > checkpoint {
+            let key = self.trail.pop().expect("trail len checked");
+            let bucket = self.buckets.get_mut(&key).expect("journaled key exists");
+            bucket.pop();
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+    }
+
+    /// Forget the journal (the recorded insertions are now permanent).
+    fn commit(&mut self) {
+        self.trail.clear();
+    }
+}
+
+/// One fully built enumeration level of a [`CandidateSpace`].
+struct Level {
+    /// Cumulative join combinations examined after completing this level —
+    /// the deterministic, goal-independent visit count a fresh search would
+    /// have consumed. Probes compare it against their own
+    /// [`SearchLimits::max_visits`] to reproduce per-probe overflow.
+    visits_after: u64,
+    /// Parts kept at this level (what a fresh search checks against
+    /// [`SearchLimits::max_level_parts`]).
+    parts_kept: usize,
+    /// Deduplicated candidate roots in fresh visit order (new parts, then
+    /// new joins).
+    roots: Vec<Part>,
+    /// Root indices bucketed by target relation scheme, preserving order.
+    roots_by_trs: HashMap<Scheme, Vec<usize>>,
+}
+
+/// A persistent, lazily extended memo of the bounded enumeration.
+///
+/// The candidate space over a fixed `(catalog, atoms)` pair depends only on
+/// the atoms and the level bound — never on any goal. A `CandidateSpace`
+/// therefore builds each atom-count level exactly once and lets any number
+/// of goals *probe* it ([`CandidateSpace::probe`]): a probe walks the
+/// already-built levels (filtered down to roots with its target TRS via a
+/// per-level index), extending the space only when it needs a level no
+/// earlier probe reached.
+///
+/// **Per-probe budget semantics.** Level content is limit-independent, so
+/// the space records, per level, the cumulative combination count and the
+/// kept-part count a fresh search would have observed. A probe overflows
+/// exactly when a fresh [`for_each_candidate`] run with the same
+/// `(max_atoms, limits)` would: recorded counts are compared against the
+/// *probe's* limits, and a level being built mid-probe aborts (and rolls
+/// back, leaving the space unchanged) when the probing caller's budget is
+/// exhausted. Overflow still means "unknown", never "no".
+///
+/// The space does not own the catalog: every probe borrows it, and every
+/// probe of one space must pass the same catalog (the one the atoms were
+/// minted in) — callers such as `viewcap-core`'s `ClosureContext` own the
+/// scratch catalog and the space side by side.
+pub struct CandidateSpace {
+    atoms: Vec<RelId>,
+    options: SearchOptions,
+    /// `parts[k]` = deduplicated parts of exactly `k` atoms (index 0 unused).
+    parts: Vec<Vec<Part>>,
+    levels: Vec<Level>,
+    part_dedup: Dedup,
+    join_dedup: Dedup,
+    root_dedup: Dedup,
+    /// Cumulative counters over all committed build work.
+    stats: SearchStats,
+    /// Probes served (for reuse reporting).
+    probes: u64,
+}
+
+impl CandidateSpace {
+    /// An empty space over `atoms`; no level is built until a probe asks.
+    pub fn new(atoms: &[RelId], options: SearchOptions) -> Self {
+        CandidateSpace {
+            atoms: atoms.to_vec(),
+            options,
+            parts: vec![Vec::new()],
+            levels: Vec::new(),
+            part_dedup: Dedup::new(options.semantic_dedup),
+            join_dedup: Dedup::new(options.semantic_dedup),
+            root_dedup: Dedup::new(options.semantic_dedup),
+            stats: SearchStats::default(),
+            probes: 0,
+        }
+    }
+
+    /// Cumulative counters over every committed level build — the total
+    /// enumeration work this space has paid, however many probes shared it.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Number of fully built atom-count levels.
+    pub fn built_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Probes served so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Enumerate candidates with at most `max_atoms` atoms whose TRS is
+    /// `target_trs` (all roots when `None`), reusing every already-built
+    /// level and extending the space on demand.
+    ///
+    /// Returns `Ok(true)` when the callback broke, `Ok(false)` when the
+    /// (bounded) space was exhausted. The returned [`SearchStats`] count
+    /// this probe's *incremental* work: combinations and parts from levels
+    /// it had to build, plus the roots it delivered — for a probe fully
+    /// served from memo, `combos` is 0.
+    ///
+    /// `catalog` must be the catalog the atoms live in, the same for every
+    /// probe of this space.
+    pub fn probe(
+        &mut self,
+        catalog: &Catalog,
+        max_atoms: usize,
+        target_trs: Option<&Scheme>,
+        limits: &SearchLimits,
+        f: &mut dyn FnMut(&Expr, &Template) -> ControlFlow<()>,
+    ) -> Result<(bool, SearchStats), SearchOverflow> {
+        self.probes += 1;
+        let mut probe_stats = SearchStats::default();
+        for k in 1..=max_atoms {
+            if k > self.levels.len() {
+                let before = self.stats;
+                self.ensure_level(catalog, k, limits)?;
+                probe_stats.combos += self.stats.combos - before.combos;
+                probe_stats.parts_kept += self.stats.parts_kept - before.parts_kept;
+                probe_stats.dedup_hits += self.stats.dedup_hits - before.dedup_hits;
+            } else if self.levels[k - 1].visits_after > limits.max_visits {
+                // A fresh run with these limits would have overflowed while
+                // examining this level's combinations.
+                return Err(SearchOverflow {
+                    context: "combination budget exhausted",
+                });
+            }
+            let level = &self.levels[k - 1];
+            if level.parts_kept > limits.max_level_parts {
+                return Err(SearchOverflow {
+                    context: "per-level part budget exhausted",
+                });
+            }
+            // Visit this level's roots, narrowed to the target scheme.
+            let all: Vec<usize>;
+            let indices: &[usize] = match target_trs {
+                Some(want) => level.roots_by_trs.get(want).map_or(&[], Vec::as_slice),
+                None => {
+                    all = (0..level.roots.len()).collect();
+                    &all
+                }
+            };
+            for &i in indices {
+                let root = &level.roots[i];
+                probe_stats.roots_visited += 1;
+                if f(&root.expr, &root.tpl).is_break() {
+                    return Ok((true, probe_stats));
+                }
+            }
+        }
+        Ok((false, probe_stats))
+    }
+
+    /// Build level `k` (which must be the next unbuilt level) under the
+    /// probing caller's limits. On overflow the partial level is rolled
+    /// back — dedup journals undone, nothing committed — so a later probe
+    /// with a larger budget rebuilds it identically.
+    fn ensure_level(
+        &mut self,
+        catalog: &Catalog,
+        k: usize,
+        limits: &SearchLimits,
+    ) -> Result<(), SearchOverflow> {
+        debug_assert_eq!(k, self.levels.len() + 1);
+        let cp_parts = self.part_dedup.checkpoint();
+        let cp_joins = self.join_dedup.checkpoint();
+        let cp_roots = self.root_dedup.checkpoint();
+        let stats_before = self.stats;
+        match self.build_level(catalog, k, limits) {
+            Ok(()) => {
+                self.part_dedup.commit();
+                self.join_dedup.commit();
+                self.root_dedup.commit();
+                Ok(())
+            }
+            Err(overflow) => {
+                self.part_dedup.rollback(cp_parts);
+                self.join_dedup.rollback(cp_joins);
+                self.root_dedup.rollback(cp_roots);
+                self.stats = stats_before;
+                Err(overflow)
+            }
+        }
+    }
+
+    fn build_level(
+        &mut self,
+        catalog: &Catalog,
+        k: usize,
+        limits: &SearchLimits,
+    ) -> Result<(), SearchOverflow> {
+        let CandidateSpace {
+            atoms,
+            options,
+            parts,
+            levels,
+            part_dedup,
+            join_dedup,
+            root_dedup,
+            stats,
+            ..
+        } = self;
+        let maybe_reduce = |t: &Template| {
+            if options.reduce_intermediates {
+                reduce(t)
+            } else {
+                t.clone()
+            }
+        };
+        // Visits continue cumulatively across levels, exactly as one fresh
+        // bottom-up search would count them.
+        let mut visits: u64 = levels.last().map_or(0, |l| l.visits_after);
+
+        // -------- new parts of size k (and, for k ≥ 2, new joins of size k)
+        let mut new_parts: Vec<Part> = Vec::new();
+        let mut new_joins: Vec<Part> = Vec::new();
+
+        if k == 1 {
+            for &r in atoms.iter() {
+                let tpl = Template::atom(r, catalog);
+                if !part_dedup.seen(&tpl, stats) {
+                    new_parts.push(Part {
+                        expr: Expr::rel(r),
+                        tpl: tpl.clone(),
+                    });
+                }
+                // Proper projections of the atom.
+                for x in tpl.trs().proper_nonempty_subsets() {
+                    let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
+                    if !part_dedup.seen(&p, stats) {
+                        new_parts.push(Part {
+                            expr: Expr::project(Expr::rel(r), x, catalog).expect("X ⊆ TRS of atom"),
+                            tpl: p,
+                        });
+                    }
+                }
+            }
+        } else {
+            // Join combinations: strictly increasing (size, index) choices
+            // totalling k with ≥ 2 children.
+            let mut stack: Vec<(usize, usize)> = Vec::new();
+            let flow = combos(
+                parts,
+                k,
+                (1, 0),
+                &mut stack,
+                &mut visits,
+                limits,
+                &mut |chosen| {
+                    let children: Vec<&Part> = chosen.iter().map(|&(s, i)| &parts[s][i]).collect();
+                    let mut tpl = children[0].tpl.clone();
+                    for c in &children[1..] {
+                        tpl = join_templates(&tpl, &c.tpl);
+                    }
+                    let tpl = maybe_reduce(&tpl);
+                    if join_dedup.seen(&tpl, stats) {
+                        return Ok(());
+                    }
+                    let expr = Expr::join(children.iter().map(|c| c.expr.clone()).collect())
+                        .expect("≥ 2 children");
+                    // Proper projections become parts of size k.
+                    for x in tpl.trs().proper_nonempty_subsets() {
+                        let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
+                        if !part_dedup.seen(&p, stats) {
+                            new_parts.push(Part {
+                                expr: Expr::project(expr.clone(), x, catalog)
+                                    .expect("X ⊆ TRS of join"),
+                                tpl: p,
+                            });
+                        }
+                    }
+                    new_joins.push(Part { expr, tpl });
+                    Ok(())
+                },
+            )?;
+            debug_assert!(flow.is_continue());
+        }
+
+        // Commit the level. The kept-part count is recorded (not enforced)
+        // here: level content is limit-independent, so the budget check is
+        // the *probe's* job — `probe` errs before visiting a level whose
+        // recorded count exceeds its own `max_level_parts`, exactly where a
+        // fresh search with those limits would have erred.
+        stats.parts_kept += new_parts.len() as u64;
+        stats.combos = visits;
+        let mut roots: Vec<Part> = Vec::new();
+        let mut roots_by_trs: HashMap<Scheme, Vec<usize>> = HashMap::new();
+        for cand in new_parts.iter().chain(new_joins.iter()) {
+            // Root dedup is TRS-blind here, where a fresh filtered search
+            // only dedups roots matching its target. The decisions agree:
+            // equivalent templates always share a TRS, so whether a root is
+            // a duplicate depends only on earlier same-TRS roots — a set the
+            // filter never changes.
+            if !root_dedup.seen(&cand.tpl, stats) {
+                stats.roots_visited += 1;
+                let idx = roots.len();
+                roots_by_trs.entry(cand.tpl.trs()).or_default().push(idx);
+                roots.push(Part {
+                    expr: cand.expr.clone(),
+                    tpl: cand.tpl.clone(),
+                });
+            }
+        }
+        levels.push(Level {
+            visits_after: visits,
+            parts_kept: new_parts.len(),
+            roots,
+            roots_by_trs,
+        });
+        parts.push(new_parts);
+        Ok(())
     }
 }
 
@@ -158,6 +498,12 @@ impl Dedup {
 ///   callback (parts of other TRS still participate as subexpressions).
 /// * Returns `Ok(true)` when the callback broke (found what it wanted),
 ///   `Ok(false)` when the space was exhausted.
+///
+/// This is the one-shot entry point: it builds a throwaway
+/// [`CandidateSpace`] and probes it once. Callers with several goals over
+/// one atom set should hold a `CandidateSpace` (or a
+/// `viewcap-core::ClosureContext`) and probe it per goal instead — the
+/// enumeration is goal-independent and amortizes.
 pub fn for_each_candidate(
     catalog: &Catalog,
     atoms: &[RelId],
@@ -189,109 +535,7 @@ pub fn for_each_candidate_with(
     options: SearchOptions,
     f: &mut dyn FnMut(&Expr, &Template) -> ControlFlow<()>,
 ) -> Result<(bool, SearchStats), SearchOverflow> {
-    let mut parts: Vec<Vec<Part>> = (0..=max_atoms).map(|_| Vec::new()).collect();
-    let mut part_dedup = Dedup::new(options.semantic_dedup);
-    let mut root_dedup = Dedup::new(options.semantic_dedup);
-    let mut join_dedup = Dedup::new(options.semantic_dedup);
-    let mut stats = SearchStats::default();
-    let maybe_reduce = |t: &Template| {
-        if options.reduce_intermediates {
-            reduce(t)
-        } else {
-            t.clone()
-        }
-    };
-    let mut visits: u64 = 0;
-
-    for k in 1..=max_atoms {
-        // -------- new parts of size k (and, for k ≥ 2, new joins of size k)
-        let mut new_parts: Vec<Part> = Vec::new();
-        let mut new_joins: Vec<Part> = Vec::new();
-
-        if k == 1 {
-            for &r in atoms {
-                let tpl = Template::atom(r, catalog);
-                if !part_dedup.seen(&tpl, &mut stats) {
-                    new_parts.push(Part {
-                        expr: Expr::rel(r),
-                        tpl: tpl.clone(),
-                    });
-                }
-                // Proper projections of the atom.
-                for x in tpl.trs().proper_nonempty_subsets() {
-                    let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
-                    if !part_dedup.seen(&p, &mut stats) {
-                        new_parts.push(Part {
-                            expr: Expr::project(Expr::rel(r), x, catalog).expect("X ⊆ TRS of atom"),
-                            tpl: p,
-                        });
-                    }
-                }
-            }
-        } else {
-            // Join combinations: strictly increasing (size, index) choices
-            // totalling k with ≥ 2 children.
-            let mut stack: Vec<(usize, usize)> = Vec::new();
-            let flow = combos(
-                &parts,
-                k,
-                (1, 0),
-                &mut stack,
-                &mut visits,
-                limits,
-                &mut |chosen| {
-                    let children: Vec<&Part> = chosen.iter().map(|&(s, i)| &parts[s][i]).collect();
-                    let mut tpl = children[0].tpl.clone();
-                    for c in &children[1..] {
-                        tpl = join_templates(&tpl, &c.tpl);
-                    }
-                    let tpl = maybe_reduce(&tpl);
-                    if join_dedup.seen(&tpl, &mut stats) {
-                        return Ok(());
-                    }
-                    let expr = Expr::join(children.iter().map(|c| c.expr.clone()).collect())
-                        .expect("≥ 2 children");
-                    // Proper projections become parts of size k.
-                    for x in tpl.trs().proper_nonempty_subsets() {
-                        let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
-                        if !part_dedup.seen(&p, &mut stats) {
-                            new_parts.push(Part {
-                                expr: Expr::project(expr.clone(), x, catalog)
-                                    .expect("X ⊆ TRS of join"),
-                                tpl: p,
-                            });
-                        }
-                    }
-                    new_joins.push(Part { expr, tpl });
-                    Ok(())
-                },
-            )?;
-            debug_assert!(flow.is_continue());
-        }
-
-        if parts[k].len() + new_parts.len() > limits.max_level_parts {
-            return Err(SearchOverflow {
-                context: "per-level part budget exhausted",
-            });
-        }
-
-        // -------- visit roots of size k: new parts and new joins
-        stats.parts_kept += new_parts.len() as u64;
-        for cand in new_parts.iter().chain(new_joins.iter()) {
-            let trs_ok = target_trs.is_none_or(|want| cand.tpl.trs() == *want);
-            if trs_ok && !root_dedup.seen(&cand.tpl, &mut stats) {
-                stats.roots_visited += 1;
-                if f(&cand.expr, &cand.tpl).is_break() {
-                    stats.combos = visits;
-                    return Ok((true, stats));
-                }
-            }
-        }
-
-        parts[k] = new_parts;
-    }
-    stats.combos = visits;
-    Ok((false, stats))
+    CandidateSpace::new(atoms, options).probe(catalog, max_atoms, target_trs, limits, f)
 }
 
 /// Enumerate strictly increasing `(size, index)` selections from `parts`
@@ -568,6 +812,154 @@ mod tests {
         let plain = collect(&cat, &atoms, 2, None);
         let duped = collect(&cat, &doubled, 2, None);
         assert_eq!(plain.len(), duped.len());
+    }
+
+    #[test]
+    fn space_probes_share_the_enumeration() {
+        let (cat, atoms) = setup();
+        let mut space = CandidateSpace::new(&atoms, SearchOptions::default());
+        let limits = SearchLimits::default();
+        let count = |space: &mut CandidateSpace| {
+            let mut n = 0usize;
+            let (_, stats) = space
+                .probe(&cat, 3, None, &limits, &mut |_, _| {
+                    n += 1;
+                    ControlFlow::Continue(())
+                })
+                .unwrap();
+            (n, stats)
+        };
+        let (n1, s1) = count(&mut space);
+        let (n2, s2) = count(&mut space);
+        assert_eq!(n1, n2, "probes must see identical roots");
+        assert!(s1.combos > 0, "first probe pays the enumeration");
+        assert_eq!(s2.combos, 0, "second probe is served from the memo");
+        assert_eq!(s2.parts_kept, 0);
+        assert_eq!(space.probes(), 2);
+        assert_eq!(space.built_levels(), 3);
+    }
+
+    #[test]
+    fn space_extends_incrementally_and_matches_fresh_runs() {
+        let (cat, atoms) = setup();
+        let limits = SearchLimits::default();
+        let collect_fresh = |max_atoms: usize| collect(&cat, &atoms, max_atoms, None);
+        let mut space = CandidateSpace::new(&atoms, SearchOptions::default());
+        for max_atoms in [1usize, 2, 3] {
+            let mut shared: Vec<(Expr, Template)> = Vec::new();
+            space
+                .probe(&cat, max_atoms, None, &limits, &mut |e, t| {
+                    shared.push((e.clone(), t.clone()));
+                    ControlFlow::Continue(())
+                })
+                .unwrap();
+            let fresh = collect_fresh(max_atoms);
+            assert_eq!(shared.len(), fresh.len(), "bound {max_atoms}");
+            for ((es, ts), (ef, tf)) in shared.iter().zip(&fresh) {
+                assert_eq!(format!("{es:?}"), format!("{ef:?}"), "bound {max_atoms}");
+                assert!(equivalent_templates(ts, tf));
+            }
+        }
+        // Total build work equals one full bound-3 enumeration, not the sum
+        // of three fresh runs.
+        let (_, fresh3) = for_each_candidate_with(
+            &cat,
+            &atoms,
+            3,
+            None,
+            &limits,
+            SearchOptions::default(),
+            &mut |_, _| ControlFlow::Continue(()),
+        )
+        .unwrap();
+        assert_eq!(space.stats().combos, fresh3.combos);
+    }
+
+    #[test]
+    fn space_trs_index_narrows_roots() {
+        let (cat, atoms) = setup();
+        let b = cat.lookup_attr("B").unwrap();
+        let target = Scheme::new([b]).unwrap();
+        let mut space = CandidateSpace::new(&atoms, SearchOptions::default());
+        let mut narrowed = Vec::new();
+        space
+            .probe(
+                &cat,
+                2,
+                Some(&target),
+                &SearchLimits::default(),
+                &mut |_, t| {
+                    narrowed.push(t.clone());
+                    ControlFlow::Continue(())
+                },
+            )
+            .unwrap();
+        assert!(narrowed.iter().all(|t| t.trs() == target));
+        let fresh = collect(&cat, &atoms, 2, Some(&target));
+        assert_eq!(narrowed.len(), fresh.len());
+    }
+
+    #[test]
+    fn overflowed_builds_roll_back_and_larger_budgets_rebuild() {
+        let (cat, atoms) = setup();
+        let mut space = CandidateSpace::new(&atoms, SearchOptions::default());
+        let tiny = SearchLimits {
+            max_level_parts: 20_000,
+            max_visits: 1,
+        };
+        let err = space
+            .probe(&cat, 3, None, &tiny, &mut |_, _| ControlFlow::Continue(()))
+            .unwrap_err();
+        assert_eq!(err.context, "combination budget exhausted");
+        let levels_after_overflow = space.built_levels();
+        // A generous probe rebuilds the aborted level and sees exactly what
+        // a fresh search sees.
+        let mut n = 0usize;
+        space
+            .probe(&cat, 3, None, &SearchLimits::default(), &mut |_, _| {
+                n += 1;
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        assert_eq!(n, collect(&cat, &atoms, 3, None).len());
+        assert!(space.built_levels() > levels_after_overflow);
+        // And the tiny budget still overflows afterwards — recorded counts
+        // reproduce per-probe limits even once the space is built.
+        let err = space
+            .probe(&cat, 3, None, &tiny, &mut |_, _| ControlFlow::Continue(()))
+            .unwrap_err();
+        assert_eq!(err.context, "combination budget exhausted");
+    }
+
+    #[test]
+    fn per_probe_part_budget_is_respected_after_commit() {
+        let (cat, atoms) = setup();
+        let mut space = CandidateSpace::new(&atoms, SearchOptions::default());
+        // Build level 1 with a generous budget (6 parts kept).
+        space
+            .probe(&cat, 1, None, &SearchLimits::default(), &mut |_, _| {
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        let strict = SearchLimits {
+            max_level_parts: 3,
+            max_visits: 2_000_000,
+        };
+        let err = space
+            .probe(
+                &cat,
+                1,
+                None,
+                &strict,
+                &mut |_, _| ControlFlow::Continue(()),
+            )
+            .unwrap_err();
+        assert_eq!(err.context, "per-level part budget exhausted");
+        // Matches the fresh outcome under the same limits.
+        let fresh = for_each_candidate(&cat, &atoms, 1, None, &strict, &mut |_, _| {
+            ControlFlow::Continue(())
+        });
+        assert_eq!(fresh.unwrap_err().context, err.context);
     }
 
     #[test]

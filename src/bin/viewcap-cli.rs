@@ -12,7 +12,8 @@
 //! Scenario syntax is documented in [`viewcap::scenario`]; `scenarios/` in
 //! the repository holds ready-made files. `--jobs N` sets the worker-thread
 //! count for `batch` blocks (`0` = all cores; the report is identical for
-//! every setting), and `--stats` appends the verdict-cache counters.
+//! every setting), and `--stats` appends the verdict-cache counters plus
+//! the candidate-space reuse counters of the engine's context pool.
 //!
 //! `--cache-file PATH` persists the verdict cache across runs: an existing
 //! file is loaded before the scenario (a corrupted or version-mismatched
@@ -141,6 +142,7 @@ fn main() -> ExitCode {
             );
             if stats {
                 println!("-- cache: {}", outcome.stats);
+                println!("-- enumeration: {}", outcome.enum_stats);
             }
             if let Some(path) = &cache_file {
                 if let Err(e) = save_cache_to_path(engine.cache(), path) {

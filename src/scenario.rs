@@ -63,7 +63,7 @@ use viewcap_core::redundancy::make_nonredundant;
 use viewcap_core::simplify::simplify_view;
 use viewcap_core::{Query, SearchBudget, View};
 use viewcap_engine::{
-    CacheStats, Check, Decision, DeltaWorkload, Engine, Request, Verdict, Workload,
+    CacheStats, Check, Decision, DeltaWorkload, Engine, EnumStats, Request, Verdict, Workload,
 };
 use viewcap_expr::display::{display_expr, display_scheme};
 use viewcap_expr::parse_expr;
@@ -92,6 +92,8 @@ pub struct ScenarioOutcome {
     pub no: usize,
     /// Verdict-cache counters accumulated over the run.
     pub stats: CacheStats,
+    /// Candidate-space reuse counters from the engine's context pool.
+    pub enum_stats: EnumStats,
 }
 
 /// Errors from scenario parsing or execution.
@@ -232,6 +234,7 @@ pub fn run_scenario_with_engine(
         yes: runner.yes,
         no: runner.no,
         stats: runner.engine.cache_stats(),
+        enum_stats: runner.engine.enum_stats(),
     })
 }
 
