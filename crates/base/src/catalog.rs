@@ -12,6 +12,7 @@
 //! catalog, extend the clone with scratch names, and drop it afterwards,
 //! keeping the caller's catalog untouched.
 
+use crate::digest::{rel_content_digest, RelDigest};
 use crate::error::BaseError;
 use crate::ids::{AttrId, RelId};
 use crate::scheme::Scheme;
@@ -125,6 +126,31 @@ impl Catalog {
         (0..self.rel_names.len() as u32).map(RelId)
     }
 
+    /// Content digest of a relation: its name plus the *names* of its
+    /// scheme attributes. Independent of the order names were interned in
+    /// — two catalogs declaring the same relations in any order agree on
+    /// every digest — and stable under later catalog growth.
+    pub fn rel_digest(&self, id: RelId) -> RelDigest {
+        rel_content_digest(
+            self.rel_name(id),
+            self.scheme_of(id).iter().map(|a| self.attr_name(a)),
+        )
+    }
+
+    /// Rank of every interned attribute in lexicographic *name* order
+    /// (indexed by [`AttrId`]). Interning more attributes later can shift
+    /// absolute ranks, but never the relative order of two existing
+    /// attributes — which is all content-addressed canonicalization uses.
+    pub fn attr_name_ranks(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.attr_names.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| &self.attr_names[i as usize]);
+        let mut ranks = vec![0u32; order.len()];
+        for (rank, &attr) in order.iter().enumerate() {
+            ranks[attr as usize] = rank as u32;
+        }
+        ranks
+    }
+
     /// Mint a fresh relation name of the given type.
     ///
     /// The paper assumes infinitely many names per type; this realizes the
@@ -190,6 +216,34 @@ mod tests {
         cat.attr("B");
         cat.attr("C");
         assert_eq!(cat.universe().len(), 3);
+    }
+
+    #[test]
+    fn rel_digests_ignore_declaration_order() {
+        let mut cat1 = Catalog::new();
+        cat1.relation("R", &["A", "B"]).unwrap();
+        cat1.relation("S", &["B", "C"]).unwrap();
+        let mut cat2 = Catalog::new();
+        cat2.relation("S", &["C", "B"]).unwrap();
+        cat2.relation("R", &["B", "A"]).unwrap();
+        let d = |cat: &Catalog, n: &str| cat.rel_digest(cat.lookup_rel(n).unwrap());
+        assert_eq!(d(&cat1, "R"), d(&cat2, "R"));
+        assert_eq!(d(&cat1, "S"), d(&cat2, "S"));
+        assert_ne!(d(&cat1, "R"), d(&cat1, "S"));
+    }
+
+    #[test]
+    fn attr_ranks_follow_name_order_and_growth_keeps_relative_order() {
+        let mut cat = Catalog::new();
+        let b = cat.attr("B");
+        let a = cat.attr("A");
+        let ranks = cat.attr_name_ranks();
+        assert!(ranks[a.index()] < ranks[b.index()]);
+        // Interning a name that sorts between them shifts absolute ranks
+        // but not the relative order.
+        cat.attr("AB");
+        let ranks = cat.attr_name_ranks();
+        assert!(ranks[a.index()] < ranks[b.index()]);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //!    `Dom(A) → Dom(A)`.
 
 pub mod catalog;
+pub mod digest;
 pub mod display;
 pub mod error;
 pub mod ids;
@@ -36,6 +37,7 @@ pub mod scheme;
 pub mod symbol;
 
 pub use catalog::Catalog;
+pub use digest::{rel_content_digest, ContentHasher, RelDigest};
 pub use error::BaseError;
 pub use ids::{AttrId, RelId};
 pub use instance::Instantiation;

@@ -13,15 +13,23 @@
 //! 3. **scenarios** — every `.vcap` file in `scenarios/`, timed end to end
 //!    with cache and enumeration counters.
 //!
+//! A fourth suite, **cross-catalog warm start**, writes its own report
+//! (`BENCH_PR5.json` by default, `--out-cross`): two workers' verdict
+//! caches are merged and the merged file warm-starts the full workload
+//! against a catalog declared in a *permuted* order — measuring the
+//! fleet-style cold-vs-warm gap that content-addressed fingerprints make
+//! possible.
+//!
 //! ```console
-//! $ viewcap-bench                         # full run, BENCH_PR4.json
+//! $ viewcap-bench                         # full run, BENCH_PR4.json + BENCH_PR5.json
 //! $ viewcap-bench --smoke                 # 1 iteration + counter asserts
-//! $ viewcap-bench --iters 5 --out /tmp/bench.json
+//! $ viewcap-bench --iters 5 --out /tmp/bench.json --out-cross /tmp/cross.json
 //! ```
 //!
 //! `--smoke` is what CI runs: a single iteration whose reuse counters are
-//! asserted to be live (nonzero, and shared work strictly below per-goal
-//! work); violations exit nonzero.
+//! asserted to be live (nonzero, shared work strictly below per-goal
+//! work, and cross-catalog warm hits nonzero with zero recomputation);
+//! violations exit nonzero.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -36,14 +44,27 @@ struct Config {
     iters: usize,
     smoke: bool,
     out: std::path::PathBuf,
+    out_cross: std::path::PathBuf,
     scenarios_dir: std::path::PathBuf,
 }
 
 /// The fixed shared-goal workload: one view, many membership goals.
 fn shared_goal_workload() -> (Catalog, View, Vec<(String, Query)>) {
+    shared_goal_workload_ordered(false)
+}
+
+/// The same workload over a catalog declared in the natural or a permuted
+/// order — identical *content* either way, so content-addressed
+/// fingerprints (and persisted caches) must not see the difference.
+fn shared_goal_workload_ordered(permuted: bool) -> (Catalog, View, Vec<(String, Query)>) {
     let mut cat = Catalog::new();
-    cat.relation("R", &["A", "B", "C"]).unwrap();
-    cat.relation("S", &["C", "D"]).unwrap();
+    if permuted {
+        cat.relation("S", &["D", "C"]).unwrap();
+        cat.relation("R", &["C", "B", "A"]).unwrap();
+    } else {
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        cat.relation("S", &["C", "D"]).unwrap();
+    }
     let ab = cat.scheme(&["A", "B"]).unwrap();
     let bc = cat.scheme(&["B", "C"]).unwrap();
     let cd = cat.scheme(&["C", "D"]).unwrap();
@@ -202,6 +223,104 @@ fn bench_engine_batch(config: &Config) -> EngineBatchReport {
     report
 }
 
+struct CrossCatalogReport {
+    checks: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+    warm_hits: u64,
+    warm_misses: u64,
+    warm_executed: usize,
+    merged_entries: usize,
+    verdicts_equal: bool,
+}
+
+/// Cross-catalog warm start (the PR 5 suite): two workers decide halves
+/// of the workload under the natural declaration order, their caches are
+/// merged, and the merged file warm-starts the *full* workload under a
+/// permuted catalog. Measures cold vs merged-warm wall time on the
+/// permuted catalog and the warm run's hit counters.
+fn bench_cross_catalog(config: &Config) -> CrossCatalogReport {
+    let (cat, view, goals) = shared_goal_workload_ordered(false);
+    let half = goals.len() / 2;
+    let workload_of = |view: &View, goals: &[(String, Query)]| {
+        let mut load = Workload::new();
+        for (label, goal) in goals {
+            load.push(
+                label.clone(),
+                Check::Member {
+                    view: view.clone(),
+                    goal: goal.clone(),
+                },
+            );
+        }
+        load
+    };
+
+    // Two workers, two caches.
+    let worker1 = Engine::new();
+    worker1.run_batch(&workload_of(&view, &goals[..half]), &cat, 1);
+    let worker2 = Engine::new();
+    worker2.run_batch(&workload_of(&view, &goals[half..]), &cat, 1);
+    let (merged, merge_report) = viewcap_engine::merge_cache_bytes(&[
+        viewcap_engine::save_cache(worker1.cache(), &cat),
+        viewcap_engine::save_cache(worker2.cache(), &cat),
+    ])
+    .expect("worker caches merge");
+
+    // The permuted catalog and its (identical-content) workload.
+    let (pcat, pview, pgoals) = shared_goal_workload_ordered(true);
+    let pworkload = workload_of(&pview, &pgoals);
+
+    let mut cold_verdicts = Vec::new();
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        let engine = Engine::new();
+        let outcome = engine.run_batch(&pworkload, &pcat, 1);
+        cold_verdicts = outcome
+            .results
+            .iter()
+            .map(|r| r.as_ref().unwrap().verdict.is_yes())
+            .collect();
+    }
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+
+    let mut warm_verdicts = Vec::new();
+    let mut warm_hits = 0;
+    let mut warm_misses = 0;
+    let mut warm_executed = 0;
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        let engine = Engine::with_cache(
+            SearchBudget::default(),
+            viewcap_engine::load_cache(&merged, None).expect("merged cache loads"),
+        );
+        let outcome = engine.run_batch(&pworkload, &pcat, 1);
+        warm_verdicts = outcome
+            .results
+            .iter()
+            .map(|r| r.as_ref().unwrap().verdict.is_yes())
+            .collect();
+        let stats = engine.cache_stats();
+        warm_hits = stats.hits;
+        warm_misses = stats.misses;
+        warm_executed = outcome.executed;
+    }
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+
+    CrossCatalogReport {
+        checks: pworkload.len(),
+        cold_ms,
+        warm_ms,
+        speedup: cold_ms / warm_ms.max(1e-9),
+        warm_hits,
+        warm_misses,
+        warm_executed,
+        merged_entries: merge_report.entries_out,
+        verdicts_equal: cold_verdicts == warm_verdicts,
+    }
+}
+
 struct ScenarioReport {
     name: String,
     wall_ms: f64,
@@ -265,6 +384,31 @@ fn bench_scenarios(config: &Config) -> Vec<ScenarioReport> {
     out
 }
 
+fn cross_json_report(config: &Config, cross: &CrossCatalogReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"BENCH_PR5\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"cross_catalog_warm_start\": {{");
+    let _ = writeln!(s, "    \"checks\": {},", cross.checks);
+    let _ = writeln!(s, "    \"iters\": {},", config.iters);
+    let _ = writeln!(s, "    \"cold_ms\": {:.3},", cross.cold_ms);
+    let _ = writeln!(s, "    \"warm_ms\": {:.3},", cross.warm_ms);
+    let _ = writeln!(s, "    \"speedup\": {:.2},", cross.speedup);
+    let _ = writeln!(s, "    \"warm_hits\": {},", cross.warm_hits);
+    let _ = writeln!(s, "    \"warm_misses\": {},", cross.warm_misses);
+    let _ = writeln!(s, "    \"warm_executed\": {},", cross.warm_executed);
+    let _ = writeln!(s, "    \"merged_entries\": {},", cross.merged_entries);
+    let _ = writeln!(s, "    \"verdicts_equal\": {}", cross.verdicts_equal);
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
 fn json_report(
     config: &Config,
     shared: &SharedGoalReport,
@@ -323,7 +467,10 @@ fn json_report(
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: viewcap-bench [--smoke] [--iters N] [--out PATH] [--scenarios DIR]");
+    eprintln!(
+        "usage: viewcap-bench [--smoke] [--iters N] [--out PATH] [--out-cross PATH] \
+         [--scenarios DIR]"
+    );
     ExitCode::FAILURE
 }
 
@@ -332,6 +479,7 @@ fn main() -> ExitCode {
         iters: 3,
         smoke: false,
         out: "BENCH_PR4.json".into(),
+        out_cross: "BENCH_PR5.json".into(),
         scenarios_dir: "scenarios".into(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -350,6 +498,10 @@ fn main() -> ExitCode {
                 Some(p) => config.out = p.into(),
                 None => return usage(),
             },
+            "--out-cross" => match it.next() {
+                Some(p) => config.out_cross = p.into(),
+                None => return usage(),
+            },
             "--scenarios" => match it.next() {
                 Some(p) => config.scenarios_dir = p.into(),
                 None => return usage(),
@@ -361,6 +513,7 @@ fn main() -> ExitCode {
     let shared = bench_shared_goals(&config);
     let batch = bench_engine_batch(&config);
     let scenarios = bench_scenarios(&config);
+    let cross = bench_cross_catalog(&config);
 
     println!(
         "shared-goal: {} goals, baseline {:.2} ms / shared {:.2} ms ({:.2}x), \
@@ -383,6 +536,18 @@ fn main() -> ExitCode {
         );
     }
 
+    println!(
+        "cross-catalog: {} checks, cold {:.2} ms / merged-warm {:.2} ms ({:.2}x), \
+         {} merged entrie(s), {} warm hit(s), {} executed",
+        cross.checks,
+        cross.cold_ms,
+        cross.warm_ms,
+        cross.speedup,
+        cross.merged_entries,
+        cross.warm_hits,
+        cross.warm_executed
+    );
+
     let report = json_report(&config, &shared, &batch, &scenarios);
     if let Err(e) = std::fs::write(&config.out, &report) {
         eprintln!(
@@ -392,6 +557,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", config.out.display());
+
+    let cross_report = cross_json_report(&config, &cross);
+    if let Err(e) = std::fs::write(&config.out_cross, &cross_report) {
+        eprintln!(
+            "viewcap-bench: cannot write `{}`: {e}",
+            config.out_cross.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", config.out_cross.display());
 
     if config.smoke {
         // The counters must be live and the sharing real, or PR 4's whole
@@ -414,6 +589,18 @@ fn main() -> ExitCode {
                 "engine probes {} below check count {}",
                 batch.probes, batch.checks
             ));
+        }
+        if cross.warm_hits == 0 {
+            failures.push("cross-catalog warm start recorded no cache hits".to_owned());
+        }
+        if cross.warm_executed != 0 {
+            failures.push(format!(
+                "cross-catalog warm start executed {} check(s)",
+                cross.warm_executed
+            ));
+        }
+        if !cross.verdicts_equal {
+            failures.push("cross-catalog warm verdicts diverged from cold".to_owned());
         }
         if !failures.is_empty() {
             for f in &failures {

@@ -14,8 +14,8 @@ use std::sync::OnceLock;
 use viewcap_base::{Catalog, Instantiation, RelId, Relation, Scheme};
 use viewcap_expr::Expr;
 use viewcap_template::{
-    canonical_key, equivalent_templates, eval_template, join_templates, project_template, reduce,
-    template_of_expr, CanonKey, Template, TemplateError,
+    canonical_key, canonical_key_with, equivalent_templates, eval_template, join_templates,
+    project_template, reduce, template_of_expr, CanonKey, KeyLabels, Template, TemplateError,
 };
 
 /// An expression mapping: a query of a database schema.
@@ -30,6 +30,10 @@ pub struct Query {
     /// it once per `Query` object — and once per *lineage*, since clones
     /// copy a filled cell — is ROADMAP's "cache per-Query keys" item).
     canon: OnceLock<CanonKey>,
+    /// Lazily computed *content* key plus, for the debug-mode misuse
+    /// guard, the content digests of the relations the template mentions
+    /// at the time the key was computed (see [`Query::content_key`]).
+    content: OnceLock<(Vec<(RelId, u128)>, CanonKey)>,
 }
 
 impl Query {
@@ -40,6 +44,7 @@ impl Query {
             template,
             expr: Some(expr),
             canon: OnceLock::new(),
+            content: OnceLock::new(),
         }
     }
 
@@ -49,6 +54,7 @@ impl Query {
             template: reduce(template),
             expr: None,
             canon: OnceLock::new(),
+            content: OnceLock::new(),
         }
     }
 
@@ -88,6 +94,54 @@ impl Query {
         self.canon.get_or_init(|| canonical_key(&self.template))
     }
 
+    /// Catalog-content-addressed canonical key of the reduced template —
+    /// the canonicalization behind `viewcap-engine`'s persistent
+    /// fingerprints.
+    ///
+    /// Tuples are labeled by relation *content digests*
+    /// ([`Catalog::rel_digest`]) and rows traversed in attribute *name*
+    /// order, so two catalogs declaring the same relations in any order
+    /// assign equal keys to equal query content. Memoized like
+    /// [`Query::canonical_key`]; a query is bound to the catalog it was
+    /// built against (its template embeds that catalog's ids), and the key
+    /// is stable under later growth of that same catalog, so one memo cell
+    /// suffices. Debug builds assert that precondition: passing a catalog
+    /// that assigns the mentioned relations *different content* than the
+    /// memoized call's catalog panics instead of silently returning a key
+    /// that is wrong for the new catalog.
+    pub fn content_key(&self, catalog: &Catalog) -> &CanonKey {
+        let (mentioned, key) = self.content.get_or_init(|| {
+            let digests: Vec<u128> = catalog
+                .relations()
+                .map(|r| catalog.rel_digest(r).as_u128())
+                .collect();
+            let ranks = catalog.attr_name_ranks();
+            let key = canonical_key_with(
+                &self.template,
+                &KeyLabels {
+                    rel_label: &|r| digests[r.index()],
+                    attr_rank: &|a| ranks[a.index()] as u64,
+                },
+            );
+            let mentioned = self
+                .template
+                .rel_names()
+                .into_iter()
+                .map(|r| (r, digests[r.index()]))
+                .collect();
+            (mentioned, key)
+        });
+        debug_assert!(
+            mentioned
+                .iter()
+                .all(|&(r, digest)| r.index() < catalog.rel_count()
+                    && catalog.rel_digest(r).as_u128() == digest),
+            "Query::content_key called with a catalog that disagrees with \
+             the one the key was memoized against"
+        );
+        key
+    }
+
     /// Evaluate the mapping on an instantiation.
     pub fn eval(&self, alpha: &Instantiation, catalog: &Catalog) -> Relation {
         eval_template(&self.template, alpha, catalog)
@@ -106,6 +160,7 @@ impl Query {
             template,
             expr,
             canon: OnceLock::new(),
+            content: OnceLock::new(),
         })
     }
 
@@ -120,6 +175,7 @@ impl Query {
             template,
             expr,
             canon: OnceLock::new(),
+            content: OnceLock::new(),
         }
     }
 }

@@ -21,15 +21,19 @@
 //! counters ([`CacheStats`]) are exact: hits and misses are counted at
 //! lookup, evictions at removal, whatever the capacity.
 //!
-//! Soundness: equal fingerprints imply isomorphic reduced templates (see
-//! [`crate::fingerprint`]), and every memoized procedure is invariant under
-//! template isomorphism, so a cached verdict is *the* verdict for every
-//! request that maps to the same key. Eviction therefore never changes
-//! answers — only how often they must be recomputed. One cache serves one
-//! catalog: `RelId`s from different catalogs may collide, so use a fresh
-//! [`Engine`](crate::Engine) per catalog.
+//! Soundness: equal fingerprints imply isomorphic reduced templates *of
+//! equal relation content* (see [`crate::fingerprint`]), and every
+//! memoized procedure is invariant under template isomorphism, so a cached
+//! verdict is *the* verdict for every request that maps to the same key.
+//! Eviction therefore never changes answers — only how often they must be
+//! recomputed. Fingerprints are catalog-content-addressed, so one cache
+//! serves every catalog declaring the same relations, whatever their
+//! declaration order; entries loaded from disk carry their producer's
+//! name tables ([`crate::persist::ImportTables`]) and are translated into
+//! the consumer's catalog on first hit (see `foreign` on [`Entry`]).
 
 use crate::fingerprint::Fingerprint;
+use crate::persist::ImportTables;
 use crate::verdict::{CheckKind, Verdict};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -72,6 +76,12 @@ pub struct Entry {
     pub verdict: Arc<Verdict>,
     /// Ordered per-query fingerprints of the producing request's left view.
     pub left_query_fps: Arc<[Fingerprint]>,
+    /// `true` when the witness ids are still in the *file-local* id space
+    /// of a loaded cache (indexes into the cache's
+    /// [`ImportTables`]) rather than a live catalog. The engine translates
+    /// foreign entries into the consumer catalog on first hit and replaces
+    /// them; a foreign witness must never be rendered or evaluated as-is.
+    pub foreign: bool,
 }
 
 /// An entry plus its last-access stamp from the global clock.
@@ -190,6 +200,10 @@ pub struct VerdictCache {
     clock: AtomicU64,
     /// `None` = unbounded.
     max_entries: Option<usize>,
+    /// Producer name tables of a disk-loaded cache, used to translate
+    /// `foreign` entries into a live catalog on first hit. Set once by
+    /// [`crate::persist::load_cache`].
+    import: std::sync::OnceLock<Arc<ImportTables>>,
 }
 
 impl Default for VerdictCache {
@@ -219,7 +233,19 @@ impl VerdictCache {
             len: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
             max_entries: max_entries.map(|m| m.max(1)),
+            import: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the producer name tables of a disk-loaded cache (first call
+    /// wins; persistence sets them exactly once, right after loading).
+    pub(crate) fn set_import_tables(&self, tables: Arc<ImportTables>) {
+        let _ = self.import.set(tables);
+    }
+
+    /// The producer name tables, when this cache was loaded from disk.
+    pub(crate) fn import_tables(&self) -> Option<&Arc<ImportTables>> {
+        self.import.get()
     }
 
     /// The configured capacity (`None` = unbounded).
@@ -262,24 +288,39 @@ impl VerdictCache {
     /// cache is bounded and now over capacity, the least-recently-used
     /// entries are evicted until the bound holds again.
     pub fn insert(&self, key: CacheKey, entry: Entry) {
+        self.store(key, entry, false);
+    }
+
+    /// Store a verdict, overwriting any existing entry for the key. Used
+    /// when a `foreign` entry has been translated into the live catalog:
+    /// the translated entry must shadow the untranslated one.
+    pub(crate) fn replace(&self, key: CacheKey, entry: Entry) {
+        self.store(key, entry, true);
+    }
+
+    fn store(&self, key: CacheKey, entry: Entry, overwrite: bool) {
         {
             let mut shard = self.shards[self.shard_index(&key)]
                 .write()
                 .expect("cache lock");
             let stamp = self.tick();
             let mut fresh = false;
-            shard
-                .map
-                .entry(key)
-                .and_modify(|slot| slot.stamp.store(stamp, Ordering::Relaxed))
-                .or_insert_with(|| {
+            match shard.map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    if overwrite {
+                        slot.get_mut().entry = entry;
+                    }
+                    slot.get().stamp.store(stamp, Ordering::Relaxed);
+                }
+                std::collections::hash_map::Entry::Vacant(vacant) => {
                     self.len.fetch_add(1, Ordering::Relaxed);
                     fresh = true;
-                    Slot {
+                    vacant.insert(Slot {
                         entry,
                         stamp: AtomicU64::new(stamp),
-                    }
-                });
+                    });
+                }
+            }
             if fresh {
                 shard.heap.push(Reverse(HeapEntry { stamp, key }));
             }
@@ -373,6 +414,7 @@ mod tests {
         Entry {
             verdict: Arc::new(Verdict::Member(None)),
             left_query_fps: Arc::from([] as [Fingerprint; 0]),
+            foreign: false,
         }
     }
 

@@ -72,23 +72,29 @@ pub struct DeltaWorkload {
 }
 
 /// The fingerprints of every view a check touches (its dependency set).
-fn view_deps(check: &Check) -> Vec<Fingerprint> {
+fn view_deps(check: &Check, catalog: &Catalog) -> Vec<Fingerprint> {
     match check {
-        Check::Member { view, .. } => vec![view_fingerprint(view)],
+        Check::Member { view, .. } => vec![view_fingerprint(view, catalog)],
         Check::Dominates {
             dominator,
             dominated,
-        } => vec![view_fingerprint(dominator), view_fingerprint(dominated)],
+        } => vec![
+            view_fingerprint(dominator, catalog),
+            view_fingerprint(dominated, catalog),
+        ],
         Check::Equivalent { left, right } => {
-            vec![view_fingerprint(left), view_fingerprint(right)]
+            vec![
+                view_fingerprint(left, catalog),
+                view_fingerprint(right, catalog),
+            ]
         }
     }
 }
 
 /// Does `operand` denote exactly the view `target`? Fingerprint equality
 /// pins the defining-query multiset; schema equality pins *which* view.
-fn same_view(operand: &View, target_fp: Fingerprint, target: &View) -> bool {
-    view_fingerprint(operand) == target_fp && operand.schema() == target.schema()
+fn same_view(operand: &View, target_fp: Fingerprint, target: &View, catalog: &Catalog) -> bool {
+    view_fingerprint(operand, catalog) == target_fp && operand.schema() == target.schema()
 }
 
 /// Same-kind checks over the same concrete views (by schema; the shared
@@ -183,8 +189,8 @@ impl DeltaWorkload {
 
     /// Append an undecided check; it will compute on the next
     /// [`DeltaWorkload::run`]. Returns its index.
-    pub fn push(&mut self, label: impl Into<String>, check: Check) -> usize {
-        self.push_inner(label.into(), check, None)
+    pub fn push(&mut self, label: impl Into<String>, check: Check, catalog: &Catalog) -> usize {
+        self.push_inner(label.into(), check, None, catalog)
     }
 
     /// Append a check that was already decided (e.g. by
@@ -197,14 +203,15 @@ impl DeltaWorkload {
         label: impl Into<String>,
         check: Check,
         decision: Decision,
+        catalog: &Catalog,
     ) -> usize {
         let label = label.into();
-        let key = Engine::cache_key(&check);
+        let key = Engine::cache_key(&check, catalog);
         if let Some(i) = self.position_of(&key, &check, &label) {
             self.standing[i].decision = Some(Ok(decision));
             return i;
         }
-        self.push_inner(label, check, Some(Ok(decision)))
+        self.push_inner(label, check, Some(Ok(decision)), catalog)
     }
 
     fn push_inner(
@@ -212,9 +219,10 @@ impl DeltaWorkload {
         label: String,
         check: Check,
         decision: Option<Result<Decision, SearchOverflow>>,
+        catalog: &Catalog,
     ) -> usize {
-        let key = Engine::cache_key(&check);
-        let deps = view_deps(&check);
+        let key = Engine::cache_key(&check, catalog);
+        let deps = view_deps(&check, catalog);
         let i = self.standing.len();
         self.index_insert(key, &label, i);
         self.standing.push(Standing {
@@ -232,8 +240,8 @@ impl DeltaWorkload {
     /// tracking, confirmed by schema — has that operand swapped for `new`
     /// and its retained decision invalidated. Returns how many requests
     /// were invalidated.
-    pub fn replace_view(&mut self, old: &View, new: &View) -> usize {
-        let old_fp = view_fingerprint(old);
+    pub fn replace_view(&mut self, old: &View, new: &View, catalog: &Catalog) -> usize {
+        let old_fp = view_fingerprint(old, catalog);
         let mut invalidated = 0;
         for i in 0..self.standing.len() {
             let s = &mut self.standing[i];
@@ -241,8 +249,9 @@ impl DeltaWorkload {
             if !s.view_deps.contains(&old_fp) {
                 continue;
             }
-            let swap =
-                |v: &View| -> Option<View> { same_view(v, old_fp, old).then(|| new.clone()) };
+            let swap = |v: &View| -> Option<View> {
+                same_view(v, old_fp, old, catalog).then(|| new.clone())
+            };
             let touched = match &mut s.request.check {
                 Check::Member { view, .. } => match swap(view) {
                     Some(n) => {
@@ -277,10 +286,10 @@ impl DeltaWorkload {
             };
             if touched {
                 let old_key = s.key;
-                let new_key = Engine::cache_key(&s.request.check);
+                let new_key = Engine::cache_key(&s.request.check, catalog);
                 let label = s.request.label.clone();
                 s.key = new_key;
-                s.view_deps = view_deps(&s.request.check);
+                s.view_deps = view_deps(&s.request.check, catalog);
                 s.decision = None;
                 invalidated += 1;
                 if new_key != old_key {
@@ -294,19 +303,22 @@ impl DeltaWorkload {
 
     /// Remove every standing request that touches `view` (a view being
     /// dropped from the catalog). Returns how many were removed.
-    pub fn remove_view(&mut self, view: &View) -> usize {
-        let fp = view_fingerprint(view);
+    pub fn remove_view(&mut self, view: &View, catalog: &Catalog) -> usize {
+        let fp = view_fingerprint(view, catalog);
         let before = self.standing.len();
         self.standing.retain(|s| {
             !(s.view_deps.contains(&fp)
                 && match &s.request.check {
-                    Check::Member { view: v, .. } => same_view(v, fp, view),
+                    Check::Member { view: v, .. } => same_view(v, fp, view, catalog),
                     Check::Dominates {
                         dominator,
                         dominated,
-                    } => same_view(dominator, fp, view) || same_view(dominated, fp, view),
+                    } => {
+                        same_view(dominator, fp, view, catalog)
+                            || same_view(dominated, fp, view, catalog)
+                    }
                     Check::Equivalent { left, right } => {
-                        same_view(left, fp, view) || same_view(right, fp, view)
+                        same_view(left, fp, view, catalog) || same_view(right, fp, view, catalog)
                     }
                 })
         });

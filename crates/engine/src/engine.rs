@@ -60,8 +60,8 @@ impl Decision {
     /// for the producer's `i`-th query. Returns `None` if the views'
     /// query multisets don't line up (they always do on a genuine cache
     /// hit, barring a fingerprint collision).
-    pub fn member_witness_names(&self, view: &View) -> Option<Vec<RelId>> {
-        let theirs = view_query_fingerprints(view);
+    pub fn member_witness_names(&self, view: &View, catalog: &Catalog) -> Option<Vec<RelId>> {
+        let theirs = view_query_fingerprints(view, catalog);
         let schema = view.schema();
         if theirs.len() != self.left_query_fps.len() {
             return None;
@@ -188,7 +188,7 @@ impl ContextPool {
         catalog: &Catalog,
         budget: &SearchBudget,
     ) -> Arc<Mutex<ClosureContext>> {
-        let key = view_query_fingerprints(view);
+        let key = view_query_fingerprints(view, catalog);
         let mut inner = self.inner.lock().expect("context pool lock");
         inner.clock += 1;
         let stamp = inner.clock;
@@ -281,9 +281,12 @@ impl ContextPool {
 /// Holds the verdict cache, the search budget, and a pool of shared
 /// [`ClosureContext`]s (one per view fingerprint table), so a batch of N
 /// checks against one view — and every delta re-check touching it — pays
-/// the bounded enumeration once. One engine serves one [`Catalog`]
-/// (fingerprints embed `RelId`s, which are only meaningful within a
-/// catalog).
+/// the bounded enumeration once. The verdict cache is
+/// catalog-content-addressed (fingerprints hash relation *content*, never
+/// raw ids), so a cache persisted by one process warms any catalog
+/// declaring the same relations, whatever the declaration order; the
+/// *context pool*, by contrast, holds live `Catalog`-bound state, so keep
+/// one engine per running catalog.
 pub struct Engine {
     cache: VerdictCache,
     budget: SearchBudget,
@@ -352,20 +355,40 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Cache lookup that resolves `foreign` entries (loaded from disk with
+    /// witnesses in file-local id space) into `catalog`'s ids on first
+    /// hit, replacing the stored entry so translation is paid once. A
+    /// foreign entry whose names are not (yet) declared in `catalog`
+    /// counts as a miss: the check recomputes and the fresh native entry
+    /// shadows it (publication goes through [`VerdictCache::replace`]).
+    /// The preceding `get` already counted a hit in that pathological
+    /// case, so [`CacheStats`] may over-report hits by the handful of
+    /// untranslatable lookups — never verdicts.
+    fn cached(&self, key: &CacheKey, catalog: &Catalog) -> Option<Entry> {
+        let entry = self.cache.get(key)?;
+        if !entry.foreign {
+            return Some(entry);
+        }
+        let tables = self.cache.import_tables()?;
+        let native = crate::persist::translate_entry(&entry, tables, catalog)?;
+        self.cache.replace(*key, native.clone());
+        Some(native)
+    }
+
     /// The cache key of a check (equivalence keys are orientation-free).
-    pub fn cache_key(check: &Check) -> CacheKey {
-        Engine::key_and_orientation(check).0
+    pub fn cache_key(check: &Check, catalog: &Catalog) -> CacheKey {
+        Engine::key_and_orientation(check, catalog).0
     }
 
     /// Cache key plus whether the request's orientation is flipped
     /// relative to the canonical (stored) orientation.
-    fn key_and_orientation(check: &Check) -> (CacheKey, bool) {
+    fn key_and_orientation(check: &Check, catalog: &Catalog) -> (CacheKey, bool) {
         match check {
             Check::Member { view, goal } => (
                 CacheKey {
                     kind: CheckKind::Member,
-                    left: view_fingerprint(view),
-                    right: query_fingerprint(goal),
+                    left: view_fingerprint(view, catalog),
+                    right: query_fingerprint(goal, catalog),
                 },
                 false,
             ),
@@ -375,13 +398,16 @@ impl Engine {
             } => (
                 CacheKey {
                     kind: CheckKind::Dominates,
-                    left: view_fingerprint(dominator),
-                    right: view_fingerprint(dominated),
+                    left: view_fingerprint(dominator, catalog),
+                    right: view_fingerprint(dominated, catalog),
                 },
                 false,
             ),
             Check::Equivalent { left, right } => {
-                let (a, b) = (view_fingerprint(left), view_fingerprint(right));
+                let (a, b) = (
+                    view_fingerprint(left, catalog),
+                    view_fingerprint(right, catalog),
+                );
                 (
                     CacheKey {
                         kind: CheckKind::Equivalent,
@@ -451,14 +477,15 @@ impl Engine {
         };
         Ok(Entry {
             verdict: Arc::new(verdict),
-            left_query_fps: Arc::from(view_query_fingerprints(left_view).as_slice()),
+            foreign: false,
+            left_query_fps: Arc::from(view_query_fingerprints(left_view, catalog).as_slice()),
         })
     }
 
     /// Decide one check through the cache.
     pub fn decide(&self, check: &Check, catalog: &Catalog) -> Result<Decision, SearchOverflow> {
-        let (key, flipped) = Engine::key_and_orientation(check);
-        if let Some(entry) = self.cache.get(&key) {
+        let (key, flipped) = Engine::key_and_orientation(check, catalog);
+        if let Some(entry) = self.cached(&key, catalog) {
             return Ok(Decision {
                 verdict: entry.verdict,
                 from_cache: true,
@@ -467,7 +494,9 @@ impl Engine {
             });
         }
         let entry = self.compute(check, flipped, catalog)?;
-        self.cache.insert(key, entry.clone());
+        // `replace`, not `insert`: if an untranslatable foreign entry
+        // occupies this key, the fresh native entry must shadow it.
+        self.cache.replace(key, entry.clone());
         Ok(Decision {
             verdict: entry.verdict,
             from_cache: false,
@@ -489,7 +518,7 @@ impl Engine {
         let mut request_flipped: Vec<bool> = Vec::with_capacity(total);
         let mut representatives: Vec<(CacheKey, &Check, bool)> = Vec::new();
         for request in &workload.requests {
-            let (key, flipped) = Engine::key_and_orientation(&request.check);
+            let (key, flipped) = Engine::key_and_orientation(&request.check, catalog);
             let slot = *slot_of_key.entry(key).or_insert_with(|| {
                 representatives.push((key, &request.check, flipped));
                 representatives.len() - 1
@@ -502,7 +531,7 @@ impl Engine {
         // 2. Resolve representatives from the cache.
         let mut slot_results: Vec<Option<Result<Entry, SearchOverflow>>> = representatives
             .iter()
-            .map(|(key, _, _)| self.cache.get(key).map(Ok))
+            .map(|(key, _, _)| self.cached(key, catalog).map(Ok))
             .collect();
         let todo: Vec<usize> = (0..distinct)
             .filter(|&s| slot_results[s].is_none())
@@ -551,7 +580,9 @@ impl Engine {
         // 4. Publish freshly computed verdicts.
         for &slot in &todo {
             if let Some(Ok(entry)) = &slot_results[slot] {
-                self.cache.insert(representatives[slot].0, entry.clone());
+                // `replace` so a fresh native entry shadows any
+                // untranslatable foreign entry occupying the key.
+                self.cache.replace(representatives[slot].0, entry.clone());
             }
         }
 
@@ -715,8 +746,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            view_query_fingerprints(&v1),
-            view_query_fingerprints(&v2),
+            view_query_fingerprints(&v1, &cat),
+            view_query_fingerprints(&v2, &cat),
             "test premise: the views must be fingerprint-equal"
         );
         let goals = ["pi{A}(R)", "pi{B}(R)", "pi{A,B}(R)", "R"];

@@ -1,25 +1,40 @@
 //! Canonical fingerprints for queries and views.
 //!
 //! A [`Fingerprint`] is a stable 128-bit key derived from the word encoding
-//! of the reduced template's canonical key ([`viewcap_template::CanonKey`]).
-//! Because equal canonical-key encodings imply isomorphic templates, equal
-//! fingerprints imply equivalent queries (up to the negligible chance of a
-//! 128-bit hash collision) — the soundness direction the verdict cache
-//! relies on. The converse may fail (equivalent queries can fingerprint
-//! differently when the canonical key degrades to its inexact form), which
-//! only costs cache hits, never correctness.
+//! of the reduced template's *content* canonical key
+//! ([`viewcap_core::Query::content_key`]): tuples are labeled by relation
+//! content digests ([`viewcap_base::Catalog::rel_digest`]) and rows are
+//! traversed in attribute-name order, never by raw ids. Because equal
+//! canonical-key encodings imply isomorphic templates *with the same
+//! relation content*, equal fingerprints imply equivalent queries (up to
+//! the negligible chance of a 128-bit hash collision) — the soundness
+//! direction the verdict cache relies on. The converse may fail
+//! (equivalent queries can fingerprint differently when the canonical key
+//! degrades to its inexact form), which only costs cache hits, never
+//! correctness.
 //!
 //! Invariances:
 //!
-//! * **relation renaming** — relation *names* never enter the key; only
-//!   the stable [`RelId`](viewcap_base::RelId)s and template structure do;
+//! * **catalog declaration order** — neither the order relations were
+//!   declared nor the order attributes were interned enters the key; two
+//!   catalogs declaring the same relations in any order assign every query
+//!   the same fingerprint, which is what lets one persisted cache serve a
+//!   whole fleet of workers (see [`crate::persist`]);
 //! * **nondistinguished symbol renaming** — inherited from the canonical
 //!   key;
 //! * **defining-query reordering** — [`view_fingerprint`] hashes the
 //!   *sorted* multiset of per-query fingerprints, so a view's fingerprint
 //!   does not depend on the order of its defining pairs.
+//!
+//! Relation *names* are the cross-catalog identity: renaming a relation
+//! (same structure, new name) changes its digest and therefore every
+//! fingerprint mentioning it. That is deliberate — content addressing
+//! trades the old within-catalog renaming invariance for order
+//! independence, exactly as content-addressed stores key blobs by what
+//! they contain.
 
 use std::fmt;
+use viewcap_base::Catalog;
 use viewcap_core::{Query, View};
 
 /// A 128-bit canonical fingerprint.
@@ -74,27 +89,29 @@ pub(crate) fn test_fingerprint(n: u128) -> Fingerprint {
     Fingerprint::from_raw(n)
 }
 
-/// Fingerprint of a query: hash of its reduced template's canonical key.
-pub fn query_fingerprint(q: &Query) -> Fingerprint {
-    fold(q.canonical_key().words().iter().copied())
+/// Fingerprint of a query: hash of its reduced template's content key
+/// against `catalog` (the catalog the query was built from).
+pub fn query_fingerprint(q: &Query, catalog: &Catalog) -> Fingerprint {
+    fold(q.content_key(catalog).words().iter().copied())
 }
 
 /// Ordered per-defining-query fingerprints of a view.
 ///
 /// This *does* depend on pair order — it is the positional table used to
 /// remap cached witness indices onto a requesting view's schema.
-pub fn view_query_fingerprints(v: &View) -> Vec<Fingerprint> {
+pub fn view_query_fingerprints(v: &View, catalog: &Catalog) -> Vec<Fingerprint> {
     v.pairs()
         .iter()
-        .map(|(q, _)| query_fingerprint(q))
+        .map(|(q, _)| query_fingerprint(q, catalog))
         .collect()
 }
 
 /// Fingerprint of a view: hash of the sorted multiset of its defining
 /// queries' fingerprints. Invariant under pair reordering and under
-/// renaming of the view-schema relations.
-pub fn view_fingerprint(v: &View) -> Fingerprint {
-    let mut fps: Vec<u128> = view_query_fingerprints(v)
+/// renaming of the view-schema relations (the schema names never enter
+/// the defining queries' templates).
+pub fn view_fingerprint(v: &View, catalog: &Catalog) -> Fingerprint {
+    let mut fps: Vec<u128> = view_query_fingerprints(v, catalog)
         .into_iter()
         .map(Fingerprint::as_u128)
         .collect();
@@ -127,12 +144,12 @@ mod tests {
         let cat = setup();
         // R ⋈ π_AB(R) reduces to R's template.
         assert_eq!(
-            query_fingerprint(&q(&cat, "R * pi{A,B}(R)")),
-            query_fingerprint(&q(&cat, "R"))
+            query_fingerprint(&q(&cat, "R * pi{A,B}(R)"), &cat),
+            query_fingerprint(&q(&cat, "R"), &cat)
         );
         assert_ne!(
-            query_fingerprint(&q(&cat, "pi{A,B}(R)")),
-            query_fingerprint(&q(&cat, "pi{B,C}(R)"))
+            query_fingerprint(&q(&cat, "pi{A,B}(R)"), &cat),
+            query_fingerprint(&q(&cat, "pi{B,C}(R)"), &cat)
         );
     }
 
@@ -148,9 +165,12 @@ mod tests {
         let n4 = cat.fresh_relation("w", bc);
         let v = View::new(vec![(q1.clone(), n1), (q2.clone(), n2)], &cat).unwrap();
         let w = View::new(vec![(q2, n4), (q1, n3)], &cat).unwrap();
-        assert_eq!(view_fingerprint(&v), view_fingerprint(&w));
+        assert_eq!(view_fingerprint(&v, &cat), view_fingerprint(&w, &cat));
         // The positional table still sees the order.
-        assert_ne!(view_query_fingerprints(&v), view_query_fingerprints(&w));
+        assert_ne!(
+            view_query_fingerprints(&v, &cat),
+            view_query_fingerprints(&w, &cat)
+        );
     }
 
     #[test]
@@ -162,6 +182,46 @@ mod tests {
         let n2 = cat.fresh_relation("y", abc);
         let v = View::new(vec![(q(&cat, "pi{A,B}(R)"), n1)], &cat).unwrap();
         let w = View::new(vec![(q(&cat, "R"), n2)], &cat).unwrap();
-        assert_ne!(view_fingerprint(&v), view_fingerprint(&w));
+        assert_ne!(view_fingerprint(&v, &cat), view_fingerprint(&w, &cat));
+    }
+
+    #[test]
+    fn fingerprints_ignore_catalog_declaration_order() {
+        // The same queries built against catalogs declaring the same
+        // relations in opposite orders — with attribute interning order
+        // permuted too — fingerprint identically.
+        let build = |flip: bool| {
+            let mut cat = Catalog::new();
+            if flip {
+                cat.relation("S", &["D", "C"]).unwrap();
+                cat.relation("R", &["C", "B", "A"]).unwrap();
+            } else {
+                cat.relation("R", &["A", "B", "C"]).unwrap();
+                cat.relation("S", &["C", "D"]).unwrap();
+            }
+            cat
+        };
+        let cat1 = build(false);
+        let cat2 = build(true);
+        for src in [
+            "R",
+            "pi{A,B}(R)",
+            "pi{B,C}(R) * pi{C,D}(S)",
+            "pi{A,D}(R * S)",
+            "pi{A}(R) * pi{B}(R) * pi{D}(S)",
+        ] {
+            assert_eq!(
+                query_fingerprint(&q(&cat1, src), &cat1),
+                query_fingerprint(&q(&cat2, src), &cat2),
+                "{src} fingerprints diverged across declaration orders"
+            );
+        }
+        // Renaming a relation is a *content* change: fingerprints differ.
+        let mut cat3 = Catalog::new();
+        cat3.relation("R2", &["A", "B", "C"]).unwrap();
+        assert_ne!(
+            query_fingerprint(&q(&cat1, "pi{A,B}(R)"), &cat1),
+            query_fingerprint(&q(&cat3, "pi{A,B}(R2)"), &cat3)
+        );
     }
 }

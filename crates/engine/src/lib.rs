@@ -11,8 +11,9 @@
 //! a canonical form *first*, then decide per canonical class.
 //!
 //! * [`fingerprint`] — stable 128-bit keys from reduced canonical
-//!   templates, invariant under relation renaming and defining-query
-//!   reordering;
+//!   templates, catalog-content-addressed: invariant under catalog
+//!   declaration order and defining-query reordering, keyed by relation
+//!   content (name + scheme);
 //! * [`cache`] — a sharded `RwLock` verdict cache memoizing outcomes
 //!   *with their constructive witnesses*, optionally bounded by a sharded
 //!   LRU-ish eviction policy;
@@ -23,9 +24,11 @@
 //!   a catalog edit (one view's defining query added / removed /
 //!   replaced), invalidates exactly the affected decisions via fingerprint
 //!   dependency tracking and re-poses only those;
-//! * [`persist`] — a versioned, checksummed on-disk format for the verdict
-//!   cache, witnesses included, so warm caches survive across batches and
-//!   processes.
+//! * [`persist`] — a versioned, checksummed, name-addressed on-disk format
+//!   for the verdict cache, witnesses included, so warm caches survive
+//!   across batches, processes, and catalog declaration orders — plus
+//!   fleet operations: merging N workers' cache files into one and
+//!   compacting merge lineages.
 //!
 //! ```
 //! use viewcap_base::Catalog;
@@ -82,6 +85,9 @@ pub use cache::{CacheKey, CacheStats, VerdictCache};
 pub use delta::{DeltaOutcome, DeltaWorkload};
 pub use engine::{effective_jobs, BatchOutcome, Decision, Engine, EnumStats};
 pub use fingerprint::{query_fingerprint, view_fingerprint, view_query_fingerprints, Fingerprint};
-pub use persist::{load_cache, load_cache_from_path, save_cache, save_cache_to_path, PersistError};
+pub use persist::{
+    compact_cache_bytes, load_cache, load_cache_from_path, merge_cache_bytes, save_cache,
+    save_cache_to_path, write_bytes_atomic, CompactReport, ImportTables, MergeReport, PersistError,
+};
 pub use verdict::{CheckKind, Verdict};
 pub use workload::{Check, Request, Workload};

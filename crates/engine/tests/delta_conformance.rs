@@ -39,7 +39,7 @@ fn render(
     match &request.check {
         Check::Member { view, .. } if d.verdict.is_yes() => {
             let names: Vec<&str> = d
-                .member_witness_names(view)
+                .member_witness_names(view, catalog)
                 .expect("witness lines up with the requesting view")
                 .into_iter()
                 .map(|r| catalog.rel_name(r))
@@ -102,6 +102,7 @@ fn standing_workload(
                         left: v.clone(),
                         right: w.clone(),
                     },
+                    &cat,
                 );
                 delta.push(
                     format!("dominates {i} {j}"),
@@ -109,6 +110,7 @@ fn standing_workload(
                         dominator: v.clone(),
                         dominated: w.clone(),
                     },
+                    &cat,
                 );
             }
         }
@@ -118,6 +120,7 @@ fn standing_workload(
                 view: v.clone(),
                 goal: random_query(rng, &cat, &rels, 2),
             },
+            &cat,
         );
     }
     (cat, rels, views, delta)
@@ -192,7 +195,7 @@ fn delta_runs_conform_to_cold_full_runs() {
                 let vi = rng.gen_range(0..views.len());
                 let old = views[vi].clone();
                 let new_view = edited(&mut rng, &mut cat, &rels, &old);
-                let invalidated = delta.replace_view(&old, &new_view);
+                let invalidated = delta.replace_view(&old, &new_view, &cat);
                 views[vi] = new_view;
 
                 let outcome = delta.run(&engine, &cat, jobs);
@@ -231,7 +234,7 @@ fn removed_views_drop_their_checks_and_the_rest_conforms() {
         delta.run(&engine, &cat, 1);
 
         let before = delta.len();
-        let removed = delta.remove_view(&views[0]);
+        let removed = delta.remove_view(&views[0], &cat);
         // View 0 touches: 2 kinds x 2 ordered pairs x 2 partners = 8 checks
         // plus its membership probe (unless fingerprints collide, in which
         // case more were posed against an identical view and also dropped).
@@ -293,6 +296,6 @@ fn cached_witness_renders_after_the_catalog_grows() {
         )
         .unwrap();
     assert!(d2.from_cache, "equal fingerprints share the verdict");
-    let names = d2.member_witness_names(&w).unwrap();
+    let names = d2.member_witness_names(&w, &cat).unwrap();
     assert_eq!(names, vec![second], "witness renders in W's vocabulary");
 }

@@ -167,7 +167,7 @@ fn equivalence_cache_hits_report_their_orientation() {
     let canonical_left = if vw.flipped { &w } else { &v };
     assert_eq!(
         vw.left_query_fps.as_ref(),
-        viewcap_engine::view_query_fingerprints(canonical_left).as_slice()
+        viewcap_engine::view_query_fingerprints(canonical_left, &cat).as_slice()
     );
 }
 

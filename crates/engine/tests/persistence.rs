@@ -11,8 +11,9 @@ use rand::SeedableRng;
 use viewcap_base::Catalog;
 use viewcap_core::{Query, SearchBudget, View};
 use viewcap_engine::{
-    load_cache, load_cache_from_path, save_cache, save_cache_to_path, BatchOutcome, Check, Engine,
-    PersistError, VerdictCache, Workload,
+    compact_cache_bytes, load_cache, load_cache_from_path, merge_cache_bytes, save_cache,
+    save_cache_to_path, write_bytes_atomic, BatchOutcome, Check, Engine, PersistError,
+    VerdictCache, Workload,
 };
 use viewcap_gen::{random_query, random_view, random_world, WorldSpec};
 
@@ -78,7 +79,7 @@ fn round_trip_warm_hits_every_fingerprint() {
             continue; // overflows are not cached; nothing to round-trip
         }
 
-        let bytes = save_cache(engine.cache());
+        let bytes = save_cache(engine.cache(), &cat);
         let loaded = load_cache(&bytes, None).expect("round trip");
 
         // Every saved fingerprint is present after the reload...
@@ -106,10 +107,10 @@ fn saved_files_are_deterministic() {
     let (cat, load) = random_workload(3);
     let engine = Engine::new();
     engine.run_batch(&load, &cat, 1);
-    let a = save_cache(engine.cache());
+    let a = save_cache(engine.cache(), &cat);
     // Re-running the same (now warm) workload must not change the bytes.
     engine.run_batch(&load, &cat, 4);
-    let b = save_cache(engine.cache());
+    let b = save_cache(engine.cache(), &cat);
     assert_eq!(a, b);
 }
 
@@ -120,7 +121,7 @@ fn file_round_trip_via_path() {
     engine.run_batch(&load, &cat, 1);
 
     let path = std::env::temp_dir().join(format!("viewcap-cache-{}.bin", std::process::id()));
-    save_cache_to_path(engine.cache(), &path).expect("save");
+    save_cache_to_path(engine.cache(), &cat, &path).expect("save");
     let loaded = load_cache_from_path(&path, None).expect("load");
     assert_eq!(loaded.stats().entries, engine.cache().stats().entries);
     let _ = std::fs::remove_file(&path);
@@ -137,7 +138,7 @@ fn every_truncation_is_rejected_cleanly() {
     let (cat, load) = random_workload(2);
     let engine = Engine::new();
     engine.run_batch(&load, &cat, 1);
-    let bytes = save_cache(engine.cache());
+    let bytes = save_cache(engine.cache(), &cat);
     assert!(engine.cache().stats().entries > 0);
 
     for len in 0..bytes.len() {
@@ -155,7 +156,7 @@ fn corrupted_payload_bytes_are_rejected_cleanly() {
     let (cat, load) = random_workload(4);
     let engine = Engine::new();
     engine.run_batch(&load, &cat, 1);
-    let bytes = save_cache(engine.cache());
+    let bytes = save_cache(engine.cache(), &cat);
 
     // Flip one bit in a sweep of payload positions: the checksum must
     // catch every one of them.
@@ -171,8 +172,9 @@ fn corrupted_payload_bytes_are_rejected_cleanly() {
 
 #[test]
 fn bad_magic_and_version_are_rejected() {
+    let cat = Catalog::new();
     let engine = Engine::new();
-    let bytes = save_cache(engine.cache());
+    let bytes = save_cache(engine.cache(), &cat);
 
     let mut wrong_magic = bytes.clone();
     wrong_magic[0] ^= 1;
@@ -199,7 +201,7 @@ fn loading_into_a_bounded_cache_respects_the_bound() {
     let saved_entries = engine.cache().stats().entries;
     assert!(saved_entries >= 2);
 
-    let bytes = save_cache(engine.cache());
+    let bytes = save_cache(engine.cache(), &cat);
     let bounded = load_cache(&bytes, Some(1)).expect("load");
     let stats = bounded.stats();
     assert_eq!(stats.entries, 1);
@@ -208,6 +210,154 @@ fn loading_into_a_bounded_cache_respects_the_bound() {
     // The kept entry is the last of the sorted stream.
     let last_key = engine.cache().snapshot().last().unwrap().0;
     assert!(bounded.get(&last_key).is_some());
+}
+
+/// A file with an *older* version is rejected with an error that names
+/// both versions and points at regeneration — persisted version-1 caches
+/// were keyed by catalog declaration order and must not load silently.
+#[test]
+fn old_version_files_are_rejected_with_a_migration_hint() {
+    // A plausible version-1 header: magic, version 1, bogus checksum.
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(b"VCAPCACH");
+    v1.extend_from_slice(&1u32.to_le_bytes());
+    v1.extend_from_slice(&0u64.to_le_bytes());
+    v1.extend_from_slice(&0u64.to_le_bytes()); // empty v1 payload
+    let err = match load_cache(&v1, None) {
+        Ok(_) => panic!("version 1 must not load"),
+        Err(e) => e,
+    };
+    match &err {
+        PersistError::VersionMismatch { found, expected } => {
+            assert_eq!((*found, *expected), (1, 2));
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("version 1"), "{msg}");
+    assert!(msg.contains("version 2"), "{msg}");
+    assert!(
+        msg.contains("delete the file"),
+        "no migration hint in: {msg}"
+    );
+
+    // Merging rejects version skew the same way, producing no output.
+    let cat = Catalog::new();
+    let good = save_cache(Engine::new().cache(), &cat);
+    assert!(matches!(
+        merge_cache_bytes(&[good, v1]),
+        Err(PersistError::VersionMismatch { found: 1, .. })
+    ));
+}
+
+/// Merging two workers' caches yields one file that warm-starts both
+/// workloads; merging a file with itself replaces rather than duplicates.
+#[test]
+fn merged_caches_warm_start_both_workloads() {
+    let (cat, load_a) = random_workload(0);
+    // Same catalog content (same seed ⇒ same declarations), different
+    // checks: reuse the generator with a different slice of the workload.
+    let (_, load_b) = random_workload(0);
+    let load_b = Workload {
+        requests: load_b.requests.into_iter().take(2).collect(),
+    };
+
+    let worker_a = Engine::new();
+    let a = worker_a.run_batch(&load_a, &cat, 1);
+    let worker_b = Engine::new();
+    let b = worker_b.run_batch(&load_b, &cat, 1);
+    if a.results.iter().any(|r| r.is_err()) || b.results.iter().any(|r| r.is_err()) {
+        return; // overflows are not cached; nothing to merge
+    }
+
+    let bytes_a = save_cache(worker_a.cache(), &cat);
+    let bytes_b = save_cache(worker_b.cache(), &cat);
+    let (merged, report) = merge_cache_bytes(&[bytes_a.clone(), bytes_b]).expect("merge");
+    assert_eq!(report.inputs, 2);
+    assert_eq!(report.entries_out, report.entries_in - report.replaced);
+
+    let third = Engine::with_cache(
+        SearchBudget::default(),
+        load_cache(&merged, None).expect("merged cache loads"),
+    );
+    let warm_a = third.run_batch(&load_a, &cat, 1);
+    let warm_b = third.run_batch(&load_b, &cat, 1);
+    assert_eq!(warm_a.executed + warm_b.executed, 0, "merged cache is warm");
+    assert_eq!(signature(&warm_a), signature(&a));
+    assert_eq!(signature(&warm_b), signature(&b));
+
+    // Self-merge: every colliding key replaces, nothing duplicates.
+    let (self_merged, report) =
+        merge_cache_bytes(&[bytes_a.clone(), bytes_a.clone()]).expect("self merge");
+    assert_eq!(report.entries_out * 2, report.entries_in);
+    assert_eq!(report.replaced, report.entries_out);
+    // And the self-merge is byte-identical to a compaction of the single
+    // file (same entries, same canonical layout).
+    let (compacted, _) = compact_cache_bytes(&bytes_a, None).expect("compact");
+    assert_eq!(self_merged, compacted);
+}
+
+/// Corrupt or truncated merge inputs are rejected before any output
+/// exists, and the atomic writer never clobbers the previous file on the
+/// way to a failure.
+#[test]
+fn corrupt_merge_inputs_cannot_poison_an_output_file() {
+    let (cat, load) = random_workload(6);
+    let engine = Engine::new();
+    engine.run_batch(&load, &cat, 1);
+    let good = save_cache(engine.cache(), &cat);
+
+    let mut corrupt = good.clone();
+    let flip = corrupt.len() - 9;
+    corrupt[flip] ^= 0x10;
+    assert!(matches!(
+        merge_cache_bytes(&[good.clone(), corrupt]),
+        Err(PersistError::ChecksumMismatch)
+    ));
+    let truncated = good[..good.len() - 3].to_vec();
+    assert!(merge_cache_bytes(&[truncated]).is_err());
+
+    // The CLI-level contract: an output file holding a previous good
+    // merge survives a failed follow-up byte-for-byte, because nothing is
+    // ever written unless every input parsed. Simulate the sequence.
+    let path = std::env::temp_dir().join(format!("viewcap-merge-{}.vcapcache", std::process::id()));
+    let (merged, _) = merge_cache_bytes(std::slice::from_ref(&good)).expect("merge");
+    write_bytes_atomic(&path, &merged).expect("first write");
+    // (failed merge here — no write happens by construction)
+    assert_eq!(std::fs::read(&path).expect("file intact"), merged);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Compaction preserves content, is idempotent, and applies the same
+/// keep-the-tail bound as a bounded load.
+#[test]
+fn compaction_preserves_content_and_bounds() {
+    let (cat, load) = random_workload(3);
+    let engine = Engine::new();
+    engine.run_batch(&load, &cat, 1);
+    let bytes = save_cache(engine.cache(), &cat);
+    let entries = engine.cache().stats().entries;
+    assert!(entries >= 2);
+
+    let (compacted, report) = compact_cache_bytes(&bytes, None).expect("compact");
+    assert_eq!((report.entries_in, report.entries_out), (entries, entries));
+    let (twice, _) = compact_cache_bytes(&compacted, None).expect("recompact");
+    assert_eq!(compacted, twice, "compaction is idempotent");
+
+    // Content round-trips: the compacted file warm-starts the workload.
+    let warm = Engine::with_cache(
+        SearchBudget::default(),
+        load_cache(&compacted, None).expect("load"),
+    );
+    assert_eq!(warm.run_batch(&load, &cat, 1).executed, 0);
+
+    // Bounded: keep only the last entry of the sorted stream.
+    let (bounded, report) = compact_cache_bytes(&bytes, Some(1)).expect("bounded compact");
+    assert_eq!(report.entries_out, 1);
+    let loaded = load_cache(&bounded, None).expect("load bounded");
+    assert_eq!(loaded.stats().entries, 1);
+    let last_key = engine.cache().snapshot().last().unwrap().0;
+    assert!(loaded.get(&last_key).is_some());
 }
 
 /// Capacity-1 caches still answer every check correctly — only slower —

@@ -18,14 +18,22 @@ pub fn display_expr(e: &Expr, catalog: &Catalog) -> String {
     out
 }
 
-/// Render a scheme as `{A,B,C}` using catalog names.
+/// Render a scheme as `{A,B,C}` using catalog names, in *name* order.
+///
+/// Schemes store attributes sorted by [`viewcap_base::AttrId`], which is
+/// interning order — a catalog-declaration artifact. Rendering sorts by
+/// name instead, so the same scheme content displays identically whatever
+/// order its catalog interned attributes in (scenario reports must be
+/// byte-identical across permuted catalog declarations).
 pub fn display_scheme(s: &Scheme, catalog: &Catalog) -> String {
+    let mut names: Vec<&str> = s.iter().map(|a| catalog.attr_name(a)).collect();
+    names.sort_unstable();
     let mut out = String::from("{");
-    for (i, a) in s.iter().enumerate() {
+    for (i, name) in names.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(catalog.attr_name(a));
+        out.push_str(name);
     }
     out.push('}');
     out

@@ -18,7 +18,7 @@
 use crate::template::Template;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
-use viewcap_base::Symbol;
+use viewcap_base::{AttrId, RelId, Symbol};
 
 /// Maximum number of tuple orderings explored for an exact canonical key.
 pub const PERM_BUDGET: usize = 40_320; // 8!
@@ -51,19 +51,58 @@ impl CanonKey {
     }
 }
 
+/// Labels controlling how a canonical key names catalog structure.
+///
+/// The default key ([`canonical_key`]) labels tuples by raw [`RelId`] and
+/// orders row slots by [`AttrId`] — cheap, and complete for
+/// within-catalog isomorphism. Content-addressed callers (the
+/// `viewcap-engine` fingerprints) substitute catalog-independent labels:
+/// relation *content digests* and attribute *name* ranks, making equal
+/// keys mean "same template content" across catalogs that declared the
+/// same relations in any order.
+///
+/// `attr_rank` must be injective on the attributes the template uses (any
+/// rank derived from distinct names or distinct ids qualifies); only the
+/// *relative order* of ranks enters the key, so rank tables that shift
+/// under catalog growth stay sound as long as relative order is preserved.
+pub struct KeyLabels<'a> {
+    /// 128-bit label per relation tag.
+    pub rel_label: &'a dyn Fn(RelId) -> u128,
+    /// Total-order rank for row slots (canonical attribute order).
+    pub attr_rank: &'a dyn Fn(AttrId) -> u64,
+}
+
+/// The canonical row-slot traversal of every tuple under `labels` —
+/// permutation-invariant, so it is computed once per canonicalization and
+/// shared by the (up to [`PERM_BUDGET`]) encodings the minimization runs.
+fn slot_orders(t: &Template, labels: &KeyLabels<'_>) -> Vec<Vec<usize>> {
+    t.tuples()
+        .iter()
+        .map(|tup| {
+            let row = tup.row();
+            let mut slots: Vec<usize> = (0..row.len()).collect();
+            slots.sort_unstable_by_key(|&j| ((labels.attr_rank)(row[j].attr()), row[j].attr().0));
+            slots
+        })
+        .collect()
+}
+
 /// Per-tuple invariant used to pre-group tuples before permutation.
 ///
 /// Isomorphisms preserve each field, so only within-group reorderings can
 /// witness an isomorphism.
-fn tuple_invariant(t: &Template, idx: usize) -> Vec<u64> {
-    // Occurrence count of each symbol across the whole template.
-    let mut occurs: HashMap<Symbol, u64> = HashMap::new();
-    for s in t.symbols() {
-        *occurs.entry(s).or_insert(0) += 1;
-    }
+fn tuple_invariant(
+    t: &Template,
+    idx: usize,
+    labels: &KeyLabels<'_>,
+    slots: &[Vec<usize>],
+    occurs: &HashMap<Symbol, u64>,
+) -> Vec<u64> {
     let tup = &t.tuples()[idx];
-    let mut inv = vec![tup.rel().0 as u64];
-    for s in tup.row() {
+    let label = (labels.rel_label)(tup.rel());
+    let mut inv = vec![(label >> 64) as u64, label as u64];
+    for &j in &slots[idx] {
+        let s = &tup.row()[j];
         inv.push(if s.is_distinguished() { 1 } else { 0 });
         inv.push(occurs[s]);
     }
@@ -71,16 +110,20 @@ fn tuple_invariant(t: &Template, idx: usize) -> Vec<u64> {
 }
 
 /// Encode the template under a fixed tuple ordering, renaming
-/// nondistinguished symbols by first occurrence (per attribute).
-fn encode(t: &Template, order: &[usize]) -> Vec<u64> {
+/// nondistinguished symbols by first occurrence (per attribute), visiting
+/// each row in the canonical slot order.
+fn encode(t: &Template, order: &[usize], labels: &KeyLabels<'_>, slots: &[Vec<usize>]) -> Vec<u64> {
     let mut rename: HashMap<Symbol, u64> = HashMap::new();
     let mut next: HashMap<u32, u64> = HashMap::new(); // per-attribute counter
     let mut out = Vec::with_capacity(order.len() * 8);
     for &i in order {
         let tup = &t.tuples()[i];
         out.push(u64::MAX); // tuple separator
-        out.push(tup.rel().0 as u64);
-        for s in tup.row() {
+        let label = (labels.rel_label)(tup.rel());
+        out.push((label >> 64) as u64);
+        out.push(label as u64);
+        for &j in &slots[i] {
+            let s = &tup.row()[j];
             if s.is_distinguished() {
                 out.push(0);
             } else {
@@ -96,11 +139,38 @@ fn encode(t: &Template, order: &[usize]) -> Vec<u64> {
     out
 }
 
-/// Compute the canonical key (see module docs).
+/// Compute the canonical key with the default (within-catalog) labels.
 pub fn canonical_key(t: &Template) -> CanonKey {
+    canonical_key_with(
+        t,
+        &KeyLabels {
+            rel_label: &|r| r.0 as u128,
+            attr_rank: &|a| a.0 as u64,
+        },
+    )
+}
+
+/// Compute the canonical key under caller-chosen labels (see module docs
+/// and [`KeyLabels`]). Two templates get equal keys iff they are
+/// isomorphic *as labeled* — with content-addressed labels, that means
+/// isomorphic template content regardless of catalog declaration order.
+///
+/// The inexact fallback (permutation budget exceeded) breaks ties by the
+/// template's internal tuple order, which *is* catalog-relative; inexact
+/// keys under content labels may therefore differ across catalogs, which
+/// only costs downstream cache hits, never correctness.
+pub fn canonical_key_with(t: &Template, labels: &KeyLabels<'_>) -> CanonKey {
     let n = t.len();
+    // Occurrence count of each symbol across the whole template.
+    let mut occurs: HashMap<Symbol, u64> = HashMap::new();
+    for s in t.symbols() {
+        *occurs.entry(s).or_insert(0) += 1;
+    }
+    let slots = slot_orders(t, labels);
     // Group indices by invariant.
-    let mut keyed: Vec<(Vec<u64>, usize)> = (0..n).map(|i| (tuple_invariant(t, i), i)).collect();
+    let mut keyed: Vec<(Vec<u64>, usize)> = (0..n)
+        .map(|i| (tuple_invariant(t, i, labels, &slots, &occurs), i))
+        .collect();
     keyed.sort();
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut group_invs: Vec<Vec<u64>> = Vec::new();
@@ -125,7 +195,7 @@ pub fn canonical_key(t: &Template) -> CanonKey {
     if budget > PERM_BUDGET {
         // Inexact fallback: encode with the invariant-sorted order.
         let order: Vec<usize> = groups.iter().flatten().copied().collect();
-        let mut words = encode(t, &order);
+        let mut words = encode(t, &order, labels, &slots);
         words.push(u64::MAX - 1); // marker: inexact keys never equal exact ones
         return CanonKey {
             words,
@@ -136,7 +206,7 @@ pub fn canonical_key(t: &Template) -> CanonKey {
     // Minimize over within-group permutations.
     let mut best: Option<Vec<u64>> = None;
     permute_groups(&groups, &mut |full_order| {
-        let enc = encode(t, full_order);
+        let enc = encode(t, full_order, labels, &slots);
         if best.as_ref().is_none_or(|b| enc < *b) {
             best = Some(enc);
         }
@@ -433,6 +503,59 @@ mod tests {
         .unwrap();
         let broken = Template::new(tuples).unwrap();
         assert!(!is_isomorphic(&t1, &broken));
+    }
+
+    #[test]
+    fn labeled_keys_are_declaration_order_independent() {
+        // The same template content built in two catalogs with opposite
+        // declaration orders: content-labeled keys agree even though every
+        // raw id (and the scheme-sorted row order) differs.
+        let build = |flip: bool| {
+            let mut cat = Catalog::new();
+            if flip {
+                cat.relation("S", &["C", "B"]).unwrap();
+                cat.relation("R", &["B", "A"]).unwrap();
+            } else {
+                cat.relation("R", &["A", "B"]).unwrap();
+                cat.relation("S", &["B", "C"]).unwrap();
+            }
+            let r = cat.lookup_rel("R").unwrap();
+            let s = cat.lookup_rel("S").unwrap();
+            let a = cat.lookup_attr("A").unwrap();
+            let b = cat.lookup_attr("B").unwrap();
+            let c = cat.lookup_attr("C").unwrap();
+            // Scheme order is AttrId order, which flips with interning.
+            let row = |x: Symbol, y: Symbol| {
+                let mut row = vec![x, y];
+                row.sort_by_key(|s| s.attr());
+                row
+            };
+            let t = Template::new(vec![
+                TaggedTuple::new(r, row(Symbol::distinguished(a), Symbol::new(b, 1)), &cat)
+                    .unwrap(),
+                TaggedTuple::new(s, row(Symbol::new(b, 1), Symbol::distinguished(c)), &cat)
+                    .unwrap(),
+            ])
+            .unwrap();
+            (cat, t)
+        };
+        let (cat1, t1) = build(false);
+        let (cat2, t2) = build(true);
+        let content_key = |cat: &Catalog, t: &Template| {
+            let digests: Vec<u128> = cat
+                .relations()
+                .map(|r| cat.rel_digest(r).as_u128())
+                .collect();
+            let ranks = cat.attr_name_ranks();
+            canonical_key_with(
+                t,
+                &KeyLabels {
+                    rel_label: &|r| digests[r.index()],
+                    attr_rank: &|a| ranks[a.index()] as u64,
+                },
+            )
+        };
+        assert_eq!(content_key(&cat1, &t1), content_key(&cat2, &t2));
     }
 
     #[test]

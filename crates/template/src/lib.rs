@@ -44,7 +44,7 @@ pub mod search;
 pub mod subst;
 pub mod template;
 
-pub use canon::{canonical_key, is_isomorphic, CanonKey};
+pub use canon::{canonical_key, canonical_key_with, is_isomorphic, CanonKey, KeyLabels};
 pub use components::connected_components;
 pub use error::TemplateError;
 pub use eval::eval_template;

@@ -1,4 +1,5 @@
-//! `viewcap-cli` — run scenario files against the decision procedures.
+//! `viewcap-cli` — run scenario files against the decision procedures,
+//! and manage verdict-cache files for fleets of workers.
 //!
 //! ```console
 //! $ viewcap-cli scenarios/example_3_1_5.vcap
@@ -7,6 +8,8 @@
 //! $ viewcap-cli --stats scenarios/batch_workload.vcap
 //! $ viewcap-cli --cache-file /tmp/verdicts.vcapcache --cache-max 10000 \
 //!       scenarios/incremental_edit.vcap
+//! $ viewcap-cli cache merge w1.vcapcache w2.vcapcache --out warm.vcapcache
+//! $ viewcap-cli cache compact warm.vcapcache --max 50000
 //! ```
 //!
 //! Scenario syntax is documented in [`viewcap::scenario`]; `scenarios/` in
@@ -19,14 +22,27 @@
 //! file is loaded before the scenario (a corrupted or version-mismatched
 //! file is rejected with an error, never silently discarded), and the
 //! cache — witnesses included — is saved back on success. Fingerprints
-//! embed catalog-relative ids, so share a cache file only between scenarios
-//! that declare the same catalog in the same order. `--cache-max N` bounds
-//! the cache to `N` verdicts with LRU-ish eviction (`0` = unbounded).
+//! are catalog-content-addressed: a cache file is valid for every scenario
+//! declaring the same relations (same names and schemes), in *any*
+//! declaration order. `--cache-max N` bounds the cache to `N` verdicts
+//! with LRU-ish eviction (`0` = unbounded).
+//!
+//! The `cache` subcommands fold fleets of workers' caches together:
+//! `cache merge <in...> --out FILE` unions N files (last input wins on a
+//! shared fingerprint; the verdicts are semantically identical either
+//! way), and `cache compact FILE [--out FILE] [--max N]` rewrites one
+//! file in canonical form, garbage-collecting unreferenced name-table
+//! entries and optionally truncating to the newest `N` entries. Both
+//! validate every input fully before writing, and write atomically, so a
+//! corrupt input can never poison the output file.
 
 use std::process::ExitCode;
 use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
 use viewcap_core::SearchBudget;
-use viewcap_engine::{load_cache_from_path, save_cache_to_path, Engine, VerdictCache};
+use viewcap_engine::{
+    compact_cache_bytes, load_cache_from_path, merge_cache_bytes, save_cache_to_path,
+    write_bytes_atomic, Engine, VerdictCache,
+};
 
 const DEMO: &str = r#"
 # Built-in demo: Example 3.1.5 of Connors (JCSS 1986).
@@ -66,13 +82,111 @@ recheck
 fn usage() -> ExitCode {
     eprintln!(
         "usage: viewcap-cli [--jobs N] [--stats] [--cache-file PATH] [--cache-max N] \
-         <scenario-file> | --demo"
+         <scenario-file> | --demo\n       \
+         viewcap-cli cache merge <in.vcapcache...> --out <out.vcapcache>\n       \
+         viewcap-cli cache compact <file.vcapcache> [--out <out.vcapcache>] [--max N]"
     );
     ExitCode::FAILURE
 }
 
+/// `viewcap-cli cache merge|compact ...`.
+fn cache_command(args: &[String]) -> ExitCode {
+    let Some((sub, rest)) = args.split_first() else {
+        return usage();
+    };
+    let mut inputs: Vec<std::path::PathBuf> = Vec::new();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut max: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.into()),
+                None => return usage(),
+            },
+            "--max" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => max = (n > 0).then_some(n),
+                None => {
+                    eprintln!("viewcap-cli: --max needs a number (0 = unbounded)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            path if !path.starts_with('-') => inputs.push(path.into()),
+            _ => return usage(),
+        }
+    }
+    let read = |path: &std::path::Path| match std::fs::read(path) {
+        Ok(bytes) => Some(bytes),
+        Err(e) => {
+            eprintln!("viewcap-cli: cannot read `{}`: {e}", path.display());
+            None
+        }
+    };
+    match sub.as_str() {
+        "merge" => {
+            let Some(out) = out else {
+                eprintln!("viewcap-cli: cache merge needs --out");
+                return ExitCode::FAILURE;
+            };
+            if inputs.is_empty() {
+                eprintln!("viewcap-cli: cache merge needs at least one input file");
+                return ExitCode::FAILURE;
+            }
+            let mut files = Vec::with_capacity(inputs.len());
+            for path in &inputs {
+                match read(path) {
+                    Some(bytes) => files.push(bytes),
+                    None => return ExitCode::FAILURE,
+                }
+            }
+            match merge_cache_bytes(&files) {
+                Ok((bytes, report)) => {
+                    if let Err(e) = write_bytes_atomic(&out, &bytes) {
+                        eprintln!("viewcap-cli: cannot write `{}`: {e}", out.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("merged {report} -> {}", out.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("viewcap-cli: cache merge: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "compact" => {
+            let [input] = inputs.as_slice() else {
+                eprintln!("viewcap-cli: cache compact takes exactly one input file");
+                return ExitCode::FAILURE;
+            };
+            let Some(bytes) = read(input) else {
+                return ExitCode::FAILURE;
+            };
+            let out = out.unwrap_or_else(|| input.clone());
+            match compact_cache_bytes(&bytes, max) {
+                Ok((bytes, report)) => {
+                    if let Err(e) = write_bytes_atomic(&out, &bytes) {
+                        eprintln!("viewcap-cli: cannot write `{}`: {e}", out.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("compacted {report} -> {}", out.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("viewcap-cli: cache compact: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("cache") {
+        return cache_command(&args[1..]);
+    }
     let mut options = ScenarioOptions::default();
     let mut stats = false;
     let mut cache_file: Option<std::path::PathBuf> = None;
@@ -145,7 +259,7 @@ fn main() -> ExitCode {
                 println!("-- enumeration: {}", outcome.enum_stats);
             }
             if let Some(path) = &cache_file {
-                if let Err(e) = save_cache_to_path(engine.cache(), path) {
+                if let Err(e) = save_cache_to_path(engine.cache(), &outcome.catalog, path) {
                     eprintln!("viewcap-cli: cannot save cache `{}`: {e}", path.display());
                     return ExitCode::FAILURE;
                 }

@@ -3,6 +3,12 @@
 //! tests and demos.
 //!
 //! ```text
+//! # optionally prove catalog-order independence: buffer the following
+//! # `rel` lines and declare them in a seed-shuffled order (attribute
+//! # interning order shuffled too). Verdicts — and persisted-cache hits —
+//! # must not change, because fingerprints are content-addressed.
+//! catalog permute 7
+//!
 //! # schema
 //! rel R(A, B, C)
 //!
@@ -94,6 +100,10 @@ pub struct ScenarioOutcome {
     pub stats: CacheStats,
     /// Candidate-space reuse counters from the engine's context pool.
     pub enum_stats: EnumStats,
+    /// The catalog as the scenario left it — what cache persistence needs
+    /// to resolve natively computed witnesses to names
+    /// ([`viewcap_engine::save_cache`]).
+    pub catalog: Catalog,
 }
 
 /// Errors from scenario parsing or execution.
@@ -132,6 +142,11 @@ struct Runner<'a> {
     report: String,
     yes: usize,
     no: usize,
+    /// Armed by `catalog permute SEED`: the initial run of `rel`
+    /// declarations is buffered and declared in a seed-determined order.
+    permute_seed: Option<u64>,
+    /// Buffered `(name, attrs)` declarations awaiting the permuted flush.
+    rel_buffer: Vec<(String, Vec<String>)>,
 }
 
 /// Run a scenario from source text with default options (sequential).
@@ -149,9 +164,10 @@ pub fn run_scenario_with(
 }
 
 /// Run a scenario against a caller-provided engine — one with a bounded
-/// and/or disk-loaded verdict cache, or one shared across scenario runs
-/// (the cache is content-addressed, so reuse is sound as long as the
-/// scenarios declare the same catalog in the same order).
+/// and/or disk-loaded verdict cache, or one shared across scenario runs.
+/// The cache is catalog-content-addressed: reuse is sound whenever the
+/// scenarios declare the same relations (same names, same schemes), in
+/// *any* declaration order.
 pub fn run_scenario_with_engine(
     src: &str,
     options: &ScenarioOptions,
@@ -167,6 +183,8 @@ pub fn run_scenario_with_engine(
         report: String::new(),
         yes: 0,
         no: 0,
+        permute_seed: None,
+        rel_buffer: Vec::new(),
     };
     let err = |line: usize, msg: String| ScenarioError { line, msg };
 
@@ -180,8 +198,14 @@ pub fn run_scenario_with_engine(
             continue;
         }
         let (head, rest) = split_word(&line);
+        // Any command other than `rel` flushes buffered (to-be-permuted)
+        // declarations first, so views and checks see a complete catalog.
+        if head != "rel" {
+            runner.flush_rels().map_err(|m| err(lineno, m))?;
+        }
         match head {
             "rel" => runner.cmd_rel(rest).map_err(|m| err(lineno, m))?,
+            "catalog" => runner.cmd_catalog(rest).map_err(|m| err(lineno, m))?,
             "view" => {
                 let name = rest.trim_end_matches('{').trim().to_owned();
                 if name.is_empty() {
@@ -229,12 +253,14 @@ pub fn run_scenario_with_engine(
             other => return Err(err(lineno, format!("unknown command `{other}`"))),
         }
     }
+    runner.flush_rels().map_err(|m| err(lines.len(), m))?;
     Ok(ScenarioOutcome {
         report: runner.report,
         yes: runner.yes,
         no: runner.no,
         stats: runner.engine.cache_stats(),
         enum_stats: runner.engine.enum_stats(),
+        catalog: runner.catalog,
     })
 }
 
@@ -286,18 +312,97 @@ impl Runner<'_> {
         let args = args
             .strip_suffix(')')
             .ok_or_else(|| "missing `)`".to_owned())?;
-        let attrs: Vec<&str> = args
+        let attrs: Vec<String> = args
             .split(',')
             .map(str::trim)
             .filter(|s| !s.is_empty())
+            .map(str::to_owned)
             .collect();
         if attrs.is_empty() {
             return Err("relations need at least one attribute".into());
         }
+        let name = name.trim().to_owned();
+        if self.permute_seed.is_some() {
+            // Declaration deferred to the permuted flush; duplicate names
+            // would only error there, so reject them eagerly here.
+            if self.rel_buffer.iter().any(|(n, _)| *n == name) {
+                return Err(format!("relation name `{name}` is already in use"));
+            }
+            self.rel_buffer.push((name, attrs));
+            return Ok(());
+        }
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         self.catalog
-            .relation(name.trim(), &attrs)
+            .relation(&name, &attr_refs)
             .map_err(|e| e.to_string())?;
-        let _ = writeln!(self.report, "rel {} declared", name.trim());
+        let _ = writeln!(self.report, "rel {name} declared");
+        Ok(())
+    }
+
+    /// `catalog permute SEED` — arm permuted declaration: the following
+    /// run of `rel` lines is buffered and, at the first non-`rel` command,
+    /// declared in a seed-determined order with each relation's attribute
+    /// list shuffled too. Catalog *content* is unchanged (the same
+    /// relations with the same schemes exist under any declaration order);
+    /// what changes is the minting order of `RelId`s and `AttrId`s — which
+    /// content-addressed fingerprints must not observe. The directive
+    /// exists to prove exactly that: a scenario prefixed with it must
+    /// report identical verdicts and hit the same persisted cache.
+    fn cmd_catalog(&mut self, rest: &str) -> Result<(), String> {
+        let (sub, arg) = split_word(rest);
+        if sub != "permute" {
+            return Err(format!("unknown catalog directive `{sub}`"));
+        }
+        if self.catalog.rel_count() > 0 || self.permute_seed.is_some() {
+            return Err("catalog permute must precede every rel declaration".into());
+        }
+        let seed: u64 = match arg.trim() {
+            "" => 1,
+            n => n
+                .parse()
+                .map_err(|_| format!("bad permutation seed `{n}`"))?,
+        };
+        self.permute_seed = Some(seed);
+        Ok(())
+    }
+
+    /// Declare the buffered `rel`s in the seed-determined permuted order.
+    /// Report lines keep the original textual order, so permuted and
+    /// unpermuted runs of the same declarations stay line-comparable.
+    fn flush_rels(&mut self) -> Result<(), String> {
+        let Some(seed) = self.permute_seed.take() else {
+            return Ok(());
+        };
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let buffered = std::mem::take(&mut self.rel_buffer);
+        let mut order: Vec<usize> = (0..buffered.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, (lcg() % (i as u64 + 1)) as usize);
+        }
+        for &i in &order {
+            let (name, attrs) = &buffered[i];
+            let mut attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            for j in (1..attrs.len()).rev() {
+                attrs.swap(j, (lcg() % (j as u64 + 1)) as usize);
+            }
+            self.catalog
+                .relation(name, &attrs)
+                .map_err(|e| e.to_string())?;
+        }
+        for (name, _) in &buffered {
+            let _ = writeln!(self.report, "rel {name} declared");
+        }
+        let _ = writeln!(
+            self.report,
+            "catalog: declaration order permuted over {} relation(s) (seed {seed})",
+            buffered.len()
+        );
         Ok(())
     }
 
@@ -323,7 +428,7 @@ impl Runner<'_> {
         // Warm the canonical-key memos now: every later check clones this
         // view, and clones inherit the filled caches, so fingerprinting a
         // whole workload against it costs one canonicalization per query.
-        let _ = viewcap_engine::view_fingerprint(&view);
+        let _ = viewcap_engine::view_fingerprint(&view, &self.catalog);
         let _ = writeln!(
             self.report,
             "view {name} defined with {} relation(s)",
@@ -380,7 +485,7 @@ impl Runner<'_> {
         match (&*decision.verdict, check) {
             (Verdict::Member(Some(proof)), Check::Member { view, .. }) => {
                 let names: Vec<RelId> = decision
-                    .member_witness_names(view)
+                    .member_witness_names(view, &self.catalog)
                     .unwrap_or_else(|| view.schema());
                 let skel = proof.skeleton_with_names(&names);
                 let _ = writeln!(
@@ -401,7 +506,8 @@ impl Runner<'_> {
             .decide(&check, &self.catalog)
             .map_err(|e| e.to_string())?;
         self.record_decision(&label, &check, &decision);
-        self.delta.push_decided(label, check, decision);
+        self.delta
+            .push_decided(label, check, decision, &self.catalog);
         Ok(())
     }
 
@@ -434,6 +540,7 @@ impl Runner<'_> {
                 request.label.clone(),
                 request.check.clone(),
                 decision.clone(),
+                &self.catalog,
             );
         }
         let _ = writeln!(
@@ -507,8 +614,8 @@ impl Runner<'_> {
         }
         let new_view = View::new(pairs, &self.catalog).map_err(|e| (lineno, e.to_string()))?;
         // Warm the canonical-key memos, as `cmd_view` does.
-        let _ = viewcap_engine::view_fingerprint(&new_view);
-        let invalidated = self.delta.replace_view(&old, &new_view);
+        let _ = viewcap_engine::view_fingerprint(&new_view, &self.catalog);
+        let invalidated = self.delta.replace_view(&old, &new_view, &self.catalog);
         let _ = writeln!(
             self.report,
             "edit {name}: {} defining relation(s), {invalidated} standing check(s) invalidated",
@@ -807,6 +914,50 @@ check member V R
                 .contains("defining relation of another view"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn catalog_permute_shuffles_declarations_without_changing_verdicts() {
+        let body = "rel R(A, B, C)\n\
+                    rel S(C, D)\n\
+                    view V {\n  X = pi{A,B}(R)\n}\n\
+                    check member V pi{A}(R)\n\
+                    check member V pi{B,C}(R)\n";
+        let plain = run_scenario(body).unwrap();
+        for seed in [1u64, 2, 9] {
+            let permuted = run_scenario(&format!("catalog permute {seed}\n{body}")).unwrap();
+            assert!(permuted
+                .report
+                .contains(&format!("permuted over 2 relation(s) (seed {seed})")));
+            let checks = |r: &str| {
+                r.lines()
+                    .filter(|l| l.starts_with("check "))
+                    .map(str::to_owned)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                checks(&plain.report),
+                checks(&permuted.report),
+                "seed {seed}"
+            );
+            // The catalogs really differ in declaration order for at
+            // least one seed; content is what must agree.
+            assert_eq!(permuted.catalog.rel_count(), plain.catalog.rel_count());
+        }
+    }
+
+    #[test]
+    fn catalog_permute_must_precede_declarations() {
+        let err = run_scenario("rel R(A)\ncatalog permute 3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("precede"), "{err}");
+        let err = run_scenario("catalog shuffle 3\n").unwrap_err();
+        assert!(err.to_string().contains("unknown catalog directive"));
+        let err = run_scenario("catalog permute x\n").unwrap_err();
+        assert!(err.to_string().contains("bad permutation seed"));
+        // Duplicate buffered names are rejected eagerly.
+        let err = run_scenario("catalog permute 1\nrel R(A)\nrel R(B)\n").unwrap_err();
+        assert_eq!(err.line, 3);
     }
 
     #[test]

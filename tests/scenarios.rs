@@ -98,7 +98,7 @@ fn persisted_cache_warms_a_rerun_without_changing_verdicts() {
     // Cold run, then persist the engine's verdict cache.
     let cold_engine = Engine::new();
     let cold = run_scenario_with_engine(src, &options, &cold_engine).unwrap();
-    let bytes = save_cache(cold_engine.cache());
+    let bytes = save_cache(cold_engine.cache(), &cold.catalog);
 
     // Warm run over the reloaded cache: nothing recomputes...
     let warm_engine = Engine::with_cache(
@@ -122,6 +122,41 @@ fn persisted_cache_warms_a_rerun_without_changing_verdicts() {
     };
     assert_eq!(verdicts(&cold.report), verdicts(&warm.report));
     assert_eq!((cold.yes, cold.no), (warm.yes, warm.no));
+}
+
+#[test]
+fn cross_catalog_scenarios_share_one_cache() {
+    // The shipped two-step fleet demo: the base file's persisted cache
+    // fully answers the permuted file, check lines byte-identical.
+    use viewcap_core::SearchBudget;
+    use viewcap_engine::{load_cache, save_cache, Engine};
+
+    let base = include_str!("../scenarios/cross_catalog_base.vcap");
+    let permuted = include_str!("../scenarios/cross_catalog_permuted.vcap");
+    let options = ScenarioOptions::default();
+
+    let engine = Engine::new();
+    let cold = run_scenario_with_engine(base, &options, &engine).unwrap();
+    assert_eq!((cold.yes, cold.no), (7, 1), "report:\n{}", cold.report);
+    let bytes = save_cache(engine.cache(), &cold.catalog);
+
+    let warm_engine = Engine::with_cache(
+        SearchBudget::default(),
+        load_cache(&bytes, None).expect("round trip"),
+    );
+    let warm = run_scenario_with_engine(permuted, &options, &warm_engine).unwrap();
+    assert_eq!(warm.stats.misses, 0, "report:\n{}", warm.report);
+    assert!(warm.stats.hits > 0);
+    assert!(warm
+        .report
+        .contains("catalog: declaration order permuted over 3 relation(s) (seed 7)"));
+    let checks = |r: &str| {
+        r.lines()
+            .filter(|l| l.starts_with("check "))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(checks(&cold.report), checks(&warm.report));
 }
 
 #[test]
