@@ -20,16 +20,24 @@
 //! fleet-style cold-vs-warm gap that content-addressed fingerprints make
 //! possible.
 //!
+//! A fifth suite, **normalization** (`BENCH_PR6.json` by default,
+//! `--out-norm`), measures the Section 4 pipeline: the `normal_form`
+//! scenario cold (building the shared normalization context) versus warm
+//! (both verdicts served from the engine's cache, byte-identical report),
+//! plus a candidate-join microbench comparing the byte-trie tuple index
+//! against a flat O(|src|·|dst|) scan.
+//!
 //! ```console
-//! $ viewcap-bench                         # full run, BENCH_PR4.json + BENCH_PR5.json
-//! $ viewcap-bench --smoke                 # 1 iteration + counter asserts
+//! $ viewcap-bench               # full run: BENCH_PR4/PR5/PR6 .json
+//! $ viewcap-bench --smoke       # 1 iteration + counter asserts
 //! $ viewcap-bench --iters 5 --out /tmp/bench.json --out-cross /tmp/cross.json
 //! ```
 //!
 //! `--smoke` is what CI runs: a single iteration whose reuse counters are
 //! asserted to be live (nonzero, shared work strictly below per-goal
-//! work, and cross-catalog warm hits nonzero with zero recomputation);
-//! violations exit nonzero.
+//! work, cross-catalog warm hits nonzero with zero recomputation, warm
+//! normalization a pure cache hit, and the trie join examining strictly
+//! fewer pairs than the flat scan); violations exit nonzero.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -45,6 +53,7 @@ struct Config {
     smoke: bool,
     out: std::path::PathBuf,
     out_cross: std::path::PathBuf,
+    out_norm: std::path::PathBuf,
     scenarios_dir: std::path::PathBuf,
 }
 
@@ -384,6 +393,207 @@ fn bench_scenarios(config: &Config) -> Vec<ScenarioReport> {
     out
 }
 
+struct NormalizationReport {
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+    warm_hits: u64,
+    warm_misses: u64,
+    cold_contexts: u64,
+    cold_probes: u64,
+    cold_combos: u64,
+    warm_combos: u64,
+    reports_identical: bool,
+    join_flat_ms: f64,
+    join_trie_ms: f64,
+    join_flat_pairs: u64,
+    join_trie_pairs: u64,
+    join_lists_identical: bool,
+}
+
+/// The normalization suite (the PR 6 suite): the `normal_form` scenario
+/// cold versus warm through one engine — the warm run must be a pure
+/// verdict-cache hit with a byte-identical report — plus a candidate-join
+/// microbench pitting the byte-trie tuple index against a flat scan.
+fn bench_normalization(config: &Config) -> NormalizationReport {
+    let path = config.scenarios_dir.join("normal_form.vcap");
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read `{}`: {e}", path.display()));
+    let options = ScenarioOptions { jobs: 1 };
+
+    // Cold: a fresh engine per iteration pays the Section 4 pipeline.
+    let mut cold_report = String::new();
+    let mut cold_stats = viewcap_engine::EnumStats::default();
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        let engine = Engine::new();
+        let outcome = run_scenario_with_engine(&source, &options, &engine)
+            .unwrap_or_else(|e| panic!("normal_form cold run failed: {e}"));
+        cold_report = outcome.report;
+        cold_stats = outcome.enum_stats;
+    }
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+
+    // Warm: one pre-warmed engine replays the scenario from its cache.
+    let warm_engine = Engine::new();
+    run_scenario_with_engine(&source, &options, &warm_engine)
+        .unwrap_or_else(|e| panic!("normal_form warmup failed: {e}"));
+    let hits_before = warm_engine.cache_stats().hits;
+    let mut warm_report = String::new();
+    let mut warm_stats = viewcap_engine::EnumStats::default();
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        let outcome = run_scenario_with_engine(&source, &options, &warm_engine)
+            .unwrap_or_else(|e| panic!("normal_form warm run failed: {e}"));
+        warm_report = outcome.report;
+        warm_stats = outcome.enum_stats;
+    }
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+    let warm_cache = warm_engine.cache_stats();
+    // The warmup probe built the context; warm iterations add no combos.
+    let warm_combos = warm_stats.combos.saturating_sub(cold_stats.combos);
+
+    let join = bench_candidate_join(config);
+
+    NormalizationReport {
+        cold_ms,
+        warm_ms,
+        speedup: cold_ms / warm_ms.max(1e-9),
+        warm_hits: warm_cache.hits - hits_before,
+        warm_misses: warm_cache.misses.saturating_sub(2),
+        cold_contexts: cold_stats.contexts,
+        cold_probes: cold_stats.probes,
+        cold_combos: cold_stats.combos,
+        warm_combos,
+        reports_identical: cold_report == warm_report,
+        join_flat_ms: join.0,
+        join_trie_ms: join.1,
+        join_flat_pairs: join.2,
+        join_trie_pairs: join.3,
+        join_lists_identical: join.4,
+    }
+}
+
+/// Candidate-join microbench: `(flat_ms, trie_ms, flat_pairs, trie_pairs,
+/// lists_identical)`. Both paths produce identical candidate lists; the
+/// counters record how many (source tuple, target tuple) pairs each had to
+/// examine to get there — the flat scan touches every pair, the trie only
+/// its tag buckets.
+fn bench_candidate_join(config: &Config) -> (f64, f64, u64, u64, bool) {
+    use viewcap_template::{candidate_lists, reduce, template_of_expr, Template};
+
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    cat.relation("S", &["C", "D"]).unwrap();
+    // A wide join target (many tuples across both tags) and mid-size
+    // sources — the shape normalization probes take through `reduce`.
+    let dst: Template = template_of_expr(
+        &parse_expr(
+            "pi{A,B}(R) * pi{B,C}(R) * pi{A,C}(R) * pi{A}(R) * pi{B}(R) * \
+             pi{C}(R) * pi{C,D}(S) * pi{C}(S) * pi{D}(S)",
+            &cat,
+        )
+        .unwrap(),
+        &cat,
+    );
+    let srcs: Vec<Template> = [
+        "pi{A,B}(R) * pi{B,C}(R)",
+        "pi{A}(R) * pi{C,D}(S)",
+        "pi{A,C}(R * S) * pi{B}(R)",
+        "pi{B,D}(pi{B,C}(R) * pi{C,D}(S))",
+    ]
+    .iter()
+    .map(|src| reduce(&template_of_expr(&parse_expr(src, &cat).unwrap(), &cat)))
+    .collect();
+
+    // Flat reference scan: every same-tag pair, checked positionally.
+    let flat_lists = |src: &Template, dst: &Template| -> Option<Vec<Vec<usize>>> {
+        let mut out = Vec::with_capacity(src.len());
+        for st in src.tuples() {
+            let mut cands = Vec::new();
+            'target: for (j, dt) in dst.tuples().iter().enumerate() {
+                if dt.rel() != st.rel() {
+                    continue;
+                }
+                for (a, b) in st.row().iter().zip(dt.row()) {
+                    if a.is_distinguished() && a != b {
+                        continue 'target;
+                    }
+                }
+                cands.push(j);
+            }
+            if cands.is_empty() {
+                return None;
+            }
+            out.push(cands);
+        }
+        Some(out)
+    };
+
+    let reps = if config.smoke { 50 } else { 2000 };
+    let mut lists_identical = true;
+    let mut flat_pairs = 0u64;
+    let mut trie_pairs = 0u64;
+    for src in &srcs {
+        flat_pairs += (src.len() * dst.len()) as u64;
+        let index = dst.tuple_index();
+        for st in src.tuples() {
+            trie_pairs += index.by_tag(st.rel()).len() as u64;
+        }
+        lists_identical &= candidate_lists(src, &dst) == flat_lists(src, &dst);
+    }
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for src in &srcs {
+            std::hint::black_box(flat_lists(src, &dst));
+        }
+    }
+    let flat_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for src in &srcs {
+            std::hint::black_box(candidate_lists(src, &dst));
+        }
+    }
+    let trie_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    (flat_ms, trie_ms, flat_pairs, trie_pairs, lists_identical)
+}
+
+fn norm_json_report(config: &Config, norm: &NormalizationReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"BENCH_PR6\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"normal_form\": {{");
+    let _ = writeln!(s, "    \"iters\": {},", config.iters);
+    let _ = writeln!(s, "    \"cold_ms\": {:.3},", norm.cold_ms);
+    let _ = writeln!(s, "    \"warm_ms\": {:.3},", norm.warm_ms);
+    let _ = writeln!(s, "    \"speedup\": {:.2},", norm.speedup);
+    let _ = writeln!(s, "    \"warm_hits\": {},", norm.warm_hits);
+    let _ = writeln!(s, "    \"warm_misses\": {},", norm.warm_misses);
+    let _ = writeln!(s, "    \"cold_contexts\": {},", norm.cold_contexts);
+    let _ = writeln!(s, "    \"cold_probes\": {},", norm.cold_probes);
+    let _ = writeln!(s, "    \"cold_combos\": {},", norm.cold_combos);
+    let _ = writeln!(s, "    \"warm_combos\": {},", norm.warm_combos);
+    let _ = writeln!(s, "    \"reports_identical\": {}", norm.reports_identical);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"candidate_join\": {{");
+    let _ = writeln!(s, "    \"flat_ms\": {:.4},", norm.join_flat_ms);
+    let _ = writeln!(s, "    \"trie_ms\": {:.4},", norm.join_trie_ms);
+    let _ = writeln!(s, "    \"flat_pairs\": {},", norm.join_flat_pairs);
+    let _ = writeln!(s, "    \"trie_pairs\": {},", norm.join_trie_pairs);
+    let _ = writeln!(s, "    \"lists_identical\": {}", norm.join_lists_identical);
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
 fn cross_json_report(config: &Config, cross: &CrossCatalogReport) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -469,7 +679,7 @@ fn json_report(
 fn usage() -> ExitCode {
     eprintln!(
         "usage: viewcap-bench [--smoke] [--iters N] [--out PATH] [--out-cross PATH] \
-         [--scenarios DIR]"
+         [--out-norm PATH] [--scenarios DIR]"
     );
     ExitCode::FAILURE
 }
@@ -480,6 +690,7 @@ fn main() -> ExitCode {
         smoke: false,
         out: "BENCH_PR4.json".into(),
         out_cross: "BENCH_PR5.json".into(),
+        out_norm: "BENCH_PR6.json".into(),
         scenarios_dir: "scenarios".into(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -502,6 +713,10 @@ fn main() -> ExitCode {
                 Some(p) => config.out_cross = p.into(),
                 None => return usage(),
             },
+            "--out-norm" => match it.next() {
+                Some(p) => config.out_norm = p.into(),
+                None => return usage(),
+            },
             "--scenarios" => match it.next() {
                 Some(p) => config.scenarios_dir = p.into(),
                 None => return usage(),
@@ -514,6 +729,7 @@ fn main() -> ExitCode {
     let batch = bench_engine_batch(&config);
     let scenarios = bench_scenarios(&config);
     let cross = bench_cross_catalog(&config);
+    let norm = bench_normalization(&config);
 
     println!(
         "shared-goal: {} goals, baseline {:.2} ms / shared {:.2} ms ({:.2}x), \
@@ -568,6 +784,29 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", config.out_cross.display());
 
+    println!(
+        "normalization: cold {:.2} ms / warm {:.2} ms ({:.2}x), {} warm hit(s), \
+         {} cold combos; join index {} -> {} pairs examined ({:.4} -> {:.4} ms)",
+        norm.cold_ms,
+        norm.warm_ms,
+        norm.speedup,
+        norm.warm_hits,
+        norm.cold_combos,
+        norm.join_flat_pairs,
+        norm.join_trie_pairs,
+        norm.join_flat_ms,
+        norm.join_trie_ms
+    );
+    let norm_report = norm_json_report(&config, &norm);
+    if let Err(e) = std::fs::write(&config.out_norm, &norm_report) {
+        eprintln!(
+            "viewcap-bench: cannot write `{}`: {e}",
+            config.out_norm.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", config.out_norm.display());
+
     if config.smoke {
         // The counters must be live and the sharing real, or PR 4's whole
         // premise regressed.
@@ -601,6 +840,36 @@ fn main() -> ExitCode {
         }
         if !cross.verdicts_equal {
             failures.push("cross-catalog warm verdicts diverged from cold".to_owned());
+        }
+        if norm.warm_hits == 0 {
+            failures.push("warm normalization recorded no cache hits".to_owned());
+        }
+        if norm.warm_misses != 0 {
+            failures.push(format!(
+                "warm normalization missed {} time(s)",
+                norm.warm_misses
+            ));
+        }
+        if norm.warm_combos != 0 {
+            failures.push(format!(
+                "warm normalization re-enumerated {} combo(s)",
+                norm.warm_combos
+            ));
+        }
+        if !norm.reports_identical {
+            failures.push("warm normal_form report diverged from cold".to_owned());
+        }
+        if norm.cold_probes == 0 || norm.cold_combos == 0 {
+            failures.push("cold normalization stats are dead (probes/combos 0)".to_owned());
+        }
+        if norm.join_trie_pairs >= norm.join_flat_pairs {
+            failures.push(format!(
+                "trie join examined {} pairs, not strictly below the flat scan's {}",
+                norm.join_trie_pairs, norm.join_flat_pairs
+            ));
+        }
+        if !norm.join_lists_identical {
+            failures.push("trie candidate lists diverged from the flat scan".to_owned());
         }
         if !failures.is_empty() {
             for f in &failures {

@@ -27,6 +27,7 @@ pub mod closure;
 pub mod equivalence;
 pub mod error;
 pub mod essential;
+pub mod norm;
 pub mod paper_procedure;
 pub mod query;
 pub mod redundancy;
@@ -37,6 +38,7 @@ pub use capacity::{cap_contains, closure_contains, ClosureContext, ClosureProof,
 pub use closure::{capacity_members, closure_members, ClosureMember};
 pub use equivalence::{dominates, equivalent, DominanceWitness, EquivalenceWitness};
 pub use error::CoreError;
+pub use norm::NormContext;
 pub use query::{Query, QuerySet};
 pub use redundancy::{is_redundant, make_nonredundant, nonredundant_size_bound};
 pub use simplify::{is_simple, proper_projections, simplify_view};

@@ -10,6 +10,7 @@
 
 use crate::capacity::{ClosureContext, ClosureProof, SearchBudget};
 use crate::error::CoreError;
+use crate::norm::NormContext;
 use crate::query::Query;
 use crate::view::View;
 use viewcap_base::Catalog;
@@ -49,22 +50,17 @@ pub fn is_redundant(
 /// Indices of a nonredundant generating subset, found by greedy removal
 /// (Theorem 3.1.4's argument). Deterministic: always removes the earliest
 /// redundant query and restarts.
+///
+/// Runs in a shared [`NormContext`]: every `𝒯 − {Tᵢ}` membership question
+/// filters one candidate space instead of enumerating its own, and the
+/// restart loop replays memoized verdicts for free. The greedy control
+/// flow — and hence the kept index set and its order — is unchanged.
 pub fn nonredundant_indices(
     queries: &[Query],
     catalog: &Catalog,
     budget: &SearchBudget,
 ) -> Result<Vec<usize>, SearchOverflow> {
-    let mut keep: Vec<usize> = (0..queries.len()).collect();
-    'outer: loop {
-        for pos in 0..keep.len() {
-            let subset: Vec<Query> = keep.iter().map(|&k| queries[k].clone()).collect();
-            if is_redundant_with(&subset, pos, catalog, budget)?.is_some() {
-                keep.remove(pos);
-                continue 'outer;
-            }
-        }
-        return Ok(keep);
-    }
+    NormContext::new(queries, catalog, budget).nonredundant_indices(queries)
 }
 
 /// Theorem 3.1.4: an equivalent nonredundant view, keeping the surviving

@@ -16,8 +16,8 @@
 
 use crate::capacity::{closure_contains, SearchBudget};
 use crate::error::CoreError;
-use crate::query::{Query, QuerySet};
-use crate::redundancy::nonredundant_indices;
+use crate::norm::NormContext;
+use crate::query::Query;
 use crate::view::View;
 use viewcap_base::{Catalog, Scheme};
 use viewcap_template::SearchOverflow;
@@ -61,17 +61,15 @@ pub fn is_simple(queries: &[Query], i: usize, catalog: &Catalog) -> Result<bool,
 }
 
 /// Is every query simple (i.e. is the set simplified)?
+///
+/// Shares one [`NormContext`] across the per-query probes — the candidate
+/// space over the queries-and-projections universe is built once.
 pub fn is_simplified_set(
     queries: &[Query],
     catalog: &Catalog,
     budget: &SearchBudget,
 ) -> Result<bool, SearchOverflow> {
-    for i in 0..queries.len() {
-        if !is_simple_with(queries, i, catalog, budget)? {
-            return Ok(false);
-        }
-    }
-    Ok(true)
+    NormContext::new(queries, catalog, budget).is_simplified_set(queries)
 }
 
 /// Lemma 4.1.2: transform a query set into an equivalent simplified one.
@@ -79,35 +77,18 @@ pub fn is_simplified_set(
 /// Loop invariant: the closure never changes. Each round removes redundancy
 /// and replaces the first non-simple query by its proper projections; the
 /// multiset of TRS sizes strictly decreases, so the loop terminates.
+///
+/// Runs in a shared [`NormContext`]: every round's redundancy and
+/// simplicity probes filter one candidate space over the stable universe of
+/// Theorem 4.2.1 instead of re-enumerating per subset. The control flow
+/// (and hence the result sequence, modulo equivalence) is that of the
+/// original per-subset loop.
 pub fn simplify_queries(
     queries: &[Query],
     catalog: &Catalog,
     budget: &SearchBudget,
 ) -> Result<Vec<Query>, SearchOverflow> {
-    let mut qs: Vec<Query> = QuerySet::new(queries.to_vec())
-        .dedup_equiv()
-        .queries()
-        .to_vec();
-    'outer: loop {
-        // Remove redundancy first: it keeps the sets small and mirrors the
-        // paper's convention that simplified views are nonredundant.
-        let keep = nonredundant_indices(&qs, catalog, budget)?;
-        qs = keep.into_iter().map(|i| qs[i].clone()).collect();
-
-        for i in 0..qs.len() {
-            if !is_simple_with(&qs, i, catalog, budget)? {
-                let victim = qs.remove(i);
-                let projections = proper_projections(&victim, catalog);
-                for p in projections {
-                    if !qs.iter().any(|x| x.equiv(&p)) {
-                        qs.push(p);
-                    }
-                }
-                continue 'outer;
-            }
-        }
-        return Ok(qs);
-    }
+    NormContext::new(queries, catalog, budget).simplify_queries(queries)
 }
 
 /// Theorem 4.1.3: an equivalent simplified view, with fresh view-schema

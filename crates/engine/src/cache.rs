@@ -63,6 +63,8 @@ impl CacheKey {
             CheckKind::Member => 0u8,
             CheckKind::Dominates => 1,
             CheckKind::Equivalent => 2,
+            CheckKind::Simplify => 3,
+            CheckKind::Nonredundant => 4,
         };
         (kind, self.left.as_u128(), self.right.as_u128())
     }

@@ -17,7 +17,8 @@
 
 use crate::cache::{CacheKey, CacheStats, Entry, VerdictCache};
 use crate::fingerprint::{
-    query_fingerprint, view_fingerprint, view_query_fingerprints, Fingerprint,
+    ordered_view_fingerprint, query_fingerprint, view_fingerprint, view_query_fingerprints,
+    Fingerprint,
 };
 use crate::verdict::{CheckKind, Verdict};
 use crate::workload::{Check, Workload};
@@ -27,7 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use viewcap_base::{Catalog, RelId};
 use viewcap_core::equivalence::{dominates_via, EquivalenceWitness};
-use viewcap_core::{ClosureContext, SearchBudget, View};
+use viewcap_core::{ClosureContext, NormContext, SearchBudget, View};
 use viewcap_template::SearchOverflow;
 
 /// The outcome of deciding one request.
@@ -97,17 +98,21 @@ pub struct BatchOutcome {
 }
 
 /// Cumulative candidate-space reuse counters across an engine's
-/// [`ClosureContext`] pool (see [`Engine::enum_stats`]).
+/// [`ClosureContext`] pool *and* its normalization ([`NormContext`]) pool
+/// (see [`Engine::enum_stats`]).
 ///
 /// `probes - contexts` is roughly how many membership questions were
 /// answered without re-deriving the bounded enumeration; `combos` is the
 /// total enumeration work actually paid. A batch of N checks against one
 /// view shows `contexts == 1, probes >= N` where the uncached engine paid
-/// the enumeration N times over.
+/// the enumeration N times over. Normalization runs (`simplify`,
+/// `nonredundant`) contribute their class-space enumeration to the same
+/// counters, so a scenario that only normalizes still reports its work.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EnumStats {
-    /// Closure contexts built (one per distinct ordered defining-query
-    /// fingerprint table).
+    /// Contexts built (closure contexts: one per distinct ordered
+    /// defining-query fingerprint table; normalization contexts: one per
+    /// distinct defining-query multiset).
     pub contexts: u64,
     /// Goal probes served across all contexts.
     pub probes: u64,
@@ -115,6 +120,18 @@ pub struct EnumStats {
     pub combos: u64,
     /// Candidate roots kept across all shared candidate spaces.
     pub roots: u64,
+}
+
+impl EnumStats {
+    /// Fieldwise sum — used to combine the two pools' counters.
+    fn plus(self, other: EnumStats) -> EnumStats {
+        EnumStats {
+            contexts: self.contexts + other.contexts,
+            probes: self.probes + other.probes,
+            combos: self.combos + other.combos,
+            roots: self.roots + other.roots,
+        }
+    }
 }
 
 impl fmt::Display for EnumStats {
@@ -276,6 +293,115 @@ impl ContextPool {
     }
 }
 
+/// A pooled normalization context plus its last-use stamp.
+struct PooledNorm {
+    context: Arc<Mutex<NormContext>>,
+    last_used: u64,
+}
+
+struct NormPoolInner {
+    map: HashMap<Vec<Fingerprint>, PooledNorm>,
+    clock: u64,
+    retired: EnumStats,
+}
+
+/// The engine's pool of [`NormContext`]s, one per *sorted* multiset of
+/// defining-query fingerprints.
+///
+/// Normalization verdicts are class-based (a `NormContext`'s universe is
+/// the *set* of originals and their proper projections — Theorem 4.2.1),
+/// so unlike [`ContextPool`] the key can ignore pair order: reordered or
+/// fingerprint-equal views share one lazily built class space, and
+/// `simplify` plus `nonredundant` against the same view share it too.
+/// Positional results stay correct because the context maps the caller's
+/// ordered query slice to classes at probe time.
+struct NormPool {
+    inner: Mutex<NormPoolInner>,
+}
+
+impl NormPool {
+    fn new() -> Self {
+        NormPool {
+            inner: Mutex::new(NormPoolInner {
+                map: HashMap::new(),
+                clock: 0,
+                retired: EnumStats::default(),
+            }),
+        }
+    }
+
+    /// The normalization context for `view`'s defining query set, created
+    /// on first use; LRU-retired past [`MAX_CONTEXTS`] with its counters
+    /// folded into the pool's totals (the same policy as [`ContextPool`]).
+    fn for_view(
+        &self,
+        view: &View,
+        catalog: &Catalog,
+        budget: &SearchBudget,
+    ) -> Arc<Mutex<NormContext>> {
+        let mut key = view_query_fingerprints(view, catalog);
+        key.sort_unstable();
+        let mut inner = self.inner.lock().expect("norm pool lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let context = match inner.map.get_mut(&key) {
+            Some(pooled) => {
+                pooled.last_used = stamp;
+                Arc::clone(&pooled.context)
+            }
+            None => {
+                let context = Arc::new(Mutex::new(NormContext::new(
+                    view.query_set().queries(),
+                    catalog,
+                    budget,
+                )));
+                inner.map.insert(
+                    key,
+                    PooledNorm {
+                        context: Arc::clone(&context),
+                        last_used: stamp,
+                    },
+                );
+                context
+            }
+        };
+        while inner.map.len() > MAX_CONTEXTS {
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, p)| p.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let Some(retiree) = inner.map.remove(&victim) else {
+                break;
+            };
+            let retiree = retiree.context.lock().expect("norm context lock");
+            let s = retiree.search_stats();
+            inner.retired.contexts += 1;
+            inner.retired.probes += retiree.probes();
+            inner.retired.combos += s.combos;
+            inner.retired.roots += s.roots_visited;
+        }
+        context
+    }
+
+    fn stats(&self) -> EnumStats {
+        let inner = self.inner.lock().expect("norm pool lock");
+        let mut out = inner.retired;
+        out.contexts += inner.map.len() as u64;
+        for pooled in inner.map.values() {
+            let context = pooled.context.lock().expect("norm context lock");
+            let s = context.search_stats();
+            out.probes += context.probes();
+            out.combos += s.combos;
+            out.roots += s.roots_visited;
+        }
+        out
+    }
+}
+
 /// The concurrent batch decision engine.
 ///
 /// Holds the verdict cache, the search budget, and a pool of shared
@@ -291,6 +417,7 @@ pub struct Engine {
     cache: VerdictCache,
     budget: SearchBudget,
     contexts: ContextPool,
+    norms: NormPool,
 }
 
 impl Default for Engine {
@@ -318,13 +445,15 @@ impl Engine {
             cache,
             budget,
             contexts: ContextPool::new(),
+            norms: NormPool::new(),
         }
     }
 
     /// Snapshot the candidate-space reuse counters across the engine's
-    /// context pool.
+    /// two pools: the per-view closure contexts and the normalization
+    /// contexts.
     pub fn enum_stats(&self) -> EnumStats {
-        self.contexts.stats()
+        self.contexts.stats().plus(self.norms.stats())
     }
 
     /// Contexts currently retained (test hook for the pool bound).
@@ -502,6 +631,80 @@ impl Engine {
             from_cache: false,
             left_query_fps: entry.left_query_fps,
             flipped,
+        })
+    }
+
+    /// Simplify `view`'s defining query set (Section 4 normal form)
+    /// through the verdict cache: the result is a
+    /// [`Verdict::Simplified`] listing the simplified equivalent's TRSs
+    /// in result order.
+    pub fn simplify(&self, view: &View, catalog: &Catalog) -> Result<Decision, SearchOverflow> {
+        self.normalize(CheckKind::Simplify, view, catalog)
+    }
+
+    /// Greedy nonredundant subset of `view`'s defining pairs through the
+    /// verdict cache: the result is a [`Verdict::Nonredundant`] listing
+    /// the kept pair indices in the view's order.
+    pub fn nonredundant(&self, view: &View, catalog: &Catalog) -> Result<Decision, SearchOverflow> {
+        self.normalize(CheckKind::Nonredundant, view, catalog)
+    }
+
+    /// Shared normalization path: a cache probe keyed by the view's
+    /// *ordered* query-fingerprint table (both verdicts carry positional
+    /// payloads, so reordered but fingerprint-equal views must not share
+    /// an entry), then on a miss the pooled [`NormContext`] for the
+    /// view's query set — shared across `simplify`, `nonredundant`, and
+    /// any reordering of the same set.
+    fn normalize(
+        &self,
+        kind: CheckKind,
+        view: &View,
+        catalog: &Catalog,
+    ) -> Result<Decision, SearchOverflow> {
+        let key = CacheKey {
+            kind,
+            left: view_fingerprint(view, catalog),
+            right: ordered_view_fingerprint(view, catalog),
+        };
+        if let Some(entry) = self.cached(&key, catalog) {
+            return Ok(Decision {
+                verdict: entry.verdict,
+                from_cache: true,
+                left_query_fps: entry.left_query_fps,
+                flipped: false,
+            });
+        }
+        let context = self.norms.for_view(view, catalog, &self.budget);
+        let queries = view.query_set();
+        let verdict = {
+            let mut ctx = context.lock().expect("norm context lock");
+            match kind {
+                CheckKind::Simplify => Verdict::Simplified(
+                    ctx.simplify_queries(queries.queries())?
+                        .iter()
+                        .map(|q| q.trs())
+                        .collect(),
+                ),
+                CheckKind::Nonredundant => Verdict::Nonredundant(
+                    ctx.nonredundant_indices(queries.queries())?
+                        .into_iter()
+                        .map(|i| i as u32)
+                        .collect(),
+                ),
+                _ => unreachable!("normalize only serves Simplify/Nonredundant"),
+            }
+        };
+        let entry = Entry {
+            verdict: Arc::new(verdict),
+            foreign: false,
+            left_query_fps: Arc::from(view_query_fingerprints(view, catalog).as_slice()),
+        };
+        self.cache.replace(key, entry.clone());
+        Ok(Decision {
+            verdict: entry.verdict,
+            from_cache: false,
+            left_query_fps: entry.left_query_fps,
+            flipped: false,
         })
     }
 
@@ -869,5 +1072,102 @@ mod tests {
         for jobs in [2, 4, 8] {
             assert_eq!(render(jobs), sequential, "jobs={jobs}");
         }
+    }
+
+    /// `(catalog, view)` with a redundant defining pair, for the
+    /// normalization-path tests.
+    fn norm_setup() -> (Catalog, View) {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let abc = cat.scheme(&["A", "B", "C"]).unwrap();
+        let n1 = cat.fresh_relation("v1", abc);
+        let n2 = cat.fresh_relation("v2", ab);
+        let view = View::from_exprs(
+            vec![
+                (parse_expr("R", &cat).unwrap(), n1),
+                (parse_expr("pi{A,B}(R)", &cat).unwrap(), n2),
+            ],
+            &cat,
+        )
+        .unwrap();
+        (cat, view)
+    }
+
+    #[test]
+    fn normalization_verdicts_cache_and_share_one_context() {
+        let (cat, view) = norm_setup();
+        let engine = Engine::new();
+
+        let first = engine.simplify(&view, &cat).unwrap();
+        assert!(!first.from_cache);
+        let Verdict::Simplified(schemes) = &*first.verdict else {
+            panic!("expected Simplified, got {:?}", first.verdict);
+        };
+        assert!(!schemes.is_empty());
+
+        let again = engine.simplify(&view, &cat).unwrap();
+        assert!(again.from_cache, "second simplify must be a cache hit");
+        let Verdict::Simplified(cached) = &*again.verdict else {
+            panic!("expected Simplified, got {:?}", again.verdict);
+        };
+        assert_eq!(cached, schemes);
+
+        // `nonredundant` against the same view shares the pooled context
+        // (it is a new cache key, though): pi{A,B}(R) is subsumed by R.
+        let kept = engine.nonredundant(&view, &cat).unwrap();
+        assert!(!kept.from_cache);
+        let Verdict::Nonredundant(indices) = &*kept.verdict else {
+            panic!("expected Nonredundant, got {:?}", kept.verdict);
+        };
+        assert_eq!(indices, &[0]);
+        assert!(engine.nonredundant(&view, &cat).unwrap().from_cache);
+
+        // Satellite 1: normalization enumeration shows up in the engine's
+        // stats (no member/dominates checks ran, so it is all NormPool).
+        let stats = engine.enum_stats();
+        assert_eq!(stats.contexts, 1, "simplify + nonredundant share");
+        assert!(stats.probes > 0, "normalization probes counted");
+        assert!(
+            engine.cache_stats().to_string().starts_with("2 hit(s)"),
+            "one hit per repeated call: {}",
+            engine.cache_stats()
+        );
+    }
+
+    #[test]
+    fn reordered_views_share_the_context_but_not_the_entry() {
+        // Nonredundant/Simplified payloads are positional, so a reordered
+        // but fingerprint-equal view must recompute — through the shared
+        // pooled context — and land on its own cache entry.
+        let (cat, view) = norm_setup();
+        let mut pairs = view.pairs().to_vec();
+        pairs.swap(0, 1);
+        let swapped = View::new(pairs, &cat).unwrap();
+        assert_eq!(
+            view_fingerprint(&view, &cat),
+            view_fingerprint(&swapped, &cat),
+            "test premise: order-free fingerprints agree"
+        );
+        assert_ne!(
+            ordered_view_fingerprint(&view, &cat),
+            ordered_view_fingerprint(&swapped, &cat),
+            "test premise: ordered fingerprints differ"
+        );
+
+        let engine = Engine::new();
+        let a = engine.nonredundant(&view, &cat).unwrap();
+        let b = engine.nonredundant(&swapped, &cat).unwrap();
+        assert!(!a.from_cache);
+        assert!(!b.from_cache, "reordered view must not hit the entry");
+        let (Verdict::Nonredundant(ka), Verdict::Nonredundant(kb)) = (&*a.verdict, &*b.verdict)
+        else {
+            panic!("expected Nonredundant verdicts");
+        };
+        // R subsumes pi{A,B}(R) in either order; greedy keeps R's slot.
+        assert_eq!(ka, &[0]);
+        assert_eq!(kb, &[1]);
+        // One pooled context serves both orders (sorted-fps pool key).
+        assert_eq!(engine.enum_stats().contexts, 1);
     }
 }

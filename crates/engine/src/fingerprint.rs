@@ -122,6 +122,22 @@ pub fn view_fingerprint(v: &View, catalog: &Catalog) -> Fingerprint {
     )
 }
 
+/// Fingerprint of a view's *ordered* defining-query table. Unlike
+/// [`view_fingerprint`] this depends on pair order — it keys verdicts
+/// whose payload is positional (the kept-index sets of `nonredundant`, the
+/// result sequence of `simplify`), so fingerprint-equal but reordered
+/// views never share such an entry.
+pub fn ordered_view_fingerprint(v: &View, catalog: &Catalog) -> Fingerprint {
+    fold(
+        view_query_fingerprints(v, catalog)
+            .into_iter()
+            .flat_map(|fp| {
+                let raw = fp.as_u128();
+                [raw as u64, (raw >> 64) as u64]
+            }),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

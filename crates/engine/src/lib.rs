@@ -84,7 +84,10 @@ pub mod workload;
 pub use cache::{CacheKey, CacheStats, VerdictCache};
 pub use delta::{DeltaOutcome, DeltaWorkload};
 pub use engine::{effective_jobs, BatchOutcome, Decision, Engine, EnumStats};
-pub use fingerprint::{query_fingerprint, view_fingerprint, view_query_fingerprints, Fingerprint};
+pub use fingerprint::{
+    ordered_view_fingerprint, query_fingerprint, view_fingerprint, view_query_fingerprints,
+    Fingerprint,
+};
 pub use persist::{
     compact_cache_bytes, load_cache, load_cache_from_path, merge_cache_bytes, save_cache,
     save_cache_to_path, write_bytes_atomic, CompactReport, ImportTables, MergeReport, PersistError,

@@ -29,6 +29,10 @@
 //!     verdict    tag u8, then the witness when the answer was YES
 //! ```
 //!
+//! Normalization verdicts ride the same stream: kind bytes 3 (`simplify`)
+//! and 4 (`nonredundant`), verdict tags 6 (a scheme list — the simplified
+//! equivalent's TRSs) and 7 (a `u32` list — kept pair indices).
+//!
 //! Witness encoding: attribute references are attr-table indexes; relation
 //! references are rel-table indexes, except scratch `λᵢ` references, which
 //! set the high bit ([`LAMBDA_BIT`]) and carry the λ's position in its
@@ -333,6 +337,20 @@ impl EntryWriter<'_> {
                 self.dominance(&w.v_dominates_w)?;
                 self.dominance(&w.w_dominates_v)?;
             }
+            Verdict::Simplified(schemes) => {
+                put_u8(&mut self.buf, 6);
+                put_u32(&mut self.buf, schemes.len() as u32);
+                for s in schemes {
+                    self.scheme(s)?;
+                }
+            }
+            Verdict::Nonredundant(kept) => {
+                put_u8(&mut self.buf, 7);
+                put_u32(&mut self.buf, kept.len() as u32);
+                for &i in kept {
+                    put_u32(&mut self.buf, i);
+                }
+            }
         }
         Some(())
     }
@@ -344,6 +362,8 @@ impl EntryWriter<'_> {
                 CheckKind::Member => 0,
                 CheckKind::Dominates => 1,
                 CheckKind::Equivalent => 2,
+                CheckKind::Simplify => 3,
+                CheckKind::Nonredundant => 4,
             },
         );
         put_u128(&mut self.buf, key.left.as_u128());
@@ -631,6 +651,24 @@ impl<'a> Reader<'a> {
                 v_dominates_w: self.dominance(attrs, rels)?,
                 w_dominates_v: self.dominance(attrs, rels)?,
             })),
+            6 => {
+                let n = self.count(4)?;
+                let schemes = (0..n)
+                    .map(|_| {
+                        let s = self.scheme(attrs)?;
+                        if s.is_empty() {
+                            return Reader::corrupt("empty simplified scheme");
+                        }
+                        Ok(s)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Verdict::Simplified(schemes)
+            }
+            7 => {
+                let n = self.count(4)?;
+                let kept = (0..n).map(|_| self.u32()).collect::<Result<Vec<_>, _>>()?;
+                Verdict::Nonredundant(kept)
+            }
             _ => return Reader::corrupt("unknown verdict tag"),
         })
     }
@@ -677,6 +715,8 @@ fn parse_cache(bytes: &[u8]) -> Result<ParsedCache, PersistError> {
             0 => CheckKind::Member,
             1 => CheckKind::Dominates,
             2 => CheckKind::Equivalent,
+            3 => CheckKind::Simplify,
+            4 => CheckKind::Nonredundant,
             _ => return Reader::corrupt("unknown check kind"),
         };
         let key = CacheKey {
@@ -850,6 +890,17 @@ impl IdMaps {
                 v_dominates_w: self.dominance(&w.v_dominates_w)?,
                 w_dominates_v: self.dominance(&w.w_dominates_v)?,
             })),
+            Verdict::Simplified(schemes) => Verdict::Simplified(
+                schemes
+                    .iter()
+                    .map(|s| {
+                        Some(Scheme::collect(
+                            s.iter().map(|a| self.attr(a)).collect::<Option<Vec<_>>>()?,
+                        ))
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Verdict::Nonredundant(kept) => Verdict::Nonredundant(kept.clone()),
         })
     }
 }
@@ -939,7 +990,9 @@ pub fn merge_cache_bytes(inputs: &[Vec<u8>]) -> Result<(Vec<u8>, MergeReport), P
             kind: match kind {
                 0 => CheckKind::Member,
                 1 => CheckKind::Dominates,
-                _ => CheckKind::Equivalent,
+                2 => CheckKind::Equivalent,
+                3 => CheckKind::Simplify,
+                _ => CheckKind::Nonredundant,
             },
             left: Fingerprint::from_raw(*left),
             right: Fingerprint::from_raw(*right),

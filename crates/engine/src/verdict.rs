@@ -1,10 +1,11 @@
 //! Verdicts: decision outcomes with their constructive witnesses.
 
 use std::fmt;
+use viewcap_base::Scheme;
 use viewcap_core::capacity::ClosureProof;
 use viewcap_core::equivalence::{DominanceWitness, EquivalenceWitness};
 
-/// The three decision procedures the engine memoizes.
+/// The decision procedures the engine memoizes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CheckKind {
     /// Capacity membership: `Q ∈ Cap(𝒱)` (Theorem 2.4.11).
@@ -13,6 +14,10 @@ pub enum CheckKind {
     Dominates,
     /// View equivalence: dominance both ways (Theorem 2.4.12).
     Equivalent,
+    /// Simplification: the view's simplified normal form (Theorem 4.1.3).
+    Simplify,
+    /// Greedy nonredundant subset of the defining queries (Theorem 3.1.4).
+    Nonredundant,
 }
 
 impl fmt::Display for CheckKind {
@@ -21,6 +26,8 @@ impl fmt::Display for CheckKind {
             CheckKind::Member => "member",
             CheckKind::Dominates => "dominates",
             CheckKind::Equivalent => "equivalent",
+            CheckKind::Simplify => "simplify",
+            CheckKind::Nonredundant => "nonredundant",
         })
     }
 }
@@ -43,6 +50,17 @@ pub enum Verdict {
     Dominates(Option<DominanceWitness>),
     /// Equivalence outcome.
     Equivalent(Option<EquivalenceWitness>),
+    /// Simplification outcome: the TRSs of the simplified equivalent's
+    /// defining queries, in result order. The schemes alone reproduce the
+    /// simplified view's *shape* (Theorem 4.2.2 makes the queries behind
+    /// them unique up to equivalence, and each is a projection of an
+    /// original defining query — Theorem 4.2.1 — so they need not be
+    /// stored to re-mint view-schema relations or render reports).
+    Simplified(Vec<Scheme>),
+    /// Nonredundant outcome: indices of the kept defining pairs, in the
+    /// producing view's pair order (the cache key pins that order, so the
+    /// indices are positional for every request that hits this entry).
+    Nonredundant(Vec<u32>),
 }
 
 impl Verdict {
@@ -52,15 +70,19 @@ impl Verdict {
             Verdict::Member(_) => CheckKind::Member,
             Verdict::Dominates(_) => CheckKind::Dominates,
             Verdict::Equivalent(_) => CheckKind::Equivalent,
+            Verdict::Simplified(_) => CheckKind::Simplify,
+            Verdict::Nonredundant(_) => CheckKind::Nonredundant,
         }
     }
 
-    /// Did the check answer "yes"?
+    /// Did the check answer "yes"? Normalization verdicts are
+    /// constructions, not predicates; they always count as "yes".
     pub fn is_yes(&self) -> bool {
         match self {
             Verdict::Member(w) => w.is_some(),
             Verdict::Dominates(w) => w.is_some(),
             Verdict::Equivalent(w) => w.is_some(),
+            Verdict::Simplified(_) | Verdict::Nonredundant(_) => true,
         }
     }
 
@@ -77,6 +99,7 @@ impl Verdict {
             Verdict::Equivalent(w) => w
                 .as_ref()
                 .map(|e| dom_atoms(&e.v_dominates_w) + dom_atoms(&e.w_dominates_v)),
+            Verdict::Simplified(_) | Verdict::Nonredundant(_) => None,
         }
     }
 }

@@ -360,6 +360,79 @@ fn compaction_preserves_content_and_bounds() {
     assert!(loaded.get(&last_key).is_some());
 }
 
+/// Normalization verdicts (`Simplified` schemes, `Nonredundant` indices)
+/// survive the save → load round trip, including translation of scheme
+/// attribute ids into a catalog declaring the same relations in a
+/// different order.
+#[test]
+fn normalization_verdicts_round_trip_across_declaration_orders() {
+    let build = |flip: bool| {
+        let mut cat = Catalog::new();
+        if flip {
+            cat.relation("S", &["C", "D"]).unwrap();
+            cat.relation("R", &["C", "B", "A"]).unwrap();
+        } else {
+            cat.relation("R", &["A", "B", "C"]).unwrap();
+            cat.relation("S", &["C", "D"]).unwrap();
+        }
+        let abcd = cat.scheme(&["A", "B", "C", "D"]).unwrap();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let n1 = cat.fresh_relation("v1", abcd);
+        let n2 = cat.fresh_relation("v2", ab);
+        let q = |src: &str| Query::from_expr(viewcap_expr::parse_expr(src, &cat).unwrap(), &cat);
+        let view = View::new(vec![(q("R * pi{C,D}(S)"), n1), (q("pi{A,B}(R)"), n2)], &cat).unwrap();
+        (cat, view)
+    };
+
+    let (cat, view) = build(false);
+    let engine = Engine::new();
+    let simplified = engine.simplify(&view, &cat).unwrap();
+    let kept = engine.nonredundant(&view, &cat).unwrap();
+    assert!(!simplified.from_cache && !kept.from_cache);
+    let bytes = save_cache(engine.cache(), &cat);
+
+    // Same catalog: both verdicts are warm hits with identical payloads.
+    let warm = Engine::with_cache(
+        SearchBudget::default(),
+        load_cache(&bytes, None).expect("load"),
+    );
+    let s = warm.simplify(&view, &cat).unwrap();
+    let k = warm.nonredundant(&view, &cat).unwrap();
+    assert!(s.from_cache, "simplify must warm-hit");
+    assert!(k.from_cache, "nonredundant must warm-hit");
+    assert_eq!(
+        format!("{:?}", s.verdict),
+        format!("{:?}", simplified.verdict)
+    );
+    assert_eq!(format!("{:?}", k.verdict), format!("{:?}", kept.verdict));
+
+    // Reordered declarations: fingerprints agree, and the foreign entry's
+    // schemes translate into the flipped catalog's attribute ids — the
+    // rendered TRSs must match the cold run's.
+    let (flipped_cat, flipped_view) = build(true);
+    let foreign = Engine::with_cache(
+        SearchBudget::default(),
+        load_cache(&bytes, None).expect("load"),
+    );
+    let s2 = foreign.simplify(&flipped_view, &flipped_cat).unwrap();
+    assert!(s2.from_cache, "flipped catalog must still warm-hit");
+    let render = |d: &viewcap_engine::Decision, cat: &Catalog| match &*d.verdict {
+        viewcap_engine::Verdict::Simplified(schemes) => schemes
+            .iter()
+            .map(|s| {
+                let mut names: Vec<&str> = s.iter().map(|a| cat.attr_name(a)).collect();
+                names.sort_unstable();
+                names.join(",")
+            })
+            .collect::<Vec<_>>(),
+        other => panic!("expected Simplified, got {other:?}"),
+    };
+    assert_eq!(render(&s2, &flipped_cat), render(&simplified, &cat));
+    let k2 = foreign.nonredundant(&flipped_view, &flipped_cat).unwrap();
+    assert!(k2.from_cache);
+    assert_eq!(format!("{:?}", k2.verdict), format!("{:?}", kept.verdict));
+}
+
 /// Capacity-1 caches still answer every check correctly — only slower —
 /// and the hit/miss/eviction counters stay exact under eviction.
 #[test]

@@ -18,6 +18,7 @@
 //! bijection, so enumerating tuple maps enumerates valuations without
 //! duplicates.
 
+use crate::index::TupleIndex;
 use crate::template::{TaggedTuple, Template};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
@@ -56,87 +57,82 @@ impl Homomorphism {
     }
 }
 
-/// Below this target size (or when relation ids are absurdly sparse) the
-/// flat O(|src| · |dst|) scan wins: its inner loop is a branch-predictable
-/// integer compare, and bucket construction would cost more than it saves.
-const BUCKET_MIN_DST: usize = 24;
-
 /// Candidate target-tuple lists per source tuple.
 ///
 /// A target tuple is a candidate for a source tuple when the tags agree and
 /// every distinguished source entry meets the same distinguished entry in
 /// the target (valuations fix distinguished symbols).
 ///
-/// Destination tuples are pre-bucketed by relation tag (a counting sort
-/// over the dense `RelId` indices), so construction is O(|src| · bucket)
-/// rather than O(|src| · |dst|) — on large multirelational templates each
-/// source tuple scans only the same-tag slice of the target. Buckets
-/// preserve tuple order, so candidate lists (and therefore the backtracking
-/// search) are identical to the flat scan's; small targets keep the flat
-/// scan, which is faster there.
-///
-/// Public for the benchmark harness (`viewcap-bench` measures the bucketed
-/// construction against the flat scan); decision procedures reach it
-/// through [`find_homomorphism`] / [`template_contains`].
+/// Candidates come from the target's byte-trie [`TupleIndex`]
+/// ([`Template::tuple_index`], built once and shared by clones): each
+/// source tuple narrows the postings of its relation tag by its ground
+/// (distinguished) positions — a multiway sorted intersection on large tag
+/// buckets, a direct row check over the (already tag-pruned) bucket on
+/// small ones, where intersection seeks cost more than they save. Postings
+/// are in tuple order and both paths preserve it, so the lists — and
+/// therefore the backtracking search — are identical to the flat reference
+/// scan's.
 pub fn candidate_lists(src: &Template, dst: &Template) -> Option<Vec<Vec<usize>>> {
-    let max_id = dst
-        .tuples()
-        .iter()
-        .map(|t| t.rel().index())
-        .max()
-        .unwrap_or(0);
-    if dst.len() < BUCKET_MIN_DST || max_id > 64 * dst.len() + 1024 {
-        return candidate_lists_flat(src, dst);
-    }
-    // Counting sort of target tuple indices by relation tag:
-    // `flat[offsets[r]..offsets[r + 1]]` lists the targets tagged `r`, in
-    // tuple order.
-    let mut offsets = vec![0usize; max_id + 2];
-    for dt in dst.tuples() {
-        offsets[dt.rel().index() + 1] += 1;
-    }
-    for i in 1..offsets.len() {
-        offsets[i] += offsets[i - 1];
-    }
-    let mut flat = vec![0usize; dst.len()];
-    let mut cursor = offsets.clone();
-    for (j, dt) in dst.tuples().iter().enumerate() {
-        let r = dt.rel().index();
-        flat[cursor[r]] = j;
-        cursor[r] += 1;
-    }
+    candidate_lists_indexed(src, dst, dst.tuple_index())
+}
 
+/// Below this tag-bucket size, filtering the bucket against the target
+/// rows directly beats per-position posting seeks.
+const LEAPFROG_MIN_BUCKET: usize = 16;
+
+/// Below this candidate-list length the backtracking search keeps the
+/// static list rather than re-intersecting postings per depth — pruning a
+/// handful of candidates costs more than letting the bind step reject
+/// them.
+const DYNAMIC_PRUNE_MIN: usize = 8;
+
+/// [`candidate_lists`] against a prebuilt index (what [`HomSearch`] uses,
+/// so one cached build serves both the static lists and the dynamic
+/// pruning).
+fn candidate_lists_indexed(
+    src: &Template,
+    dst: &Template,
+    index: &TupleIndex,
+) -> Option<Vec<Vec<usize>>> {
     let mut out = Vec::with_capacity(src.len());
+    let mut required: Vec<(usize, Symbol)> = Vec::new();
+    let mut buf: Vec<u32> = Vec::new();
     for st in src.tuples() {
-        let r = st.rel().index();
-        let bucket = if r <= max_id {
-            &flat[offsets[r]..offsets[r + 1]]
+        buf.clear();
+        let bucket = index.by_tag(st.rel());
+        if bucket.len() < LEAPFROG_MIN_BUCKET {
+            'target: for &j in bucket {
+                let dt = &dst.tuples()[j as usize];
+                for (a, b) in st.row().iter().zip(dt.row()) {
+                    if a.is_distinguished() && a != b {
+                        continue 'target;
+                    }
+                }
+                buf.push(j);
+            }
         } else {
-            &[]
-        };
-        let mut cands = Vec::new();
-        'target: for &j in bucket {
-            let dt = &dst.tuples()[j];
-            for (a, b) in st.row().iter().zip(dt.row()) {
-                if a.is_distinguished() && a != b {
-                    continue 'target;
+            required.clear();
+            for (p, a) in st.row().iter().enumerate() {
+                if a.is_distinguished() {
+                    required.push((p, *a));
                 }
             }
-            cands.push(j);
+            index.candidates(st.rel(), &required, &mut buf);
         }
-        if cands.is_empty() {
+        if buf.is_empty() {
             return None;
         }
-        out.push(cands);
+        out.push(buf.iter().map(|&j| j as usize).collect());
     }
     Some(out)
 }
 
-/// The flat O(|src| · |dst|) scan used for small targets, and the single
-/// semantic reference for the bucketed path — the conformance test and the
-/// `viewcap-bench` delta benchmark both compare against this function
-/// rather than keeping private copies.
-pub fn candidate_lists_flat(src: &Template, dst: &Template) -> Option<Vec<Vec<usize>>> {
+/// The flat O(|src| · |dst|) reference scan — the semantic oracle the
+/// differential tests compare the trie-indexed join against. Not part of
+/// the public API: decision procedures reach candidates through
+/// [`find_homomorphism`] / [`template_contains`], which drive the index.
+#[cfg(test)]
+pub(crate) fn candidate_lists_flat(src: &Template, dst: &Template) -> Option<Vec<Vec<usize>>> {
     let mut out = Vec::with_capacity(src.len());
     for st in src.tuples() {
         let mut cands = Vec::new();
@@ -166,14 +162,23 @@ struct HomSearch<'a> {
     /// Source tuple indices in search order (most constrained first).
     order: Vec<usize>,
     cands: Vec<Vec<usize>>,
+    /// Byte-trie index over the target (the target's cached index), shared
+    /// by the static candidate lists and the per-depth bound-attribute
+    /// pruning.
+    index: &'a TupleIndex,
     binding: Valuation,
     trail: Vec<Symbol>,
     assignment: Vec<usize>,
+    /// Scratch for the per-depth `(position, symbol)` requirements.
+    req_buf: Vec<(usize, Symbol)>,
+    /// Scratch for index intersections.
+    cand_buf: Vec<u32>,
 }
 
 impl<'a> HomSearch<'a> {
     fn new(src: &'a Template, dst: &'a Template) -> Option<Self> {
-        let cands = candidate_lists(src, dst)?;
+        let index = dst.tuple_index();
+        let cands = candidate_lists_indexed(src, dst, index)?;
         let mut order: Vec<usize> = (0..src.len()).collect();
         order.sort_by_key(|&i| cands[i].len());
         Some(HomSearch {
@@ -181,9 +186,12 @@ impl<'a> HomSearch<'a> {
             dst,
             order,
             cands,
+            index,
             binding: HashMap::new(),
             trail: Vec::new(),
             assignment: vec![usize::MAX; src.len()],
+            req_buf: Vec::new(),
+            cand_buf: Vec::new(),
         })
     }
 
@@ -220,6 +228,44 @@ impl<'a> HomSearch<'a> {
         }
     }
 
+    /// Candidates for source tuple `i` under the current partial valuation.
+    ///
+    /// On long candidate lists, every position whose source symbol is
+    /// already bound adds a `(position, image)` requirement; intersecting
+    /// those postings (plus the distinguished positions') drops exactly the
+    /// targets [`HomSearch::try_bind`] would reject on a bound-symbol
+    /// conflict. Short lists — and depths with nothing bound — keep the
+    /// static list and let the bind step reject. Pruning yields a
+    /// subsequence of the static (tuple-order) list, so the search visits
+    /// survivors in the same order as the unpruned search — same first
+    /// homomorphism, same enumeration order.
+    fn pruned_candidates(&mut self, i: usize) -> Vec<usize> {
+        if self.cands[i].len() < DYNAMIC_PRUNE_MIN || self.binding.is_empty() {
+            return self.cands[i].clone();
+        }
+        let st = &self.src.tuples()[i];
+        self.req_buf.clear();
+        for (p, a) in st.row().iter().enumerate() {
+            if !a.is_distinguished() {
+                if let Some(&b) = self.binding.get(a) {
+                    self.req_buf.push((p, b));
+                }
+            }
+        }
+        if self.req_buf.is_empty() {
+            return self.cands[i].clone();
+        }
+        for (p, a) in st.row().iter().enumerate() {
+            if a.is_distinguished() {
+                self.req_buf.push((p, *a));
+            }
+        }
+        self.cand_buf.clear();
+        self.index
+            .candidates(st.rel(), &self.req_buf, &mut self.cand_buf);
+        self.cand_buf.iter().map(|&j| j as usize).collect()
+    }
+
     fn run<F>(&mut self, depth: usize, f: &mut F) -> ControlFlow<()>
     where
         F: FnMut(&Homomorphism) -> ControlFlow<()>,
@@ -232,9 +278,7 @@ impl<'a> HomSearch<'a> {
             return f(&hom);
         }
         let i = self.order[depth];
-        // Candidate lists are tiny; clone to appease the borrow checker
-        // outside the hot path (they are index vectors, not tuples).
-        let cands = self.cands[i].clone();
+        let cands = self.pruned_candidates(i);
         for j in cands {
             if let Some(pushed) = self.try_bind(i, j) {
                 self.assignment[i] = j;
@@ -446,8 +490,8 @@ mod tests {
     }
 
     #[test]
-    fn bucketed_candidate_lists_match_the_flat_scan() {
-        // The tag-bucketed construction must produce exactly the lists the
+    fn indexed_candidate_lists_match_the_flat_scan() {
+        // The trie-indexed construction must produce exactly the lists the
         // flat O(|src|·|dst|) reference scan produces, in the same order.
         let naive = candidate_lists_flat;
         let mut cat = Catalog::new();
@@ -466,7 +510,7 @@ mod tests {
             TaggedTuple::new(s, vec![Symbol::new(a, av), Symbol::new(b, bv)], &cat).unwrap()
         };
         let src = Template::new(vec![row_r(0, 1, 2), row_s(0, 3)]).unwrap();
-        // Small target: exercises the flat path.
+        // Small target.
         let dst = Template::new(vec![
             row_r(0, 4, 5),
             row_r(0, 0, 6),
@@ -475,21 +519,174 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(candidate_lists(&src, &dst), naive(&src, &dst));
-        // Large target (past BUCKET_MIN_DST): exercises the counting-sort
-        // path, which must produce the same lists in the same order.
+        // Large target: many same-tag tuples, so the multiway intersection
+        // actually narrows; lists must still come out in tuple order.
         let mut rows = Vec::new();
         for v in 0..16u32 {
             rows.push(row_r(0, v + 10, v + 40));
             rows.push(row_s(0, v + 70));
         }
         let big = Template::new(rows).unwrap();
-        assert!(big.len() >= BUCKET_MIN_DST);
         assert_eq!(candidate_lists(&src, &big), naive(&src, &big));
         // And a no-candidate case returns None both ways.
         let only_s = Template::new(vec![row_s(0, 1)]).unwrap();
         let only_r = Template::new(vec![row_r(0, 1, 2)]).unwrap();
         assert_eq!(candidate_lists(&only_s, &only_r), naive(&only_s, &only_r));
         assert_eq!(candidate_lists(&only_s, &only_r), None);
+    }
+
+    /// Deterministic splitmix64 stream for the seeded differential suite.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// All homomorphisms via the production search (trie-indexed,
+    /// bound-attribute pruned), in visit order.
+    fn collect_homs(src: &Template, dst: &Template) -> Vec<Homomorphism> {
+        let mut out = Vec::new();
+        let _ = for_each_homomorphism(src, dst, &mut |h| {
+            out.push(h.clone());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Oracle: the same backtracking over flat-scan candidate lists with no
+    /// index pruning — every rejection happens inside the bind step. Visit
+    /// order must match the production search exactly (the pruned lists are
+    /// subsequences of these, and pruning only removes bind failures).
+    fn oracle_homs(src: &Template, dst: &Template) -> Vec<Homomorphism> {
+        #[allow(clippy::too_many_arguments)]
+        fn rec(
+            src: &Template,
+            dst: &Template,
+            order: &[usize],
+            cands: &[Vec<usize>],
+            depth: usize,
+            binding: &mut Valuation,
+            assignment: &mut Vec<usize>,
+            out: &mut Vec<Homomorphism>,
+        ) {
+            if depth == order.len() {
+                out.push(Homomorphism {
+                    symbol_map: binding.clone(),
+                    tuple_map: assignment.clone(),
+                });
+                return;
+            }
+            let i = order[depth];
+            'cand: for &j in &cands[i] {
+                let st = &src.tuples()[i];
+                let dt = &dst.tuples()[j];
+                let mut pushed: Vec<Symbol> = Vec::new();
+                for (a, b) in st.row().iter().zip(dt.row()) {
+                    if a.is_distinguished() {
+                        continue;
+                    }
+                    match binding.get(a) {
+                        Some(&bound) if bound == *b => {}
+                        Some(_) => {
+                            for s in pushed.drain(..) {
+                                binding.remove(&s);
+                            }
+                            continue 'cand;
+                        }
+                        None => {
+                            binding.insert(*a, *b);
+                            pushed.push(*a);
+                        }
+                    }
+                }
+                assignment[i] = j;
+                rec(src, dst, order, cands, depth + 1, binding, assignment, out);
+                assignment[i] = usize::MAX;
+                for s in pushed {
+                    binding.remove(&s);
+                }
+            }
+        }
+        let Some(cands) = candidate_lists_flat(src, dst) else {
+            return Vec::new();
+        };
+        let mut order: Vec<usize> = (0..src.len()).collect();
+        order.sort_by_key(|&i| cands[i].len());
+        let mut binding = Valuation::new();
+        let mut assignment = vec![usize::MAX; src.len()];
+        let mut out = Vec::new();
+        rec(
+            src,
+            dst,
+            &order,
+            &cands,
+            0,
+            &mut binding,
+            &mut assignment,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn differential_trie_join_matches_flat_oracle_on_random_templates() {
+        use viewcap_base::AttrId;
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B", "C"]).unwrap();
+        let s = cat.relation("S", &["B", "C"]).unwrap();
+        let attrs_r: Vec<AttrId> = ["A", "B", "C"]
+            .iter()
+            .map(|n| cat.lookup_attr(n).unwrap())
+            .collect();
+        let attrs_s: Vec<AttrId> = ["B", "C"]
+            .iter()
+            .map(|n| cat.lookup_attr(n).unwrap())
+            .collect();
+        let mut state = 0xC0FFEE_u64;
+        let random_template = |state: &mut u64| -> Template {
+            loop {
+                let n = 1 + (splitmix(state) as usize) % 5;
+                let mut rows = Vec::new();
+                for _ in 0..n {
+                    let (rel, attrs) = if splitmix(state).is_multiple_of(2) {
+                        (r, &attrs_r)
+                    } else {
+                        (s, &attrs_s)
+                    };
+                    // Small ordinal range forces symbol collisions, which
+                    // is what exercises the bound-attribute pruning.
+                    let row: Vec<Symbol> = attrs
+                        .iter()
+                        .map(|&a| Symbol::new(a, (splitmix(state) % 4) as u32))
+                        .collect();
+                    if let Ok(t) = TaggedTuple::new(rel, row, &cat) {
+                        rows.push(t);
+                    }
+                }
+                if let Ok(t) = Template::new(rows) {
+                    return t;
+                }
+            }
+        };
+        for round in 0..200 {
+            let a = random_template(&mut state);
+            let b = random_template(&mut state);
+            // Both probe orders: a → b and b → a.
+            for (src, dst) in [(&a, &b), (&b, &a)] {
+                assert_eq!(
+                    candidate_lists(src, dst),
+                    candidate_lists_flat(src, dst),
+                    "candidate lists diverged in round {round}"
+                );
+                assert_eq!(
+                    collect_homs(src, dst),
+                    oracle_homs(src, dst),
+                    "hom enumeration diverged in round {round}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Byte-trie candidate indexes.
+//!
+//! Two consumers share one structure:
+//!
+//! * [`TupleIndex`] — the homomorphism search's candidate index over a
+//!   target template. Each target tuple is posted under its relation tag
+//!   and, per position, under `(tag, position, symbol)`; a candidate query
+//!   intersects the postings of every *ground* position (distinguished in
+//!   the source, or bound by the partial valuation), so the search prunes
+//!   on all bound attributes instead of relation tag alone.
+//! * the per-level root index of the bounded search
+//!   (`CandidateSpace`), which keys roots by their target relation scheme
+//!   rendered as bytes.
+//!
+//! Keys are short LEB128-style varint strings, so the trie stays shallow
+//! on the small dense id spaces the catalogs produce; postings are `u32`
+//! lists in insertion order, which callers keep ascending so intersection
+//! preserves target-tuple order — the order the flat reference scan
+//! produces, keeping witness selection byte-identical.
+
+use crate::template::Template;
+use viewcap_base::{RelId, Scheme, Symbol};
+
+/// A byte-keyed trie with `u32` posting lists at every node.
+///
+/// Nodes live in one arena; children are small sorted `(label, node)`
+/// vectors, binary-searched on descent. Inserting ids in ascending order
+/// keeps every posting list sorted, which [`leapfrog_intersect`] relies on.
+pub struct ByteTrie {
+    nodes: Vec<Node>,
+}
+
+#[derive(Default)]
+struct Node {
+    /// Child edges, sorted by byte label.
+    children: Vec<(u8, u32)>,
+    /// Ids posted exactly at this node.
+    postings: Vec<u32>,
+}
+
+impl Default for ByteTrie {
+    fn default() -> Self {
+        ByteTrie::new()
+    }
+}
+
+impl ByteTrie {
+    /// An empty trie (just the root).
+    pub fn new() -> Self {
+        ByteTrie {
+            nodes: vec![Node::default()],
+        }
+    }
+
+    /// Post `id` under `key`, creating the path as needed.
+    pub fn insert(&mut self, key: &[u8], id: u32) {
+        let mut node = 0usize;
+        for &b in key {
+            node = match self.nodes[node]
+                .children
+                .binary_search_by_key(&b, |&(label, _)| label)
+            {
+                Ok(pos) => self.nodes[node].children[pos].1 as usize,
+                Err(pos) => {
+                    let fresh = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[node].children.insert(pos, (b, fresh));
+                    fresh as usize
+                }
+            };
+        }
+        self.nodes[node].postings.push(id);
+    }
+
+    /// The postings at exactly `key` (empty when the path is absent).
+    pub fn get(&self, key: &[u8]) -> &[u32] {
+        let mut node = 0usize;
+        for &b in key {
+            match self.nodes[node]
+                .children
+                .binary_search_by_key(&b, |&(label, _)| label)
+            {
+                Ok(pos) => node = self.nodes[node].children[pos].1 as usize,
+                Err(_) => return &[],
+            }
+        }
+        &self.nodes[node].postings
+    }
+}
+
+/// Append `v` as a LEB128 varint (7 bits per byte, high bit = continue).
+#[inline]
+fn push_varint(key: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            key.push(byte);
+            return;
+        }
+        key.push(byte | 0x80);
+    }
+}
+
+/// Stack-allocated key buffer for lookups — the hot paths (per search
+/// node) must not allocate. 40 bytes covers four maximal u64 varints.
+struct KeyBuf {
+    buf: [u8; 40],
+    len: usize,
+}
+
+impl KeyBuf {
+    #[inline]
+    fn new() -> Self {
+        KeyBuf {
+            buf: [0; 40],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf[self.len] = byte;
+                self.len += 1;
+                return;
+            }
+            self.buf[self.len] = byte | 0x80;
+            self.len += 1;
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
+/// Render a scheme as a trie key (attribute indices in scheme order, which
+/// is canonical — schemes are sorted and deduplicated).
+pub fn scheme_key(scheme: &Scheme) -> Vec<u8> {
+    let mut key = Vec::with_capacity(scheme.len() * 2);
+    for attr in scheme.iter() {
+        push_varint(&mut key, attr.index() as u64);
+    }
+    key
+}
+
+/// Candidate index over the tuples of a target template.
+pub struct TupleIndex {
+    trie: ByteTrie,
+}
+
+#[inline]
+fn push_symbol(key: &mut Vec<u8>, sym: Symbol) {
+    push_varint(key, sym.attr().index() as u64);
+    push_varint(key, sym.ord() as u64);
+}
+
+impl TupleIndex {
+    /// Index every tuple of `dst` under its tag and its per-position
+    /// symbols.
+    pub fn build(dst: &Template) -> Self {
+        let mut trie = ByteTrie::new();
+        let mut key = Vec::with_capacity(16);
+        for (j, dt) in dst.tuples().iter().enumerate() {
+            key.clear();
+            push_varint(&mut key, dt.rel().index() as u64);
+            trie.insert(&key, j as u32);
+            let tag_len = key.len();
+            for (p, sym) in dt.row().iter().enumerate() {
+                key.truncate(tag_len);
+                push_varint(&mut key, p as u64);
+                push_symbol(&mut key, *sym);
+                trie.insert(&key, j as u32);
+            }
+        }
+        TupleIndex { trie }
+    }
+
+    /// Target tuples tagged `rel`, in tuple order.
+    pub fn by_tag(&self, rel: RelId) -> &[u32] {
+        let mut key = KeyBuf::new();
+        key.push_varint(rel.index() as u64);
+        self.trie.get(key.as_slice())
+    }
+
+    /// Target tuples tagged `rel` whose position `p` holds exactly `sym`.
+    pub fn by_position(&self, rel: RelId, p: usize, sym: Symbol) -> &[u32] {
+        let mut key = KeyBuf::new();
+        key.push_varint(rel.index() as u64);
+        key.push_varint(p as u64);
+        key.push_varint(sym.attr().index() as u64);
+        key.push_varint(sym.ord() as u64);
+        self.trie.get(key.as_slice())
+    }
+
+    /// Multiway candidate join: target tuples tagged `rel` matching every
+    /// `(position, symbol)` requirement, appended to `out` in tuple order.
+    /// With no requirements this is the whole tag bucket.
+    pub fn candidates(&self, rel: RelId, required: &[(usize, Symbol)], out: &mut Vec<u32>) {
+        match required {
+            [] => out.extend_from_slice(self.by_tag(rel)),
+            [(p, sym)] => out.extend_from_slice(self.by_position(rel, *p, *sym)),
+            _ => {
+                let mut lists: Vec<&[u32]> = required
+                    .iter()
+                    .map(|&(p, sym)| self.by_position(rel, p, sym))
+                    .collect();
+                leapfrog_intersect(&mut lists, out);
+            }
+        }
+    }
+}
+
+/// Intersect sorted `u32` posting lists, appending the common ids to `out`
+/// in ascending order.
+///
+/// Leapfrog-style: the shortest list drives, and every other list advances
+/// monotonically by galloping (`partition_point` from its current offset),
+/// so total work is near-linear in the shortest list with logarithmic
+/// seeks into the others.
+pub fn leapfrog_intersect(lists: &mut [&[u32]], out: &mut Vec<u32>) {
+    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+        return;
+    }
+    lists.sort_by_key(|l| l.len());
+    let (driver, rest) = lists.split_first_mut().expect("nonempty");
+    'driver: for &v in driver.iter() {
+        for list in rest.iter_mut() {
+            let skip = list.partition_point(|&x| x < v);
+            *list = &list[skip..];
+            if list.is_empty() {
+                // Every later driver value is larger still: done.
+                return;
+            }
+            if list[0] != v {
+                continue 'driver;
+            }
+        }
+        out.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::TaggedTuple;
+    use viewcap_base::Catalog;
+
+    #[test]
+    fn trie_round_trips_keys() {
+        let mut trie = ByteTrie::new();
+        trie.insert(b"ab", 1);
+        trie.insert(b"ab", 3);
+        trie.insert(b"abc", 2);
+        trie.insert(b"", 9);
+        assert_eq!(trie.get(b"ab"), &[1, 3]);
+        assert_eq!(trie.get(b"abc"), &[2]);
+        assert_eq!(trie.get(b""), &[9]);
+        assert_eq!(trie.get(b"a"), &[] as &[u32]);
+        assert_eq!(trie.get(b"zz"), &[] as &[u32]);
+    }
+
+    #[test]
+    fn varints_are_prefix_free_per_field() {
+        // Ids 1 and 129 share a low byte under naive truncation; varint
+        // encoding must keep their keys distinct.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        push_varint(&mut a, 1);
+        push_varint(&mut b, 129);
+        assert_ne!(a, b);
+        let mut c = Vec::new();
+        push_varint(&mut c, 16_384);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn leapfrog_matches_naive_intersection() {
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![1, 2, 3], vec![2, 3, 4]],
+            vec![vec![1, 5, 9], vec![5], vec![0, 5, 7]],
+            vec![vec![1, 2], vec![3, 4]],
+            vec![vec![0, 1, 2, 3, 4, 5], vec![1, 3, 5], vec![3, 5, 7]],
+            vec![vec![], vec![1, 2]],
+        ];
+        for lists in cases {
+            let naive: Vec<u32> = lists
+                .first()
+                .map(|f| {
+                    f.iter()
+                        .copied()
+                        .filter(|v| lists.iter().all(|l| l.contains(v)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut borrowed: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+            let mut out = Vec::new();
+            leapfrog_intersect(&mut borrowed, &mut out);
+            assert_eq!(out, naive, "lists {lists:?}");
+        }
+    }
+
+    #[test]
+    fn tuple_index_finds_by_tag_and_position() {
+        let mut cat = Catalog::new();
+        let r = cat.relation("R", &["A", "B"]).unwrap();
+        let s = cat.relation("S", &["A"]).unwrap();
+        let [a, b] = ["A", "B"].map(|n| cat.lookup_attr(n).unwrap());
+        let t = Template::new(vec![
+            TaggedTuple::new(r, vec![Symbol::distinguished(a), Symbol::new(b, 1)], &cat).unwrap(),
+            TaggedTuple::new(r, vec![Symbol::new(a, 2), Symbol::distinguished(b)], &cat).unwrap(),
+            TaggedTuple::new(s, vec![Symbol::distinguished(a)], &cat).unwrap(),
+        ])
+        .unwrap();
+        let index = TupleIndex::build(&t);
+        assert_eq!(index.by_tag(r), &[0, 1]);
+        assert_eq!(index.by_tag(s), &[2]);
+        assert_eq!(index.by_position(r, 0, Symbol::distinguished(a)), &[0]);
+        assert_eq!(index.by_position(r, 1, Symbol::distinguished(b)), &[1]);
+        let mut out = Vec::new();
+        index.candidates(r, &[], &mut out);
+        assert_eq!(out, vec![0, 1]);
+        out.clear();
+        index.candidates(
+            r,
+            &[(0, Symbol::new(a, 2)), (1, Symbol::distinguished(b))],
+            &mut out,
+        );
+        assert_eq!(out, vec![1]);
+        out.clear();
+        index.candidates(
+            r,
+            &[(0, Symbol::distinguished(a)), (1, Symbol::distinguished(b))],
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scheme_keys_distinguish_schemes() {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let ac = cat.scheme(&["A", "C"]).unwrap();
+        let abc = cat.scheme(&["A", "B", "C"]).unwrap();
+        assert_ne!(scheme_key(&ab), scheme_key(&ac));
+        assert_ne!(scheme_key(&ab), scheme_key(&abc));
+        assert_eq!(scheme_key(&ab), scheme_key(&ab.clone()));
+    }
+}

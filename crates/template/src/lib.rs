@@ -37,6 +37,7 @@ pub mod error;
 pub mod eval;
 pub mod from_expr;
 pub mod hom;
+pub mod index;
 pub mod ops;
 pub mod recognize;
 pub mod reduce;
@@ -50,9 +51,10 @@ pub use error::TemplateError;
 pub use eval::eval_template;
 pub use from_expr::template_of_expr;
 pub use hom::{
-    candidate_lists, candidate_lists_flat, equivalent_templates, find_homomorphism,
-    for_each_homomorphism, template_contains, Homomorphism, Valuation,
+    candidate_lists, equivalent_templates, find_homomorphism, for_each_homomorphism,
+    template_contains, Homomorphism, Valuation,
 };
+pub use index::{leapfrog_intersect, scheme_key, ByteTrie, TupleIndex};
 pub use ops::{join_templates, project_template};
 pub use recognize::expression_realization;
 pub use reduce::reduce;

@@ -29,6 +29,7 @@
 
 use crate::canon::{canonical_key, CanonKey};
 use crate::hom::equivalent_templates;
+use crate::index::{scheme_key, ByteTrie};
 use crate::ops::{join_templates, project_template};
 use crate::reduce::reduce;
 use crate::template::Template;
@@ -147,8 +148,17 @@ impl Dedup {
             return false;
         }
         let key = canonical_key(t);
+        let exact = key.is_exact();
         let bucket = self.buckets.entry(key.clone()).or_default();
-        if bucket.iter().any(|u| equivalent_templates(u, t)) {
+        // Exact keys are complete for isomorphism, so a nonempty bucket
+        // already holds an isomorphic — hence equivalent — template; the
+        // homomorphism confirm is only needed for the inexact fallback.
+        let hit = if exact {
+            !bucket.is_empty()
+        } else {
+            bucket.iter().any(|u| equivalent_templates(u, t))
+        };
+        if hit {
             stats.dedup_hits += 1;
             return true;
         }
@@ -194,8 +204,9 @@ struct Level {
     /// Deduplicated candidate roots in fresh visit order (new parts, then
     /// new joins).
     roots: Vec<Part>,
-    /// Root indices bucketed by target relation scheme, preserving order.
-    roots_by_trs: HashMap<Scheme, Vec<usize>>,
+    /// Root indices keyed by target relation scheme (rendered as bytes),
+    /// preserving order within a scheme.
+    roots_by_trs: ByteTrie,
 }
 
 /// A persistent, lazily extended memo of the bounded enumeration.
@@ -311,16 +322,16 @@ impl CandidateSpace {
                 });
             }
             // Visit this level's roots, narrowed to the target scheme.
-            let all: Vec<usize>;
-            let indices: &[usize] = match target_trs {
-                Some(want) => level.roots_by_trs.get(want).map_or(&[], Vec::as_slice),
+            let all: Vec<u32>;
+            let indices: &[u32] = match target_trs {
+                Some(want) => level.roots_by_trs.get(&scheme_key(want)),
                 None => {
-                    all = (0..level.roots.len()).collect();
+                    all = (0..level.roots.len() as u32).collect();
                     &all
                 }
             };
             for &i in indices {
-                let root = &level.roots[i];
+                let root = &level.roots[i as usize];
                 probe_stats.roots_visited += 1;
                 if f(&root.expr, &root.tpl).is_break() {
                     return Ok((true, probe_stats));
@@ -463,7 +474,7 @@ impl CandidateSpace {
         stats.parts_kept += new_parts.len() as u64;
         stats.combos = visits;
         let mut roots: Vec<Part> = Vec::new();
-        let mut roots_by_trs: HashMap<Scheme, Vec<usize>> = HashMap::new();
+        let mut roots_by_trs = ByteTrie::new();
         for cand in new_parts.iter().chain(new_joins.iter()) {
             // Root dedup is TRS-blind here, where a fresh filtered search
             // only dedups roots matching its target. The decisions agree:
@@ -472,8 +483,8 @@ impl CandidateSpace {
             // filter never changes.
             if !root_dedup.seen(&cand.tpl, stats) {
                 stats.roots_visited += 1;
-                let idx = roots.len();
-                roots_by_trs.entry(cand.tpl.trs()).or_default().push(idx);
+                let idx = roots.len() as u32;
+                roots_by_trs.insert(&scheme_key(&cand.tpl.trs()), idx);
                 roots.push(Part {
                     expr: cand.expr.clone(),
                     tpl: cand.tpl.clone(),
@@ -897,6 +908,68 @@ mod tests {
         assert!(narrowed.iter().all(|t| t.trs() == target));
         let fresh = collect(&cat, &atoms, 2, Some(&target));
         assert_eq!(narrowed.len(), fresh.len());
+    }
+
+    /// Differential: a TRS-narrowed probe of a persistent space (served by
+    /// the per-level byte-trie root index) must agree with a fresh
+    /// flat-scan oracle — enumerate everything, filter by TRS — across the
+    /// whole budget sweep 1–1000: same roots in the same order, and the
+    /// same overflow verdicts (the space's recorded counts must reproduce
+    /// per-probe limits exactly).
+    #[test]
+    fn differential_trs_index_matches_flat_scan_across_budgets() {
+        let (cat, atoms) = setup();
+        let attr = |n: &str| cat.lookup_attr(n).unwrap();
+        let targets: Vec<Scheme> = [
+            vec!["A"],
+            vec!["B"],
+            vec!["C"],
+            vec!["A", "B"],
+            vec!["B", "C"],
+            vec!["A", "C"],
+            vec!["A", "B", "C"],
+        ]
+        .iter()
+        .map(|names| Scheme::collect(names.iter().map(|n| attr(n))))
+        .collect();
+
+        let mut space = CandidateSpace::new(&atoms, SearchOptions::default());
+        for max_visits in (1u64..=1000).step_by(13).chain([2, 3, 1000]) {
+            let limits = SearchLimits {
+                max_level_parts: 20_000,
+                max_visits,
+            };
+            for target in &targets {
+                let mut indexed: Vec<String> = Vec::new();
+                let shared = space.probe(&cat, 3, Some(target), &limits, &mut |e, _| {
+                    indexed.push(format!("{e:?}"));
+                    ControlFlow::Continue(())
+                });
+                let mut flat: Vec<String> = Vec::new();
+                let fresh = for_each_candidate(&cat, &atoms, 3, None, &limits, &mut |e, t| {
+                    if t.trs() == *target {
+                        flat.push(format!("{e:?}"));
+                    }
+                    ControlFlow::Continue(())
+                });
+                match (&shared, &fresh) {
+                    (Ok(_), Ok(_)) => assert_eq!(
+                        indexed, flat,
+                        "roots diverged at budget {max_visits}, target {target:?}"
+                    ),
+                    (Err(a), Err(b)) => assert_eq!(
+                        a.context, b.context,
+                        "overflow reasons diverged at budget {max_visits}"
+                    ),
+                    _ => panic!(
+                        "overflow divergence at budget {max_visits}: \
+                         indexed {shared:?} vs flat {fresh:?}"
+                    ),
+                }
+            }
+        }
+        // The sweep exercised both regimes.
+        assert!(space.built_levels() == 3, "large budgets built the space");
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! structural equality is set equality and tuple indices are stable.
 
 use crate::error::TemplateError;
+use crate::index::TupleIndex;
 use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 use viewcap_base::{Catalog, RelId, Scheme, Symbol, SymbolGen};
 
 /// A tagged tuple `(t, η)`: the tag and the row `t[R(η)]`.
@@ -106,9 +110,49 @@ impl TaggedTuple {
 
 /// A multirelational template: a canonical, nonempty set of tagged tuples
 /// containing at least one distinguished symbol.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Template {
     tuples: Vec<TaggedTuple>,
+    /// Byte-trie candidate index over the tuples, built on first
+    /// homomorphism search against this template ([`Template::tuple_index`]).
+    /// Derived data: invisible to equality/ordering/hashing, shared (not
+    /// rebuilt) by clones. Templates are canonical sets, so the index is a
+    /// pure function of `tuples`.
+    index: OnceLock<Arc<TupleIndex>>,
+}
+
+impl Clone for Template {
+    fn clone(&self) -> Self {
+        let index = OnceLock::new();
+        if let Some(built) = self.index.get() {
+            let _ = index.set(Arc::clone(built));
+        }
+        Template {
+            tuples: self.tuples.clone(),
+            index,
+        }
+    }
+}
+
+impl PartialEq for Template {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for Template {}
+
+impl Hash for Template {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tuples.hash(state);
+    }
+}
+
+impl fmt::Debug for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Template")
+            .field("tuples", &self.tuples)
+            .finish()
+    }
 }
 
 impl Template {
@@ -123,14 +167,24 @@ impl Template {
         if !tuples.iter().any(TaggedTuple::has_distinguished) {
             return Err(TemplateError::NoDistinguishedSymbol);
         }
-        Ok(Template { tuples })
+        Ok(Template {
+            tuples,
+            index: OnceLock::new(),
+        })
     }
 
     /// The template of the atomic expression `η`: one all-distinguished row.
     pub fn atom(rel: RelId, catalog: &Catalog) -> Template {
         Template {
             tuples: vec![TaggedTuple::all_distinguished(rel, catalog)],
+            index: OnceLock::new(),
         }
+    }
+
+    /// The byte-trie candidate index over this template's tuples, built on
+    /// first use and shared by clones (see [`crate::index`]).
+    pub fn tuple_index(&self) -> &TupleIndex {
+        self.index.get_or_init(|| Arc::new(TupleIndex::build(self)))
     }
 
     /// The tagged tuples, sorted canonically.

@@ -48,7 +48,8 @@
 //! ```
 //!
 //! Execution is deterministic; every command appends lines to the report.
-//! All `check`s (single or batched) route through the
+//! All `check`s (single or batched) — and the `simplify` /
+//! `nonredundant` normalization commands — route through the
 //! [`viewcap_engine::Engine`], so repeated questions — within a batch or
 //! across the whole scenario — are answered from the verdict cache. Every
 //! decided check also joins the scenario's *standing workload*
@@ -65,8 +66,6 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use viewcap_base::{Catalog, RelId};
 use viewcap_core::closure::capacity_members;
-use viewcap_core::redundancy::make_nonredundant;
-use viewcap_core::simplify::simplify_view;
 use viewcap_core::{Query, SearchBudget, View};
 use viewcap_engine::{
     CacheStats, Check, Decision, DeltaWorkload, Engine, EnumStats, Request, Verdict, Workload,
@@ -705,42 +704,59 @@ impl Runner<'_> {
     }
 
     fn cmd_nonredundant(&mut self, rest: &str) -> Result<(), String> {
-        let view = self.view(rest.trim())?.clone();
-        let slim =
-            make_nonredundant(&view, &self.catalog, &self.budget).map_err(|e| e.to_string())?;
+        let name = rest.trim();
+        let view = self.view(name)?.clone();
+        let decision = self
+            .engine
+            .nonredundant(&view, &self.catalog)
+            .map_err(|e| e.to_string())?;
+        let Verdict::Nonredundant(kept) = &*decision.verdict else {
+            return Err("nonredundant returned a non-normalization verdict".into());
+        };
         let _ = writeln!(
             self.report,
-            "nonredundant {}: {} -> {} relation(s)",
-            rest.trim(),
+            "nonredundant {name}: {} -> {} relation(s)",
             view.len(),
-            slim.len()
+            kept.len()
         );
-        for (_, name) in slim.pairs() {
-            let _ = writeln!(self.report, "  kept {}", self.catalog.rel_name(*name));
+        for &i in kept {
+            let rel = view
+                .pairs()
+                .get(i as usize)
+                .map(|(_, r)| *r)
+                .ok_or_else(|| format!("kept index {i} out of range"))?;
+            let _ = writeln!(self.report, "  kept {}", self.catalog.rel_name(rel));
         }
         Ok(())
     }
 
     fn cmd_simplify(&mut self, rest: &str) -> Result<(), String> {
-        let view = self.view(rest.trim())?.clone();
-        let mut catalog = self.catalog.clone();
-        let simplified =
-            simplify_view(&view, &mut catalog, &self.budget).map_err(|e| e.to_string())?;
+        let name = rest.trim();
+        let view = self.view(name)?.clone();
+        let decision = self
+            .engine
+            .simplify(&view, &self.catalog)
+            .map_err(|e| e.to_string())?;
+        let Verdict::Simplified(schemes) = &*decision.verdict else {
+            return Err("simplify returned a non-normalization verdict".into());
+        };
         let _ = writeln!(
             self.report,
-            "simplify {}: {} -> {} relation(s)",
-            rest.trim(),
+            "simplify {name}: {} -> {} relation(s)",
             view.len(),
-            simplified.len()
+            schemes.len()
         );
-        for (q, _) in simplified.pairs() {
+        // Mint the simplified view-schema relations exactly as the cold
+        // `simplify_view` path did, so cached (warm) replays evolve the
+        // catalog — and render the report — byte-identically.
+        for trs in schemes {
+            self.catalog.fresh_relation("simp", trs.clone());
             let _ = writeln!(
                 self.report,
                 "  simple query with TRS {}",
-                display_scheme(&q.trs(), &catalog)
+                display_scheme(trs, &self.catalog)
             );
         }
-        self.catalog = catalog;
         Ok(())
     }
 

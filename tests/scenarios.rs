@@ -168,4 +168,54 @@ fn normal_form_scenario() {
         "report:\n{}",
         out.report
     );
+    assert!(
+        out.report
+            .contains("nonredundant Original: 2 -> 2 relation(s)"),
+        "report:\n{}",
+        out.report
+    );
+    // Normalization must not count as yes/no checks (constructions, not
+    // predicates)…
+    assert_eq!((out.yes, out.no), (0, 0));
+    // …but its class-space enumeration must show up in the stats (the
+    // scenario runs nothing else, so zero here means unreported work).
+    assert!(out.enum_stats.contexts > 0, "stats: {}", out.enum_stats);
+    assert!(out.enum_stats.probes > 0, "stats: {}", out.enum_stats);
+    assert!(out.enum_stats.combos > 0, "stats: {}", out.enum_stats);
+}
+
+/// Warm normal_form re-runs are verdict-cache hits — across a persisted
+/// save → load cycle — with a byte-identical report: the cached
+/// `Simplified` schemes and `Nonredundant` indices must reproduce the
+/// cold run's relation minting and report lines exactly.
+#[test]
+fn normal_form_warm_rerun_is_cached_and_byte_identical() {
+    use viewcap_core::SearchBudget;
+    use viewcap_engine::{load_cache, save_cache, Engine};
+
+    let src = include_str!("../scenarios/normal_form.vcap");
+    let options = ScenarioOptions::default();
+
+    let cold_engine = Engine::new();
+    let cold = run_scenario_with_engine(src, &options, &cold_engine).unwrap();
+    assert_eq!(cold.stats.misses, 2, "one miss per normalization command");
+    let bytes = save_cache(cold_engine.cache(), &cold.catalog);
+
+    let warm_engine = Engine::with_cache(
+        SearchBudget::default(),
+        load_cache(&bytes, None).expect("round trip"),
+    );
+    let warm = run_scenario_with_engine(src, &options, &warm_engine).unwrap();
+    assert_eq!(
+        warm.report, cold.report,
+        "warm report must be byte-identical"
+    );
+    assert_eq!(warm.stats.misses, 0, "report:\n{}", warm.report);
+    assert!(
+        warm.stats.hits >= 2,
+        "simplify + nonredundant must warm-hit"
+    );
+    // The warm run enumerates nothing: no normalization context is built.
+    assert_eq!(warm.enum_stats.contexts, 0, "stats: {}", warm.enum_stats);
+    assert_eq!(warm.enum_stats.combos, 0, "stats: {}", warm.enum_stats);
 }
