@@ -27,6 +27,13 @@
 //! plus a candidate-join microbench comparing the byte-trie tuple index
 //! against a flat O(|src|·|dst|) scan.
 //!
+//! A sixth suite, **telemetry** (`BENCH_PR7.json` by default,
+//! `--out-obs`), runs the batch workload plus the `normal_form` scenario
+//! twice — telemetry disabled (the one-atomic-load fast path) and enabled
+//! — reporting the wall-time overhead and the per-check / per-normalize
+//! latency distribution (p50/p90/p99) read back from `viewcap-obs`'s
+//! log-bucketed histograms.
+//!
 //! ```console
 //! $ viewcap-bench               # full run: BENCH_PR4/PR5/PR6 .json
 //! $ viewcap-bench --smoke       # 1 iteration + counter asserts
@@ -54,6 +61,7 @@ struct Config {
     out: std::path::PathBuf,
     out_cross: std::path::PathBuf,
     out_norm: std::path::PathBuf,
+    out_obs: std::path::PathBuf,
     scenarios_dir: std::path::PathBuf,
 }
 
@@ -561,6 +569,90 @@ fn bench_candidate_join(config: &Config) -> (f64, f64, u64, u64, bool) {
     (flat_ms, trie_ms, flat_pairs, trie_pairs, lists_identical)
 }
 
+struct TelemetryReport {
+    disabled_ms: f64,
+    enabled_ms: f64,
+    overhead_pct: f64,
+    executed: u64,
+    check_spans: u64,
+    check_hist: viewcap_obs::HistogramSnapshot,
+    normalize_hist: viewcap_obs::HistogramSnapshot,
+    trace_events: u64,
+}
+
+/// The telemetry suite (the PR 7 suite): the engine-batch workload plus
+/// the `normal_form` scenario, each through a cold engine, run once with
+/// telemetry disabled and once enabled. The disabled pass prices the
+/// no-op fast path (one relaxed atomic load per site); the enabled pass
+/// yields the per-check and per-normalize latency histograms whose
+/// p50/p90/p99 the report carries.
+fn bench_telemetry(config: &Config) -> TelemetryReport {
+    let (cat, view, goals) = shared_goal_workload();
+    let mut workload = Workload::new();
+    for (label, goal) in &goals {
+        workload.push(
+            label.clone(),
+            Check::Member {
+                view: view.clone(),
+                goal: goal.clone(),
+            },
+        );
+    }
+    let path = config.scenarios_dir.join("normal_form.vcap");
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read `{}`: {e}", path.display()));
+    let options = ScenarioOptions { jobs: 1 };
+    let run_once = || -> u64 {
+        let engine = Engine::new();
+        let outcome = engine.run_batch(&workload, &cat, 1);
+        let executed = outcome.executed as u64;
+        std::hint::black_box(outcome);
+        let engine = Engine::new();
+        let outcome = run_scenario_with_engine(&source, &options, &engine)
+            .unwrap_or_else(|e| panic!("normal_form telemetry run failed: {e}"));
+        std::hint::black_box(outcome);
+        executed
+    };
+
+    // Disabled first: every instrumentation site degenerates to one
+    // relaxed load, and nothing reaches the registry or the rings.
+    viewcap_obs::set_enabled(false);
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        run_once();
+    }
+    let disabled_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+
+    viewcap_obs::reset();
+    viewcap_obs::set_enabled(true);
+    let mut executed = 0u64;
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        executed += run_once();
+    }
+    let enabled_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+    let snapshot = viewcap_obs::snapshot();
+    let trace_events = viewcap_obs::trace_json().matches("\"ph\"").count() as u64;
+    viewcap_obs::set_enabled(false);
+    viewcap_obs::reset();
+
+    let hist_of = |name: &str| snapshot.histograms.get(name).cloned().unwrap_or_default();
+    TelemetryReport {
+        disabled_ms,
+        enabled_ms,
+        overhead_pct: (enabled_ms - disabled_ms) / disabled_ms.max(1e-9) * 100.0,
+        executed,
+        check_spans: snapshot
+            .counters
+            .get("span.engine.check")
+            .copied()
+            .unwrap_or(0),
+        check_hist: hist_of("engine.check_ns"),
+        normalize_hist: hist_of("engine.normalize_ns"),
+        trace_events,
+    }
+}
+
 fn norm_json_report(config: &Config, norm: &NormalizationReport) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -589,6 +681,43 @@ fn norm_json_report(config: &Config, norm: &NormalizationReport) -> String {
     let _ = writeln!(s, "    \"flat_pairs\": {},", norm.join_flat_pairs);
     let _ = writeln!(s, "    \"trie_pairs\": {},", norm.join_trie_pairs);
     let _ = writeln!(s, "    \"lists_identical\": {}", norm.join_lists_identical);
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn obs_json_report(config: &Config, obs: &TelemetryReport) -> String {
+    let hist = |s: &mut String, key: &str, h: &viewcap_obs::HistogramSnapshot, comma: &str| {
+        let _ = writeln!(
+            s,
+            "    \"{key}\": {{\"count\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}{comma}",
+            h.count,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"BENCH_PR7\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"telemetry\": {{");
+    let _ = writeln!(s, "    \"iters\": {},", config.iters);
+    let _ = writeln!(s, "    \"disabled_ms\": {:.3},", obs.disabled_ms);
+    let _ = writeln!(s, "    \"enabled_ms\": {:.3},", obs.enabled_ms);
+    let _ = writeln!(s, "    \"overhead_pct\": {:.2},", obs.overhead_pct);
+    let _ = writeln!(s, "    \"checks_executed\": {},", obs.executed);
+    let _ = writeln!(s, "    \"check_spans\": {},", obs.check_spans);
+    let _ = writeln!(s, "    \"trace_events\": {},", obs.trace_events);
+    hist(&mut s, "per_check", &obs.check_hist, ",");
+    hist(&mut s, "per_normalize", &obs.normalize_hist, "");
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     s
@@ -679,7 +808,7 @@ fn json_report(
 fn usage() -> ExitCode {
     eprintln!(
         "usage: viewcap-bench [--smoke] [--iters N] [--out PATH] [--out-cross PATH] \
-         [--out-norm PATH] [--scenarios DIR]"
+         [--out-norm PATH] [--out-obs PATH] [--scenarios DIR]"
     );
     ExitCode::FAILURE
 }
@@ -691,6 +820,7 @@ fn main() -> ExitCode {
         out: "BENCH_PR4.json".into(),
         out_cross: "BENCH_PR5.json".into(),
         out_norm: "BENCH_PR6.json".into(),
+        out_obs: "BENCH_PR7.json".into(),
         scenarios_dir: "scenarios".into(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -717,6 +847,10 @@ fn main() -> ExitCode {
                 Some(p) => config.out_norm = p.into(),
                 None => return usage(),
             },
+            "--out-obs" => match it.next() {
+                Some(p) => config.out_obs = p.into(),
+                None => return usage(),
+            },
             "--scenarios" => match it.next() {
                 Some(p) => config.scenarios_dir = p.into(),
                 None => return usage(),
@@ -730,6 +864,9 @@ fn main() -> ExitCode {
     let scenarios = bench_scenarios(&config);
     let cross = bench_cross_catalog(&config);
     let norm = bench_normalization(&config);
+    // Last, so flipping the global telemetry flag cannot touch the other
+    // suites' measurements.
+    let obs = bench_telemetry(&config);
 
     println!(
         "shared-goal: {} goals, baseline {:.2} ms / shared {:.2} ms ({:.2}x), \
@@ -807,6 +944,27 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", config.out_norm.display());
 
+    println!(
+        "telemetry: disabled {:.2} ms / enabled {:.2} ms ({:+.1}%), {} check(s), \
+         per-check p50 {} ns / p99 {} ns, {} trace event(s)",
+        obs.disabled_ms,
+        obs.enabled_ms,
+        obs.overhead_pct,
+        obs.check_hist.count,
+        obs.check_hist.p50(),
+        obs.check_hist.p99(),
+        obs.trace_events
+    );
+    let obs_report = obs_json_report(&config, &obs);
+    if let Err(e) = std::fs::write(&config.out_obs, &obs_report) {
+        eprintln!(
+            "viewcap-bench: cannot write `{}`: {e}",
+            config.out_obs.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", config.out_obs.display());
+
     if config.smoke {
         // The counters must be live and the sharing real, or PR 4's whole
         // premise regressed.
@@ -870,6 +1028,31 @@ fn main() -> ExitCode {
         }
         if !norm.join_lists_identical {
             failures.push("trie candidate lists diverged from the flat scan".to_owned());
+        }
+        if obs.check_hist.count == 0 {
+            failures.push("telemetry recorded no per-check latencies".to_owned());
+        }
+        if obs.check_hist.count != obs.check_spans || obs.check_spans != obs.executed {
+            failures.push(format!(
+                "telemetry span accounting broken: {} latencies, {} spans, {} executed",
+                obs.check_hist.count, obs.check_spans, obs.executed
+            ));
+        }
+        let (p50, p90, p99) = (
+            obs.check_hist.p50(),
+            obs.check_hist.p90(),
+            obs.check_hist.p99(),
+        );
+        if !(p50 <= p90 && p90 <= p99) {
+            failures.push(format!(
+                "per-check quantiles not monotone: p50 {p50} / p90 {p90} / p99 {p99}"
+            ));
+        }
+        if obs.normalize_hist.count == 0 {
+            failures.push("telemetry recorded no per-normalize latencies".to_owned());
+        }
+        if obs.trace_events == 0 {
+            failures.push("enabled run emitted no trace events".to_owned());
         }
         if !failures.is_empty() {
             for f in &failures {

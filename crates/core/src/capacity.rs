@@ -26,6 +26,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
 use viewcap_base::{Catalog, RelId};
 use viewcap_expr::Expr;
+use viewcap_obs as obs;
 use viewcap_template::{
     equivalent_templates, substitute, Assignment, CandidateSpace, SearchLimits, SearchOptions,
     SearchOverflow, SearchStats, Template,
@@ -168,6 +169,12 @@ impl ClosureContext {
     /// `Err` means the search budget was exhausted — the answer is unknown,
     /// *not* "no".
     pub fn contains(&mut self, goal: &Query) -> Result<Option<ClosureProof>, SearchOverflow> {
+        /// One span per closure probe; level builds it triggers nest
+        /// inside as `template.level_build` spans.
+        static PROBE_SPAN: obs::SpanDef =
+            obs::SpanDef::new("core.closure.probe", "enum", "span.core.closure.probe");
+        let mut span = PROBE_SPAN.start();
+        span.arg("goal_atoms", goal.template().len() as u64);
         self.probes += 1;
         if self.lambda_queries.is_empty() {
             return Ok(None);

@@ -58,6 +58,16 @@ use crate::capacity::SearchBudget;
 use crate::query::Query;
 use std::collections::{BTreeSet, HashMap};
 use viewcap_base::{Catalog, RelId, Scheme};
+use viewcap_obs as obs;
+
+/// Class-store activity: distinct classes minted vs. intern calls that
+/// resolved to an existing class, and join/projection constructions
+/// answered from the per-context memos. All work counts (no timing), so
+/// the jobs-determinism suite can pin them.
+static CLASS_NEW: obs::Counter = obs::Counter::new("core.norm.class.new");
+static CLASS_HIT: obs::Counter = obs::Counter::new("core.norm.class.hit");
+static JOIN_MEMO_HIT: obs::Counter = obs::Counter::new("core.norm.join.memo_hit");
+static PROJ_MEMO_HIT: obs::Counter = obs::Counter::new("core.norm.proj.memo_hit");
 use viewcap_template::{
     canonical_key, equivalent_templates, join_templates, project_template, reduce, CanonKey,
     SearchLimits, SearchOverflow, SearchStats, Template,
@@ -628,15 +638,18 @@ impl ClassStore {
                 // Exact keys are complete for isomorphism, and reduced
                 // equivalent templates are isomorphic.
                 if let Some(&id) = ids.first() {
+                    CLASS_HIT.add(1);
                     return id;
                 }
             } else if let Some(&id) = ids
                 .iter()
                 .find(|&&i| equivalent_templates(&self.reprs[i as usize], &t))
             {
+                CLASS_HIT.add(1);
                 return id;
             }
         }
+        CLASS_NEW.add(1);
         let id = self.reprs.len() as u32;
         self.any_inexact |= !exact;
         self.by_key.entry(key.clone()).or_default().push(id);
@@ -677,6 +690,7 @@ impl ClassStore {
     fn join(&mut self, a: u32, b: u32) -> u32 {
         let k = (a.min(b), a.max(b));
         if let Some(&c) = self.join_memo.get(&k) {
+            JOIN_MEMO_HIT.add(1);
             return c;
         }
         let j = join_templates(&self.reprs[k.0 as usize], &self.reprs[k.1 as usize]);
@@ -688,6 +702,7 @@ impl ClassStore {
     /// The class of `reduce(π_X(a))`. Requires `∅ ≠ X ⊆ TRS(a)`.
     fn project(&mut self, a: u32, x: &Scheme) -> u32 {
         if let Some(&c) = self.proj_memo.get(&(a, x.clone())) {
+            PROJ_MEMO_HIT.add(1);
             return c;
         }
         let p = project_template(&self.reprs[a as usize], x)
@@ -795,6 +810,20 @@ impl ClassSpace {
         limits: &SearchLimits,
         store: &mut ClassStore,
     ) -> Result<(), SearchOverflow> {
+        /// One span per class-space level extension (only when work runs;
+        /// already-built levels return before the span starts).
+        static LEVEL_SPAN: obs::SpanDef = obs::SpanDef::new(
+            "core.norm.level_build",
+            "enum",
+            "span.core.norm.level_build",
+        );
+        let mut span = if self.built < m {
+            let mut s = LEVEL_SPAN.start();
+            s.arg("target_level", m as u64);
+            Some(s)
+        } else {
+            None
+        };
         while self.built < m {
             if let Some(context) = self.poisoned {
                 return Err(SearchOverflow { context });
@@ -803,6 +832,9 @@ impl ClassSpace {
                 self.close_open_level(limits, store)?;
             }
             self.build_join_level(self.built + 1, limits, store)?;
+        }
+        if let Some(s) = span.as_mut() {
+            s.arg("combos", self.stats.combos);
         }
         if let Some(context) = self.poisoned {
             if self.combos_after.len() < m {

@@ -40,6 +40,14 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
+use viewcap_obs as obs;
+
+/// Telemetry mirrors of the [`CacheStats`] counters (live only while
+/// `viewcap_obs::set_enabled(true)`), plus an instant trace event per
+/// eviction so cache pressure is visible on the timeline.
+static CACHE_HIT: obs::Counter = obs::Counter::new("engine.cache.hit");
+static CACHE_MISS: obs::Counter = obs::Counter::new("engine.cache.miss");
+static CACHE_EVICT: obs::Counter = obs::Counter::new("engine.cache.eviction");
 
 /// Number of independent shards (power of two).
 pub const SHARD_COUNT: usize = 16;
@@ -279,8 +287,14 @@ impl VerdictCache {
         });
         drop(shard);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                CACHE_HIT.add(1);
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                CACHE_MISS.add(1);
+                self.misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         found
     }
@@ -362,6 +376,12 @@ impl VerdictCache {
         if removed {
             self.len.fetch_sub(1, Ordering::Relaxed);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            CACHE_EVICT.add(1);
+            obs::instant(
+                "engine.cache.evict",
+                "cache",
+                &[("entries", self.len.load(Ordering::Relaxed) as u64)],
+            );
         }
         removed
     }

@@ -28,7 +28,12 @@ use crate::workload::{Check, Request, Workload};
 use std::collections::HashMap;
 use viewcap_base::Catalog;
 use viewcap_core::View;
+use viewcap_obs as obs;
 use viewcap_template::SearchOverflow;
+
+/// Standing checks invalidated by view edits (telemetry; live only
+/// while enabled).
+static DELTA_INVALIDATED: obs::Counter = obs::Counter::new("engine.delta.invalidated");
 
 /// One standing request: the labeled check, its cache key, the fingerprints
 /// of the views it touches, and its retained decision (`None` = dirty).
@@ -298,6 +303,12 @@ impl DeltaWorkload {
                 }
             }
         }
+        DELTA_INVALIDATED.add(invalidated as u64);
+        obs::instant(
+            "engine.delta.replace_view",
+            "engine",
+            &[("invalidated", invalidated as u64)],
+        );
         invalidated
     }
 

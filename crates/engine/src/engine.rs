@@ -29,7 +29,28 @@ use std::sync::{mpsc, Arc, Mutex};
 use viewcap_base::{Catalog, RelId};
 use viewcap_core::equivalence::{dominates_via, EquivalenceWitness};
 use viewcap_core::{ClosureContext, NormContext, SearchBudget, View};
+use viewcap_obs as obs;
 use viewcap_template::SearchOverflow;
+
+/// Telemetry handles (all no-ops until `viewcap_obs::set_enabled(true)`).
+/// Span/counter values are work counts, deterministic for a workload
+/// whatever `--jobs` is — the executor's dedup, prewarm, and
+/// representative election are sequential. Only the `*_ns` histograms
+/// carry timing.
+static CHECK_SPAN: obs::SpanDef = obs::SpanDef::new("engine.check", "engine", "span.engine.check");
+static BATCH_SPAN: obs::SpanDef = obs::SpanDef::new("engine.batch", "engine", "span.engine.batch");
+static NORMALIZE_SPAN: obs::SpanDef =
+    obs::SpanDef::new("engine.normalize", "norm", "span.engine.normalize");
+static CHECK_NS: obs::Hist = obs::Hist::new("engine.check_ns");
+static NORMALIZE_NS: obs::Hist = obs::Hist::new("engine.normalize_ns");
+static CTX_BUILD: obs::Counter = obs::Counter::new("engine.ctx.build");
+static CTX_REUSE: obs::Counter = obs::Counter::new("engine.ctx.reuse");
+static CTX_RETIRE: obs::Counter = obs::Counter::new("engine.ctx.retire");
+static NORM_CTX_BUILD: obs::Counter = obs::Counter::new("engine.norm_ctx.build");
+static NORM_CTX_REUSE: obs::Counter = obs::Counter::new("engine.norm_ctx.reuse");
+static NORM_CTX_RETIRE: obs::Counter = obs::Counter::new("engine.norm_ctx.retire");
+static CACHE_RESOLVE_SPAN: obs::SpanDef =
+    obs::SpanDef::new("engine.cache.resolve", "cache", "span.engine.cache.resolve");
 
 /// The outcome of deciding one request.
 #[derive(Clone, Debug)]
@@ -124,12 +145,14 @@ pub struct EnumStats {
 
 impl EnumStats {
     /// Fieldwise sum — used to combine the two pools' counters.
+    /// Saturating: a long-lived engine (a future `viewcap-serve` daemon)
+    /// must pin at `u64::MAX` rather than wrap.
     fn plus(self, other: EnumStats) -> EnumStats {
         EnumStats {
-            contexts: self.contexts + other.contexts,
-            probes: self.probes + other.probes,
-            combos: self.combos + other.combos,
-            roots: self.roots + other.roots,
+            contexts: self.contexts.saturating_add(other.contexts),
+            probes: self.probes.saturating_add(other.probes),
+            combos: self.combos.saturating_add(other.combos),
+            roots: self.roots.saturating_add(other.roots),
         }
     }
 }
@@ -212,9 +235,16 @@ impl ContextPool {
         let context = match inner.map.get_mut(&key) {
             Some(pooled) => {
                 pooled.last_used = stamp;
+                CTX_REUSE.add(1);
                 Arc::clone(&pooled.context)
             }
             None => {
+                CTX_BUILD.add(1);
+                obs::instant(
+                    "engine.ctx.build",
+                    "engine",
+                    &[("queries", key.len() as u64)],
+                );
                 let context = Arc::new(Mutex::new(ClosureContext::new(
                     view.query_set().queries(),
                     catalog,
@@ -246,6 +276,12 @@ impl ContextPool {
             // never hold a context lock while touching the pool.
             let retiree = retiree.context.lock().expect("context lock");
             let s = retiree.search_stats();
+            CTX_RETIRE.add(1);
+            obs::instant(
+                "engine.ctx.retire",
+                "engine",
+                &[("probes", retiree.probes())],
+            );
             inner.retired.contexts += 1;
             inner.retired.probes += retiree.probes();
             inner.retired.combos += s.combos;
@@ -347,9 +383,16 @@ impl NormPool {
         let context = match inner.map.get_mut(&key) {
             Some(pooled) => {
                 pooled.last_used = stamp;
+                NORM_CTX_REUSE.add(1);
                 Arc::clone(&pooled.context)
             }
             None => {
+                NORM_CTX_BUILD.add(1);
+                obs::instant(
+                    "engine.norm_ctx.build",
+                    "norm",
+                    &[("queries", key.len() as u64)],
+                );
                 let context = Arc::new(Mutex::new(NormContext::new(
                     view.query_set().queries(),
                     catalog,
@@ -379,6 +422,12 @@ impl NormPool {
             };
             let retiree = retiree.context.lock().expect("norm context lock");
             let s = retiree.search_stats();
+            NORM_CTX_RETIRE.add(1);
+            obs::instant(
+                "engine.norm_ctx.retire",
+                "norm",
+                &[("probes", retiree.probes())],
+            );
             inner.retired.contexts += 1;
             inner.retired.probes += retiree.probes();
             inner.retired.combos += s.combos;
@@ -564,6 +613,12 @@ impl Engine {
         flipped: bool,
         catalog: &Catalog,
     ) -> Result<Entry, SearchOverflow> {
+        let t0 = if obs::enabled() {
+            Some(obs::now_ns())
+        } else {
+            None
+        };
+        let _span = CHECK_SPAN.start();
         let (verdict, left_view) = match check {
             Check::Member { view, goal } => {
                 let context = self.contexts.for_view(view, catalog, &self.budget);
@@ -604,6 +659,9 @@ impl Engine {
                 (Verdict::Equivalent(witness), v)
             }
         };
+        if let Some(t0) = t0 {
+            CHECK_NS.record(obs::now_ns().saturating_sub(t0));
+        }
         Ok(Entry {
             verdict: Arc::new(verdict),
             foreign: false,
@@ -614,7 +672,13 @@ impl Engine {
     /// Decide one check through the cache.
     pub fn decide(&self, check: &Check, catalog: &Catalog) -> Result<Decision, SearchOverflow> {
         let (key, flipped) = Engine::key_and_orientation(check, catalog);
-        if let Some(entry) = self.cached(&key, catalog) {
+        let cached = {
+            let mut span = CACHE_RESOLVE_SPAN.start();
+            let cached = self.cached(&key, catalog);
+            span.arg("hits", cached.is_some() as u64);
+            cached
+        };
+        if let Some(entry) = cached {
             return Ok(Decision {
                 verdict: entry.verdict,
                 from_cache: true,
@@ -666,7 +730,13 @@ impl Engine {
             left: view_fingerprint(view, catalog),
             right: ordered_view_fingerprint(view, catalog),
         };
-        if let Some(entry) = self.cached(&key, catalog) {
+        let cached = {
+            let mut span = CACHE_RESOLVE_SPAN.start();
+            let cached = self.cached(&key, catalog);
+            span.arg("hits", cached.is_some() as u64);
+            cached
+        };
+        if let Some(entry) = cached {
             return Ok(Decision {
                 verdict: entry.verdict,
                 from_cache: true,
@@ -674,6 +744,12 @@ impl Engine {
                 flipped: false,
             });
         }
+        let t0 = if obs::enabled() {
+            Some(obs::now_ns())
+        } else {
+            None
+        };
+        let _span = NORMALIZE_SPAN.start();
         let context = self.norms.for_view(view, catalog, &self.budget);
         let queries = view.query_set();
         let verdict = {
@@ -694,6 +770,9 @@ impl Engine {
                 _ => unreachable!("normalize only serves Simplify/Nonredundant"),
             }
         };
+        if let Some(t0) = t0 {
+            NORMALIZE_NS.record(obs::now_ns().saturating_sub(t0));
+        }
         let entry = Entry {
             verdict: Arc::new(verdict),
             foreign: false,
@@ -713,6 +792,8 @@ impl Engine {
     /// parallelism"; results are identical for every `jobs` value.
     pub fn run_batch(&self, workload: &Workload, catalog: &Catalog, jobs: usize) -> BatchOutcome {
         let total = workload.len();
+        let mut batch_span = BATCH_SPAN.start();
+        batch_span.arg("checks", total as u64);
 
         // 1. Fingerprint every request and elect one representative per
         //    class — sequential, so the election is order-deterministic.
@@ -730,8 +811,10 @@ impl Engine {
             request_flipped.push(flipped);
         }
         let distinct = representatives.len();
+        batch_span.arg("distinct", distinct as u64);
 
         // 2. Resolve representatives from the cache.
+        let mut resolve_span = CACHE_RESOLVE_SPAN.start();
         let mut slot_results: Vec<Option<Result<Entry, SearchOverflow>>> = representatives
             .iter()
             .map(|(key, _, _)| self.cached(key, catalog).map(Ok))
@@ -740,6 +823,8 @@ impl Engine {
             .filter(|&s| slot_results[s].is_none())
             .collect();
         let cache_hits = distinct - todo.len();
+        resolve_span.arg("hits", cache_hits as u64);
+        drop(resolve_span);
 
         // 3. Compute the misses across scoped workers. Contexts are
         //    pre-created sequentially first, so shared-context creation

@@ -64,6 +64,16 @@ use std::sync::Arc;
 use viewcap_base::{AttrId, Catalog, RelId, Scheme, Symbol};
 use viewcap_core::capacity::ClosureProof;
 use viewcap_core::equivalence::{DominanceWitness, EquivalenceWitness};
+use viewcap_obs as obs;
+
+/// Bytes serialized out of / parsed into the verdict cache (telemetry;
+/// live only while enabled). Spans cover the (de)serialization work.
+static PERSIST_OUT: obs::Counter = obs::Counter::new("engine.cache.persist_bytes_out");
+static PERSIST_IN: obs::Counter = obs::Counter::new("engine.cache.persist_bytes_in");
+static SAVE_SPAN: obs::SpanDef =
+    obs::SpanDef::new("engine.cache.save", "cache", "span.engine.cache.save");
+static LOAD_SPAN: obs::SpanDef =
+    obs::SpanDef::new("engine.cache.load", "cache", "span.engine.cache.load");
 use viewcap_expr::Expr;
 use viewcap_template::{TaggedTuple, Template};
 
@@ -408,6 +418,7 @@ fn assemble(attrs: &TableBuilder, rels: &TableBuilder, count: u64, entries: &[u8
 /// against some *other* catalog) is skipped rather than corrupting the
 /// file.
 pub fn save_cache(cache: &VerdictCache, catalog: &Catalog) -> Vec<u8> {
+    let mut span = SAVE_SPAN.start();
     let snapshot = cache.snapshot();
     let mut attrs = TableBuilder::default();
     let mut rels = TableBuilder::default();
@@ -434,7 +445,11 @@ pub fn save_cache(cache: &VerdictCache, catalog: &Catalog) -> Vec<u8> {
             count += 1;
         }
     }
-    assemble(&attrs, &rels, count, &entries)
+    let bytes = assemble(&attrs, &rels, count, &entries);
+    span.arg("bytes", bytes.len() as u64);
+    span.arg("entries", count);
+    PERSIST_OUT.add(bytes.len() as u64);
+    bytes
 }
 
 /// Write bytes to `path` atomically via a sibling temporary (the
@@ -763,6 +778,9 @@ fn parse_cache(bytes: &[u8]) -> Result<ParsedCache, PersistError> {
 /// the relations the producing runs declared — fingerprints are
 /// content-addressed, so declaration order is immaterial.
 pub fn load_cache(bytes: &[u8], max_entries: Option<usize>) -> Result<VerdictCache, PersistError> {
+    let mut span = LOAD_SPAN.start();
+    span.arg("bytes", bytes.len() as u64);
+    PERSIST_IN.add(bytes.len() as u64);
     let parsed = parse_cache(bytes)?;
     let cache = VerdictCache::bounded(max_entries);
     cache.set_import_tables(Arc::new(parsed.tables));

@@ -1,0 +1,327 @@
+//! Log-bucketed latency histogram (HDR-style).
+//!
+//! Values 0..16 get one exact bucket each; every power-of-two octave
+//! above that is split into four sub-buckets (two mantissa bits), so a
+//! recorded value lands in a bucket whose width is at most a quarter of
+//! its lower bound — quantile estimates carry bounded ~25% relative
+//! error at a fixed 256-slot footprint across the whole `u64` range.
+//! Recording is one relaxed `fetch_add` per cell; no locks.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Values below this are their own exact bucket.
+const LINEAR_MAX: u64 = 16;
+/// Sub-buckets per octave (2 mantissa bits).
+const SUBS: usize = 4;
+const SUB_SHIFT: u32 = 2;
+/// Octave of the first log bucket (`LINEAR_MAX == 2^4`).
+const FIRST_OCTAVE: u32 = 4;
+/// Total bucket count: 16 linear + 4 per octave for octaves 4..=63.
+pub const BUCKETS: usize = LINEAR_MAX as usize + (64 - FIRST_OCTAVE as usize) * SUBS;
+
+/// Bucket index holding `v`. Monotone in `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    let sub = ((v >> (octave - SUB_SHIFT)) & (SUBS as u64 - 1)) as usize;
+    LINEAR_MAX as usize + (octave - FIRST_OCTAVE) as usize * SUBS + sub
+}
+
+/// `[lo, hi)` bounds of bucket `i` (the top bucket saturates to
+/// `u64::MAX`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    debug_assert!(i < BUCKETS);
+    if i < LINEAR_MAX as usize {
+        return (i as u64, i as u64 + 1);
+    }
+    let k = i - LINEAR_MAX as usize;
+    let octave = FIRST_OCTAVE + (k / SUBS) as u32;
+    let sub = (k % SUBS) as u64;
+    let width = 1u64 << (octave - SUB_SHIFT);
+    let lo = (1u64 << octave) + sub * width;
+    (lo, lo.saturating_add(width))
+}
+
+/// The raw concurrent histogram: fixed bucket array plus count/sum and
+/// running min/max. `const`-constructible so handles can live in statics.
+pub struct HistCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCore {
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        HistCore {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        let count = self.count.load(Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Relaxed)
+            },
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for HistCore {
+    fn default() -> Self {
+        HistCore::new()
+    }
+}
+
+/// A frozen histogram: sparse `(bucket, count)` pairs plus the scalar
+/// aggregates. Quantiles are answered from the cumulative bucket walk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Sorted by bucket index; zero-count buckets omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (0.0..=1.0) as a representative of the bucket
+    /// holding rank `ceil(q * count)` (1-based; the convention a sorted
+    /// vector's `v[ceil(q*n)-1]` uses). Returns the bucket midpoint
+    /// clamped into `[min, max]`, so the estimate always lies in the
+    /// same bucket as the exact order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(i, n) in &self.buckets {
+            cum = cum.saturating_add(n);
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(i as usize);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`. All additive fields saturate — a
+    /// long-lived process merging snapshots forever must never wrap.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, nb));
+                        b.next();
+                    } else {
+                        merged.push((ia, na.saturating_add(nb)));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&e), None) => {
+                    merged.push(e);
+                    a.next();
+                }
+                (None, Some(&&e)) => {
+                    merged.push(e);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_are_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bounds_contain_their_values_and_indexes_are_monotone() {
+        let probes: Vec<u64> = (0..64)
+            .flat_map(|k| {
+                let p = 1u64 << k;
+                [
+                    p.saturating_sub(1),
+                    p,
+                    p + 1,
+                    p.saturating_add(p / 4),
+                    p.saturating_add(p / 2),
+                ]
+            })
+            .chain([0, 15, 16, 17, 1000, 123_456_789, u64::MAX])
+            .collect();
+        let mut last = 0usize;
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for v in sorted {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v, "lo {lo} > v {v}");
+            assert!(v < hi || hi == u64::MAX, "v {v} >= hi {hi}");
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn octave_boundaries_split_into_four() {
+        // 256..512 must span exactly buckets [256,320), [320,384),
+        // [384,448), [448,512).
+        let base = bucket_index(256);
+        assert_eq!(bucket_index(319), base);
+        assert_eq!(bucket_index(320), base + 1);
+        assert_eq!(bucket_index(447), base + 2);
+        assert_eq!(bucket_index(448), base + 3);
+        assert_eq!(bucket_index(512), base + 4);
+        assert_eq!(bucket_bounds(base), (256, 320));
+        assert_eq!(bucket_bounds(base + 3), (448, 512));
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let h = HistCore::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        // p50 rank = 50 → exact value 50; estimate must share its bucket.
+        assert_eq!(bucket_index(s.p50()), bucket_index(50));
+        assert_eq!(bucket_index(s.p99()), bucket_index(99));
+        // Exact in the linear range.
+        let small = HistCore::new();
+        for v in [2u64, 3, 5, 7, 11] {
+            small.record(v);
+        }
+        let ss = small.snapshot();
+        assert_eq!(ss.p50(), 5);
+        assert_eq!(ss.quantile(1.0), 11);
+        assert_eq!(ss.quantile(0.0), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = HistCore::new().snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p50(), s.p99()), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn merge_matches_single_histogram_and_saturates() {
+        let (a, b, all) = (HistCore::new(), HistCore::new(), HistCore::new());
+        for v in 0..500u64 {
+            let x = v * v % 10_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, all.snapshot());
+        let mut big = HistogramSnapshot {
+            count: u64::MAX - 1,
+            sum: u64::MAX - 1,
+            min: 1,
+            max: 2,
+            buckets: vec![(1, u64::MAX - 1)],
+        };
+        big.merge(&big.clone());
+        assert_eq!(big.count, u64::MAX);
+        assert_eq!(big.sum, u64::MAX);
+        assert_eq!(big.buckets, vec![(1, u64::MAX)]);
+    }
+}

@@ -1,0 +1,75 @@
+//! `viewcap-obs` — tracing spans, metrics, and latency histograms.
+//!
+//! A dependency-free observability layer (the workspace builds offline;
+//! like `crates/shims/` this crate uses `std` only) threaded through the
+//! three compute layers:
+//!
+//! * **Spans and events** ([`SpanDef`], [`instant`]) land in per-thread
+//!   ring buffers stamped by a process-wide monotonic clock and export as
+//!   Chrome `trace_event` JSON ([`write_trace`]) — load the file in
+//!   Perfetto or `chrome://tracing`.
+//! * **Metrics** ([`Counter`], [`Hist`]) are atomic cells registered
+//!   lazily in a global registry; [`snapshot`] freezes them into a
+//!   [`MetricsSnapshot`] whose histograms expose p50/p90/p99.
+//! * **Disabled is free**: every instrumentation site first checks
+//!   [`enabled`], a single relaxed atomic load, and does nothing else
+//!   when telemetry is off (the default).
+//!
+//! Counter values and span *counts* are deterministic for a given
+//! workload — the engine's batch executor dedups and elects
+//! representatives sequentially, so totals do not depend on `--jobs`.
+//! Only timestamps and durations vary run to run; snapshots keep them in
+//! histograms, strictly apart from the counter map, so callers can
+//! compare [`MetricsSnapshot::counters_text`] byte-for-byte across
+//! concurrency levels.
+
+mod hist;
+mod metrics;
+mod trace;
+
+pub use hist::{bucket_bounds, bucket_index, HistCore, HistogramSnapshot, BUCKETS};
+pub use metrics::{snapshot, Counter, Hist, MetricsSnapshot};
+pub use trace::{instant, trace_json, write_trace, Span, SpanDef};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is telemetry collection on? One relaxed load; inlined everywhere so a
+/// disabled probe costs nothing else.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn telemetry collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Zero every registered counter and histogram and clear all trace ring
+/// buffers. Handles stay registered; in-flight spans started before the
+/// reset will still record on drop.
+pub fn reset() {
+    metrics::reset_metrics();
+    trace::reset_trace();
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Tests in this crate share the process-global registry and enabled
+/// flag; they serialize on this lock.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Nanoseconds since the process-wide monotonic epoch (anchored on first
+/// use, so early timestamps stay small and the trace starts near zero).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}

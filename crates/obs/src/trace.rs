@@ -1,0 +1,292 @@
+//! Span/event tracing into per-thread ring buffers, exported as Chrome
+//! `trace_event` JSON (the format Perfetto and `chrome://tracing` load).
+//!
+//! Each thread writes to its own ring (registered globally so export
+//! outlives scoped worker threads); a ring holds the newest
+//! [`RING_CAP`] events and counts what it had to drop. Events carry
+//! static name/category strings and up to two integer args — nothing
+//! on the hot path allocates.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{escape, Counter};
+use crate::{enabled, now_ns};
+
+/// Per-thread ring capacity. 64Ki events ≈ 4 MiB per active thread,
+/// plenty for a scenario run; long benches overwrite the oldest.
+const RING_CAP: usize = 1 << 16;
+
+type Args = [Option<(&'static str, u64)>; 2];
+
+struct Event {
+    name: &'static str,
+    cat: &'static str,
+    /// `b'X'` complete span, `b'i'` instant.
+    ph: u8,
+    ts_ns: u64,
+    dur_ns: u64,
+    args: Args,
+}
+
+struct Ring {
+    tid: u64,
+    events: Vec<Event>,
+    /// Next overwrite position once `events` is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, e: Event) {
+        if self.events.len() < RING_CAP {
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.head = (self.head + 1) % RING_CAP;
+            self.dropped += 1;
+        }
+    }
+}
+
+static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static LOCAL: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring {
+            tid: NEXT_TID.fetch_add(1, Relaxed),
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }));
+        RINGS.lock().unwrap().push(ring.clone());
+        ring
+    };
+}
+
+fn push_event(e: Event) {
+    LOCAL.with(|ring| ring.lock().unwrap().push(e));
+}
+
+/// A span definition: declare one `static` per instrumented region.
+/// Starting a span also bumps a counter (pass its name explicitly,
+/// conventionally `span.<span name>`) so span *counts* — which are
+/// deterministic for a workload — show up in metrics snapshots even
+/// though durations only live in the trace.
+///
+/// ```
+/// static CHECK: viewcap_obs::SpanDef =
+///     viewcap_obs::SpanDef::new("engine.check", "engine", "span.engine.check");
+/// let _span = CHECK.start();
+/// ```
+pub struct SpanDef {
+    name: &'static str,
+    cat: &'static str,
+    starts: Counter,
+}
+
+impl SpanDef {
+    pub const fn new(name: &'static str, cat: &'static str, counter: &'static str) -> SpanDef {
+        SpanDef {
+            name,
+            cat,
+            starts: Counter::new(counter),
+        }
+    }
+
+    /// Begin a span; recording happens when the guard drops. Inactive
+    /// (and free beyond the flag load) while telemetry is disabled.
+    #[inline]
+    pub fn start(&'static self) -> Span {
+        if !enabled() {
+            return Span {
+                def: None,
+                t0: 0,
+                args: [None, None],
+            };
+        }
+        self.starts.add(1);
+        Span {
+            def: Some(self),
+            t0: now_ns(),
+            args: [None, None],
+        }
+    }
+}
+
+/// Live span guard. Attach up to two integer args before it drops.
+pub struct Span {
+    def: Option<&'static SpanDef>,
+    t0: u64,
+    args: Args,
+}
+
+impl Span {
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, value: u64) {
+        if self.def.is_some() {
+            for slot in &mut self.args {
+                if slot.is_none() {
+                    *slot = Some((key, value));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(def) = self.def {
+            let now = now_ns();
+            push_event(Event {
+                name: def.name,
+                cat: def.cat,
+                ph: b'X',
+                ts_ns: self.t0,
+                dur_ns: now.saturating_sub(self.t0),
+                args: self.args,
+            });
+        }
+    }
+}
+
+/// Record a zero-duration instant event (evictions, retirements, ...).
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str, args: &[(&'static str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    let mut packed: Args = [None, None];
+    for (slot, &a) in packed.iter_mut().zip(args) {
+        *slot = Some(a);
+    }
+    push_event(Event {
+        name,
+        cat,
+        ph: b'i',
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        args: packed,
+    });
+}
+
+pub(crate) fn reset_trace() {
+    for ring in RINGS.lock().unwrap().iter() {
+        let mut r = ring.lock().unwrap();
+        r.events.clear();
+        r.head = 0;
+        r.dropped = 0;
+    }
+}
+
+/// Microseconds with nanosecond decimals, the unit `trace_event` wants.
+fn write_us(out: &mut String, ns: u64) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+/// Serialize every ring as Chrome `trace_event` JSON. Events within a
+/// ring come out in chronological order (oldest surviving first).
+pub fn write_trace<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(trace_json().as_bytes())
+}
+
+/// [`write_trace`] into a `String`.
+pub fn trace_json() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut dropped_total = 0u64;
+    for ring in RINGS.lock().unwrap().iter() {
+        let r = ring.lock().unwrap();
+        dropped_total += r.dropped;
+        let n = r.events.len();
+        for k in 0..n {
+            // Oldest first: the ring overwrites at `head`, so the oldest
+            // surviving event sits there.
+            let e = &r.events[(r.head + k) % n.max(1)];
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":",
+                escape(e.name),
+                escape(e.cat),
+                e.ph as char,
+                r.tid
+            );
+            write_us(&mut out, e.ts_ns);
+            if e.ph == b'X' {
+                out.push_str(",\"dur\":");
+                write_us(&mut out, e.dur_ns);
+            } else {
+                out.push_str(",\"s\":\"t\"");
+            }
+            let live: Vec<(&'static str, u64)> = e.args.iter().flatten().copied().collect();
+            if !live.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in live.iter().enumerate() {
+                    let sep = if i == 0 { "" } else { "," };
+                    let _ = write!(out, "{sep}\"{}\":{v}", escape(k));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{dropped_total}}}}}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_SPAN: SpanDef = SpanDef::new("test.trace.work", "test", "span.test.trace.work");
+
+    #[test]
+    fn spans_and_instants_export_as_trace_events() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let mut span = TEST_SPAN.start();
+            span.arg("items", 7);
+            span.arg("level", 2);
+            span.arg("ignored", 3); // only two slots
+            instant("test.trace.tick", "test", &[("n", 1)]);
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _span = TEST_SPAN.start();
+            });
+        });
+        let json = trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"test.trace.work\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"items\":7"));
+        assert!(json.contains("\"level\":2"));
+        assert!(!json.contains("ignored"));
+        // Two spans on two distinct threads.
+        assert_eq!(json.matches("test.trace.work").count(), 2);
+        let snap = crate::snapshot();
+        assert_eq!(snap.counters.get("span.test.trace.work"), Some(&2));
+
+        crate::set_enabled(false);
+        crate::reset();
+        let _none = TEST_SPAN.start();
+        drop(_none);
+        let empty = trace_json();
+        assert!(!empty.contains("test.trace.work"));
+    }
+}

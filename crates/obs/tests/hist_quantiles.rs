@@ -1,0 +1,49 @@
+//! Property test: histogram p50/p99 agree with a naive sorted-vec
+//! oracle up to one bucket's relative error (the estimate must land in
+//! the exact order statistic's bucket, which bounds the error by the
+//! bucket width — at most a quarter of the value).
+
+use proptest::prelude::*;
+use viewcap_obs::{bucket_bounds, bucket_index, HistCore};
+
+/// The oracle: rank `ceil(q * n)` (1-based) of the sorted values — the
+/// same convention `HistogramSnapshot::quantile` uses.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_match_sorted_oracle_within_bucket_error(
+        values in proptest::collection::vec(0u64..2_000_000, 1..200),
+    ) {
+        let h = HistCore::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.99] {
+            let exact = oracle(&sorted, q);
+            let est = snap.quantile(q);
+            prop_assert_eq!(
+                bucket_index(est),
+                bucket_index(exact),
+                "q={} est={} exact={} values={:?}",
+                q,
+                est,
+                exact,
+                &values
+            );
+            // The same-bucket property bounds the error by the bucket
+            // width; assert the advertised relative bound explicitly.
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            let width = hi - lo;
+            prop_assert!(est.abs_diff(exact) <= width, "err beyond one bucket width");
+        }
+    }
+}

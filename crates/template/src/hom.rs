@@ -23,6 +23,13 @@ use crate::template::{TaggedTuple, Template};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 use viewcap_base::Symbol;
+use viewcap_obs as obs;
+
+/// Trie-indexed candidate-join activity: calls to [`candidate_lists`]
+/// and the total candidate targets they surfaced (the pairs the
+/// backtracking search actually has to consider).
+static JOIN_CALLS: obs::Counter = obs::Counter::new("template.join.calls");
+static JOIN_CANDIDATES: obs::Counter = obs::Counter::new("template.join.candidates");
 
 /// A finite symbol mapping (the meaningful fragment of a valuation).
 ///
@@ -97,6 +104,8 @@ fn candidate_lists_indexed(
     let mut out = Vec::with_capacity(src.len());
     let mut required: Vec<(usize, Symbol)> = Vec::new();
     let mut buf: Vec<u32> = Vec::new();
+    let mut surfaced: u64 = 0;
+    JOIN_CALLS.add(1);
     for st in src.tuples() {
         buf.clear();
         let bucket = index.by_tag(st.rel());
@@ -120,10 +129,13 @@ fn candidate_lists_indexed(
             index.candidates(st.rel(), &required, &mut buf);
         }
         if buf.is_empty() {
+            JOIN_CANDIDATES.add(surfaced);
             return None;
         }
+        surfaced += buf.len() as u64;
         out.push(buf.iter().map(|&j| j as usize).collect());
     }
+    JOIN_CANDIDATES.add(surfaced);
     Some(out)
 }
 

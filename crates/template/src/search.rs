@@ -37,6 +37,16 @@ use std::collections::HashMap;
 use std::fmt;
 use std::ops::ControlFlow;
 use viewcap_base::{Catalog, RelId, Scheme};
+use viewcap_obs as obs;
+
+/// Span over each committed enumeration level; `combos` counts the join
+/// combinations the level visited (also summed into the
+/// `template.search.combos` counter, which the jobs-determinism suite
+/// pins — level content is work, not timing).
+static LEVEL_SPAN: obs::SpanDef =
+    obs::SpanDef::new("template.level_build", "enum", "span.template.level_build");
+static COMBOS_COUNTER: obs::Counter = obs::Counter::new("template.search.combos");
+static PARTS_COUNTER: obs::Counter = obs::Counter::new("template.search.parts_kept");
 
 /// Resource limits for the bounded search.
 #[derive(Clone, Debug)]
@@ -352,6 +362,8 @@ impl CandidateSpace {
         limits: &SearchLimits,
     ) -> Result<(), SearchOverflow> {
         debug_assert_eq!(k, self.levels.len() + 1);
+        let mut span = LEVEL_SPAN.start();
+        span.arg("level", k as u64);
         let cp_parts = self.part_dedup.checkpoint();
         let cp_joins = self.join_dedup.checkpoint();
         let cp_roots = self.root_dedup.checkpoint();
@@ -361,6 +373,10 @@ impl CandidateSpace {
                 self.part_dedup.commit();
                 self.join_dedup.commit();
                 self.root_dedup.commit();
+                let combos = self.stats.combos - stats_before.combos;
+                span.arg("combos", combos);
+                COMBOS_COUNTER.add(combos);
+                PARTS_COUNTER.add(self.stats.parts_kept - stats_before.parts_kept);
                 Ok(())
             }
             Err(overflow) => {

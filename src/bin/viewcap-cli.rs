@@ -15,8 +15,17 @@
 //! Scenario syntax is documented in [`viewcap::scenario`]; `scenarios/` in
 //! the repository holds ready-made files. `--jobs N` sets the worker-thread
 //! count for `batch` blocks (`0` = all cores; the report is identical for
-//! every setting), and `--stats` appends the verdict-cache counters plus
-//! the candidate-space reuse counters of the engine's context pool.
+//! every setting), and `--stats` prints the verdict-cache counters plus
+//! the candidate-space reuse counters of the engine's context pool to
+//! *stderr* — stdout carries exactly the scenario report under every flag
+//! combination.
+//!
+//! `--trace-out PATH` and `--metrics-out PATH` enable the telemetry layer
+//! (`viewcap-obs`): the first writes a Chrome `trace_event` JSON file
+//! (open it in Perfetto or `chrome://tracing`) with spans for checks,
+//! enumeration levels, normalization, and cache activity; the second
+//! writes a JSON metrics snapshot — counters plus p50/p90/p99 latency
+//! histograms. Both write files only; stdout stays byte-identical.
 //!
 //! `--cache-file PATH` persists the verdict cache across runs: an existing
 //! file is loaded before the scenario (a corrupted or version-mismatched
@@ -82,7 +91,7 @@ recheck
 fn usage() -> ExitCode {
     eprintln!(
         "usage: viewcap-cli [--jobs N] [--stats] [--cache-file PATH] [--cache-max N] \
-         <scenario-file> | --demo\n       \
+         [--trace-out PATH] [--metrics-out PATH] <scenario-file> | --demo\n       \
          viewcap-cli cache merge <in.vcapcache...> --out <out.vcapcache>\n       \
          viewcap-cli cache compact <file.vcapcache> [--out <out.vcapcache>] [--max N]"
     );
@@ -191,6 +200,8 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut cache_file: Option<std::path::PathBuf> = None;
     let mut cache_max: Option<usize> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut source: Option<String> = None;
 
     let mut it = args.iter();
@@ -219,6 +230,20 @@ fn main() -> ExitCode {
                 };
                 cache_max = (n > 0).then_some(n);
             }
+            "--trace-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("viewcap-cli: --trace-out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                trace_out = Some(path.into());
+            }
+            "--metrics-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("viewcap-cli: --metrics-out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                metrics_out = Some(path.into());
+            }
             path if !path.starts_with('-') && source.is_none() => {
                 match std::fs::read_to_string(path) {
                     Ok(s) => source = Some(s),
@@ -234,6 +259,9 @@ fn main() -> ExitCode {
     let Some(source) = source else {
         return usage();
     };
+    if trace_out.is_some() || metrics_out.is_some() {
+        viewcap_obs::set_enabled(true);
+    }
 
     let cache = match &cache_file {
         Some(path) if path.exists() => match load_cache_from_path(path, cache_max) {
@@ -255,12 +283,32 @@ fn main() -> ExitCode {
                 outcome.yes, outcome.no
             );
             if stats {
-                println!("-- cache: {}", outcome.stats);
-                println!("-- enumeration: {}", outcome.enum_stats);
+                // Diagnostics go to stderr: stdout is the pinned scenario
+                // transcript, byte-identical under every flag combination.
+                eprintln!("-- cache: {}", outcome.stats);
+                eprintln!("-- enumeration: {}", outcome.enum_stats);
             }
             if let Some(path) = &cache_file {
                 if let Err(e) = save_cache_to_path(engine.cache(), &outcome.catalog, path) {
                     eprintln!("viewcap-cli: cannot save cache `{}`: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            // The cache save above belongs in the telemetry too, so the
+            // snapshot and trace are written last.
+            if let Some(path) = &metrics_out {
+                let snapshot = viewcap_obs::snapshot();
+                if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+                    eprintln!(
+                        "viewcap-cli: cannot write metrics `{}`: {e}",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(path) = &trace_out {
+                if let Err(e) = std::fs::write(path, viewcap_obs::trace_json()) {
+                    eprintln!("viewcap-cli: cannot write trace `{}`: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
             }

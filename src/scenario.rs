@@ -72,6 +72,7 @@ use viewcap_engine::{
 };
 use viewcap_expr::display::{display_expr, display_scheme};
 use viewcap_expr::parse_expr;
+use viewcap_obs::MetricsSnapshot;
 
 /// Execution options for [`run_scenario_with`].
 #[derive(Clone, Debug)]
@@ -99,6 +100,13 @@ pub struct ScenarioOutcome {
     pub stats: CacheStats,
     /// Candidate-space reuse counters from the engine's context pool.
     pub enum_stats: EnumStats,
+    /// Telemetry registry snapshot taken as the run finished. Empty
+    /// unless [`viewcap_obs::set_enabled`] was on; counter values (as
+    /// opposed to the timing histograms) are deterministic for a
+    /// scenario whatever the `--jobs` setting. The registry is
+    /// process-global and is *not* reset here — callers comparing runs
+    /// call [`viewcap_obs::reset`] between them.
+    pub metrics: MetricsSnapshot,
     /// The catalog as the scenario left it — what cache persistence needs
     /// to resolve natively computed witnesses to names
     /// ([`viewcap_engine::save_cache`]).
@@ -259,6 +267,7 @@ pub fn run_scenario_with_engine(
         no: runner.no,
         stats: runner.engine.cache_stats(),
         enum_stats: runner.engine.enum_stats(),
+        metrics: viewcap_obs::snapshot(),
         catalog: runner.catalog,
     })
 }
