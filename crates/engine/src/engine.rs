@@ -463,7 +463,12 @@ impl NormPool {
 /// *context pool*, by contrast, holds live `Catalog`-bound state, so keep
 /// one engine per running catalog.
 pub struct Engine {
-    cache: VerdictCache,
+    /// Shared so many engines — e.g. a `viewcap serve` daemon's
+    /// per-request engines over one warm per-catalog cache — can decide
+    /// through one verdict store. The cache is the only cross-catalog-safe
+    /// state an engine holds (content-addressed keys); the context pools
+    /// stay per-engine because they hold catalog-bound ids.
+    cache: Arc<VerdictCache>,
     budget: SearchBudget,
     contexts: ContextPool,
     norms: NormPool,
@@ -490,6 +495,14 @@ impl Engine {
     /// ([`VerdictCache::bounded`]) or one warmed from disk
     /// ([`crate::persist::load_cache`]).
     pub fn with_cache(budget: SearchBudget, cache: VerdictCache) -> Self {
+        Engine::with_shared_cache(budget, Arc::new(cache))
+    }
+
+    /// Engine over a verdict cache shared with other engines (or other
+    /// holders — a resident daemon keeping one warm cache per catalog).
+    /// All sharing engines see each other's verdicts immediately; the
+    /// cache is fully concurrent.
+    pub fn with_shared_cache(budget: SearchBudget, cache: Arc<VerdictCache>) -> Self {
         Engine {
             cache,
             budget,
@@ -520,6 +533,12 @@ impl Engine {
     /// [`crate::persist::save_cache`]).
     pub fn cache(&self) -> &VerdictCache {
         &self.cache
+    }
+
+    /// A shared handle on the engine's verdict cache, for building further
+    /// engines over the same store ([`Engine::with_shared_cache`]).
+    pub fn shared_cache(&self) -> Arc<VerdictCache> {
+        Arc::clone(&self.cache)
     }
 
     /// The engine's search budget, so callers driving non-engine

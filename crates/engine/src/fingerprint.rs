@@ -61,26 +61,12 @@ impl fmt::Display for Fingerprint {
     }
 }
 
-/// SplitMix64 finalizer — a strong 64-bit mixer.
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Fold a word stream into 128 bits with two independently seeded lanes.
+/// Fold a word stream into 128 bits. The mixing itself lives in
+/// [`viewcap_pile::hash`] — the workspace's one 128-bit content-hash
+/// construction, shared between fingerprints and pile record hashes — and
+/// moved there verbatim, so every persisted fingerprint keeps its value.
 fn fold(words: impl Iterator<Item = u64>) -> Fingerprint {
-    let mut lo: u64 = 0x243F_6A88_85A3_08D3; // pi
-    let mut hi: u64 = 0xB7E1_5162_8AED_2A6A; // e
-    let mut len: u64 = 0;
-    for w in words {
-        len += 1;
-        lo = mix(lo ^ w.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(len)));
-        hi = mix(hi.rotate_left(23) ^ w ^ 0xA5A5_A5A5_A5A5_A5A5);
-    }
-    lo = mix(lo ^ len);
-    hi = mix(hi ^ len.rotate_left(32));
-    Fingerprint(((hi as u128) << 64) | lo as u128)
+    Fingerprint(viewcap_pile::hash::fold_words(words))
 }
 
 /// Test-only: a fingerprint with a chosen bit pattern.

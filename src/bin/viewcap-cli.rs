@@ -44,13 +44,29 @@
 //! entries and optionally truncating to the newest `N` entries. Both
 //! validate every input fully before writing, and write atomically, so a
 //! corrupt input can never poison the output file.
+//!
+//! `--pile PATH` replaces `--cache-file` with the crash-safe spelling: the
+//! scenario's cache loads from the pile's merged verdict set, and the
+//! run's verdicts append as one atomic record afterwards — many processes
+//! can share one pile concurrently with no merge step and no lost-update
+//! window. The `pile` subcommands bridge formats (`pile import` folds
+//! `.vcapcache` files in, `pile export` merges a pile back out to one
+//! canonical cache file, byte-identical to `cache merge` of the same
+//! snapshots) and repair crash damage (`pile recover` truncates a torn
+//! suffix back to the last valid record).
+//!
+//! `serve --socket PATH [--pile PATH]` starts a resident daemon (unix
+//! socket, line-delimited protocol; see [`viewcap::serve`]) answering
+//! scenario requests without per-run process start-up or cache reload;
+//! `client --socket PATH <scenario>` drives a scenario through it and
+//! prints a transcript byte-identical to running the scenario directly.
 
 use std::process::ExitCode;
 use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
 use viewcap_core::SearchBudget;
 use viewcap_engine::{
     compact_cache_bytes, load_cache_from_path, merge_cache_bytes, save_cache_to_path,
-    write_bytes_atomic, Engine, VerdictCache,
+    write_bytes_atomic, Engine, PileStore, VerdictCache,
 };
 
 const DEMO: &str = r#"
@@ -90,12 +106,265 @@ recheck
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: viewcap-cli [--jobs N] [--stats] [--cache-file PATH] [--cache-max N] \
-         [--trace-out PATH] [--metrics-out PATH] <scenario-file> | --demo\n       \
+        "usage: viewcap-cli [--jobs N] [--stats] [--cache-file PATH | --pile PATH] \
+         [--cache-max N] [--trace-out PATH] [--metrics-out PATH] <scenario-file> | --demo\n       \
          viewcap-cli cache merge <in.vcapcache...> --out <out.vcapcache>\n       \
-         viewcap-cli cache compact <file.vcapcache> [--out <out.vcapcache>] [--max N]"
+         viewcap-cli cache compact <file.vcapcache> [--out <out.vcapcache>] [--max N]\n       \
+         viewcap-cli pile import <in.vcapcache...> --pile <file.vcappile>\n       \
+         viewcap-cli pile export <file.vcappile> --out <out.vcapcache>\n       \
+         viewcap-cli pile recover <file.vcappile>\n       \
+         viewcap-cli pile stats <file.vcappile>\n       \
+         viewcap-cli serve --socket PATH [--pile PATH] [--cache-max N]\n       \
+         viewcap-cli client --socket PATH [--jobs N] [--warm KEY] \
+         (<scenario-file> | --demo | --ping | --stats | --shutdown)"
     );
     ExitCode::FAILURE
+}
+
+/// `viewcap-cli pile import|export|recover|stats ...`.
+fn pile_command(args: &[String]) -> ExitCode {
+    let Some((sub, rest)) = args.split_first() else {
+        return usage();
+    };
+    let mut inputs: Vec<std::path::PathBuf> = Vec::new();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut pile: Option<std::path::PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.into()),
+                None => return usage(),
+            },
+            "--pile" => match it.next() {
+                Some(p) => pile = Some(p.into()),
+                None => return usage(),
+            },
+            path if !path.starts_with('-') => inputs.push(path.into()),
+            _ => return usage(),
+        }
+    }
+    match sub.as_str() {
+        "import" => {
+            let Some(pile) = pile else {
+                eprintln!("viewcap-cli: pile import needs --pile");
+                return ExitCode::FAILURE;
+            };
+            if inputs.is_empty() {
+                eprintln!("viewcap-cli: pile import needs at least one input file");
+                return ExitCode::FAILURE;
+            }
+            let mut store = match PileStore::open(&pile) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("viewcap-cli: {}: {e}", pile.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            for path in &inputs {
+                let bytes = match std::fs::read(path) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        eprintln!("viewcap-cli: cannot read `{}`: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match store.append_cache_bytes(&bytes) {
+                    Ok(entries) => println!(
+                        "imported {entries} entries from {} -> {}",
+                        path.display(),
+                        pile.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("viewcap-cli: pile import `{}`: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let ([input], Some(out)) = (inputs.as_slice(), out) else {
+                eprintln!("viewcap-cli: pile export takes one pile file and --out");
+                return ExitCode::FAILURE;
+            };
+            let mut store = match PileStore::open(input) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("viewcap-cli: {}: {e}", input.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match store.merged_bytes() {
+                Ok((bytes, report)) => {
+                    if let Err(e) = write_bytes_atomic(&out, &bytes) {
+                        eprintln!("viewcap-cli: cannot write `{}`: {e}", out.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("exported {report} -> {}", out.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("viewcap-cli: pile export: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "recover" => {
+            let [input] = inputs.as_slice() else {
+                eprintln!("viewcap-cli: pile recover takes exactly one pile file");
+                return ExitCode::FAILURE;
+            };
+            match PileStore::recover(input) {
+                Ok((_, report)) => {
+                    println!("recovered {report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("viewcap-cli: pile recover `{}`: {e}", input.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "stats" => {
+            let [input] = inputs.as_slice() else {
+                eprintln!("viewcap-cli: pile stats takes exactly one pile file");
+                return ExitCode::FAILURE;
+            };
+            let mut store = match PileStore::open(input) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("viewcap-cli: {}: {e}", input.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match (store.record_count(), store.merged_bytes()) {
+                (Ok(records), Ok((_, report))) => {
+                    println!("{records} record(s), merged {report}");
+                    ExitCode::SUCCESS
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("viewcap-cli: pile stats: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// `viewcap-cli serve --socket PATH [--pile PATH] [--cache-max N]`.
+#[cfg(unix)]
+fn serve_command(args: &[String]) -> ExitCode {
+    let mut config = viewcap::serve::ServeConfig {
+        socket: std::path::PathBuf::new(),
+        pile: None,
+        cache_max: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => config.socket = p.into(),
+                None => return usage(),
+            },
+            "--pile" => match it.next() {
+                Some(p) => config.pile = Some(p.into()),
+                None => return usage(),
+            },
+            "--cache-max" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.cache_max = (n > 0).then_some(n),
+                None => {
+                    eprintln!("viewcap-cli: --cache-max needs a number (0 = unbounded)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => return usage(),
+        }
+    }
+    if config.socket.as_os_str().is_empty() {
+        eprintln!("viewcap-cli: serve needs --socket");
+        return ExitCode::FAILURE;
+    }
+    match viewcap::serve::serve(&config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("viewcap-cli: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `viewcap-cli client --socket PATH ...`.
+#[cfg(unix)]
+fn client_command(args: &[String]) -> ExitCode {
+    use viewcap::serve::{client_request, ClientRequest};
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut jobs = 1usize;
+    let mut warm_key: Option<String> = None;
+    let mut source: Option<String> = None;
+    let mut op: Option<ClientRequest> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.into()),
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("viewcap-cli: --jobs needs a number (0 = all cores)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--warm" => match it.next() {
+                Some(key) => warm_key = Some(key.clone()),
+                None => return usage(),
+            },
+            "--demo" if source.is_none() => source = Some(DEMO.to_owned()),
+            "--ping" => op = Some(ClientRequest::Ping),
+            "--stats" => op = Some(ClientRequest::Stats),
+            "--shutdown" => op = Some(ClientRequest::Shutdown),
+            path if !path.starts_with('-') && source.is_none() => {
+                match std::fs::read_to_string(path) {
+                    Ok(s) => source = Some(s),
+                    Err(e) => {
+                        eprintln!("viewcap-cli: cannot read `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("viewcap-cli: client needs --socket");
+        return ExitCode::FAILURE;
+    };
+    let request = match (op, source) {
+        (Some(op), None) => op,
+        (None, Some(source)) => ClientRequest::Run {
+            source,
+            jobs,
+            warm_key,
+        },
+        _ => return usage(),
+    };
+    match client_request(&socket, &request) {
+        Ok(response) if response.ok => {
+            print!("{}", response.body);
+            ExitCode::SUCCESS
+        }
+        Ok(response) => {
+            eprint!("viewcap-cli: daemon: {}", response.body);
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("viewcap-cli: client: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `viewcap-cli cache merge|compact ...`.
@@ -193,12 +462,24 @@ fn cache_command(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("cache") {
-        return cache_command(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("cache") => return cache_command(&args[1..]),
+        Some("pile") => return pile_command(&args[1..]),
+        #[cfg(unix)]
+        Some("serve") => return serve_command(&args[1..]),
+        #[cfg(unix)]
+        Some("client") => return client_command(&args[1..]),
+        #[cfg(not(unix))]
+        Some("serve") | Some("client") => {
+            eprintln!("viewcap-cli: serve/client need unix sockets");
+            return ExitCode::FAILURE;
+        }
+        _ => {}
     }
     let mut options = ScenarioOptions::default();
     let mut stats = false;
     let mut cache_file: Option<std::path::PathBuf> = None;
+    let mut pile_file: Option<std::path::PathBuf> = None;
     let mut cache_max: Option<usize> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut metrics_out: Option<std::path::PathBuf> = None;
@@ -222,6 +503,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 cache_file = Some(path.into());
+            }
+            "--pile" => {
+                let Some(path) = it.next() else {
+                    eprintln!("viewcap-cli: --pile needs a path");
+                    return ExitCode::FAILURE;
+                };
+                pile_file = Some(path.into());
             }
             "--cache-max" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
@@ -263,11 +551,37 @@ fn main() -> ExitCode {
         viewcap_obs::set_enabled(true);
     }
 
-    let cache = match &cache_file {
-        Some(path) if path.exists() => match load_cache_from_path(path, cache_max) {
+    if cache_file.is_some() && pile_file.is_some() {
+        eprintln!("viewcap-cli: --cache-file and --pile are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    // With `--pile`, the store handle opens once: the warm cache loads from
+    // it before the run, the run's verdicts append to it after.
+    let mut pile_store = match &pile_file {
+        Some(path) => match PileStore::open(path) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "viewcap-cli: {}: {e} (try `viewcap-cli pile recover`)",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let cache = match (&cache_file, &mut pile_store) {
+        (Some(path), _) if path.exists() => match load_cache_from_path(path, cache_max) {
             Ok(cache) => cache,
             Err(e) => {
                 eprintln!("viewcap-cli: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        (_, Some(store)) => match store.load(cache_max) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("viewcap-cli: {}: {e}", store.path().display());
                 return ExitCode::FAILURE;
             }
         },
@@ -291,6 +605,15 @@ fn main() -> ExitCode {
             if let Some(path) = &cache_file {
                 if let Err(e) = save_cache_to_path(engine.cache(), &outcome.catalog, path) {
                     eprintln!("viewcap-cli: cannot save cache `{}`: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(store) = &mut pile_store {
+                if let Err(e) = store.append_cache(engine.cache(), &outcome.catalog) {
+                    eprintln!(
+                        "viewcap-cli: cannot append to pile `{}`: {e}",
+                        store.path().display()
+                    );
                     return ExitCode::FAILURE;
                 }
             }

@@ -37,6 +37,8 @@ pub use viewcap_expr as expr;
 pub use viewcap_template as template;
 
 pub mod scenario;
+#[cfg(unix)]
+pub mod serve;
 
 /// Everything needed for typical use of the library.
 pub mod prelude {

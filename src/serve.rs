@@ -1,0 +1,360 @@
+//! `viewcap serve` — a resident decision daemon over a unix socket, and
+//! the client side that drives scenarios through it.
+//!
+//! The daemon answers scenario requests with a line-delimited protocol.
+//! One process hosts many catalogs: scenarios declare their own catalogs,
+//! and warm verdict caches are keyed by a *client-supplied* catalog key,
+//! so independent fleets share one resident service. The only state the
+//! daemon shares across requests is the per-key [`VerdictCache`] (safe:
+//! fingerprints are catalog-content-addressed); engines — whose context
+//! pools hold catalog-bound ids — are built per request.
+//!
+//! ## Protocol
+//!
+//! Requests are a header line, then (for `RUN`) a length-prefixed body:
+//!
+//! ```text
+//! RUN <jobs> <mode> <len>\n<len scenario bytes>   mode: cold | warm:<key>
+//! PING\n
+//! STATS\n
+//! SHUTDOWN\n
+//! ```
+//!
+//! Every response is `OK <len>\n<len bytes>` or `ERR <len>\n<len bytes>`.
+//! A `RUN` response body is *exactly* the batch CLI's stdout for the same
+//! scenario — the report plus the final `-- N check(s) answered YES…`
+//! line — so transcripts can be diffed byte-for-byte against `viewcap-cli
+//! <scenario>`. `cold` mode guarantees that identity (a fresh, empty
+//! cache per request); `warm:<key>` shares the key's cache across
+//! requests, which serves repeat checks from memory at the cost of
+//! transcript lines that say so.
+//!
+//! ## Crash safety
+//!
+//! With `--pile`, the daemon recovers the pile on startup (truncating any
+//! suffix a crash mid-append left, and reporting it on stderr), seeds
+//! warm caches from the pile's merged verdict set, and appends every
+//! request's verdicts after answering. Killing the daemon at any moment
+//! costs at most the in-flight append.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::scenario::{run_scenario_with_engine, ScenarioOptions};
+use viewcap_core::SearchBudget;
+use viewcap_engine::{Engine, PileStore, VerdictCache};
+
+/// Configuration of one [`serve`] daemon.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The unix socket to listen on (created; removed on clean shutdown).
+    pub socket: PathBuf,
+    /// Crash-safe verdict pile to recover, seed warm caches from, and
+    /// append every request's verdicts to.
+    pub pile: Option<PathBuf>,
+    /// Bound for warm per-key caches (`None` = unbounded).
+    pub cache_max: Option<usize>,
+}
+
+/// Why a serve/client operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or pile I/O failure.
+    Io(std::io::Error),
+    /// The peer spoke something that is not the protocol.
+    Protocol(String),
+    /// The daemon's pile rejected an operation.
+    Pile(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "{e}"),
+            ServeError::Protocol(what) => write!(f, "protocol error: {what}"),
+            ServeError::Pile(what) => write!(f, "pile error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Shared daemon state: warm caches and the (optional) pile handle.
+struct Daemon {
+    /// Warm verdict caches, one per client-supplied catalog key.
+    warm: Mutex<HashMap<String, Arc<VerdictCache>>>,
+    pile: Option<Mutex<PileStore>>,
+    cache_max: Option<usize>,
+    served: Mutex<u64>,
+}
+
+impl Daemon {
+    /// The warm cache for `key`, created on first use — seeded from the
+    /// pile's merged verdict set when a pile is configured.
+    fn warm_cache(&self, key: &str) -> Result<Arc<VerdictCache>, ServeError> {
+        let mut warm = self.warm.lock().expect("warm cache lock");
+        if let Some(cache) = warm.get(key) {
+            return Ok(Arc::clone(cache));
+        }
+        let cache = match &self.pile {
+            Some(pile) => pile
+                .lock()
+                .expect("pile lock")
+                .load(self.cache_max)
+                .map_err(|e| ServeError::Pile(e.to_string()))?,
+            None => VerdictCache::bounded(self.cache_max),
+        };
+        let cache = Arc::new(cache);
+        warm.insert(key.to_owned(), Arc::clone(&cache));
+        Ok(cache)
+    }
+
+    /// Answer one `RUN`: build the request's engine, run the scenario,
+    /// append the verdicts to the pile. Returns the exact batch-CLI
+    /// stdout, or the scenario error text.
+    fn run(&self, source: &str, jobs: usize, warm_key: Option<&str>) -> Result<String, String> {
+        let engine = match warm_key {
+            Some(key) => {
+                let cache = self.warm_cache(key).map_err(|e| e.to_string())?;
+                Engine::with_shared_cache(SearchBudget::default(), cache)
+            }
+            None => Engine::with_budget(SearchBudget::default()),
+        };
+        let options = ScenarioOptions { jobs };
+        let outcome =
+            run_scenario_with_engine(source, &options, &engine).map_err(|e| e.to_string())?;
+        if let Some(pile) = &self.pile {
+            pile.lock()
+                .expect("pile lock")
+                .append_cache(engine.cache(), &outcome.catalog)
+                .map_err(|e| format!("pile append failed: {e}"))?;
+        }
+        *self.served.lock().expect("served lock") += 1;
+        Ok(format!(
+            "{}-- {} check(s) answered YES, {} answered NO\n",
+            outcome.report, outcome.yes, outcome.no
+        ))
+    }
+
+    fn stats(&self) -> String {
+        let warm = self.warm.lock().expect("warm cache lock");
+        let mut body = format!(
+            "served: {}\nwarm catalogs: {}\n",
+            self.served.lock().expect("served lock"),
+            warm.len()
+        );
+        let mut keys: Vec<_> = warm.iter().collect();
+        keys.sort_by_key(|(key, _)| key.as_str());
+        for (key, cache) in keys {
+            body.push_str(&format!("warm[{key}]: {}\n", cache.stats()));
+        }
+        if let Some(pile) = &self.pile {
+            let mut pile = pile.lock().expect("pile lock");
+            match pile.record_count() {
+                Ok(n) => body.push_str(&format!("pile records: {n}\n")),
+                Err(e) => body.push_str(&format!("pile: {e}\n")),
+            }
+        }
+        body
+    }
+}
+
+/// Write one `OK`/`ERR` response frame.
+fn respond(stream: &mut UnixStream, ok: bool, body: &str) -> std::io::Result<()> {
+    let tag = if ok { "OK" } else { "ERR" };
+    stream.write_all(format!("{tag} {}\n", body.len()).as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Serve requests on `config.socket` until a `SHUTDOWN` request (or a
+/// fatal socket error). Prints a recovery report for the pile, and a
+/// ready line once listening, to stderr.
+pub fn serve(config: &ServeConfig) -> Result<(), ServeError> {
+    let pile = match &config.pile {
+        Some(path) => {
+            let (store, report) =
+                PileStore::recover(path).map_err(|e| ServeError::Pile(e.to_string()))?;
+            eprintln!("viewcap-serve: pile {}: recovered {report}", path.display());
+            Some(Mutex::new(store))
+        }
+        None => None,
+    };
+    let daemon = Daemon {
+        warm: Mutex::new(HashMap::new()),
+        pile,
+        cache_max: config.cache_max,
+        served: Mutex::new(0),
+    };
+
+    // A stale socket file from a killed daemon would fail the bind.
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)?;
+    eprintln!("viewcap-serve: listening on {}", config.socket.display());
+
+    let mut shutdown = false;
+    while !shutdown {
+        let (stream, _) = listener.accept()?;
+        // One request per connection; a broken client never wedges the
+        // daemon, it just drops its own connection.
+        if let Err(e) = handle_connection(&daemon, stream, &mut shutdown) {
+            eprintln!("viewcap-serve: connection error: {e}");
+        }
+    }
+    let _ = std::fs::remove_file(&config.socket);
+    eprintln!("viewcap-serve: shut down");
+    Ok(())
+}
+
+fn handle_connection(
+    daemon: &Daemon,
+    stream: UnixStream,
+    shutdown: &mut bool,
+) -> Result<(), ServeError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let mut stream = stream;
+    let header = header.trim_end_matches('\n');
+    let mut words = header.split(' ');
+    match words.next() {
+        Some("PING") => respond(&mut stream, true, "pong\n")?,
+        Some("STATS") => respond(&mut stream, true, &daemon.stats())?,
+        Some("SHUTDOWN") => {
+            *shutdown = true;
+            respond(&mut stream, true, "bye\n")?;
+        }
+        Some("RUN") => {
+            let (jobs, mode, len) = match (
+                words.next().and_then(|w| w.parse::<usize>().ok()),
+                words.next(),
+                words.next().and_then(|w| w.parse::<usize>().ok()),
+            ) {
+                (Some(jobs), Some(mode), Some(len)) if words.next().is_none() => (jobs, mode, len),
+                _ => {
+                    respond(&mut stream, false, "malformed RUN header\n")?;
+                    return Ok(());
+                }
+            };
+            let warm_key = match mode {
+                "cold" => None,
+                _ => match mode.strip_prefix("warm:") {
+                    Some(key) if !key.is_empty() => Some(key),
+                    _ => {
+                        respond(&mut stream, false, "mode must be cold or warm:<key>\n")?;
+                        return Ok(());
+                    }
+                },
+            };
+            let mut source = vec![0u8; len];
+            reader.read_exact(&mut source)?;
+            let Ok(source) = String::from_utf8(source) else {
+                respond(&mut stream, false, "scenario source is not UTF-8\n")?;
+                return Ok(());
+            };
+            match daemon.run(&source, jobs, warm_key) {
+                Ok(body) => respond(&mut stream, true, &body)?,
+                Err(msg) => respond(&mut stream, false, &format!("{msg}\n"))?,
+            }
+        }
+        _ => respond(&mut stream, false, "unknown request\n")?,
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------- client side
+
+/// One request a client can pose to a running daemon.
+#[derive(Clone, Debug)]
+pub enum ClientRequest {
+    /// Run a scenario; the response body is the exact batch-CLI stdout.
+    Run {
+        /// Scenario source text.
+        source: String,
+        /// Worker threads for `batch` blocks (`0` = all cores).
+        jobs: usize,
+        /// `None` = cold (fresh cache, byte-identical transcript);
+        /// `Some(key)` = share the daemon's warm cache for `key`.
+        warm_key: Option<String>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Daemon counters, warm-cache stats, pile record count.
+    Stats,
+    /// Ask the daemon to exit after responding.
+    Shutdown,
+}
+
+/// A daemon's answer: `ok` distinguishes `OK` from `ERR` frames.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// Whether the daemon answered `OK`.
+    pub ok: bool,
+    /// The response body (a transcript, stats text, or error message).
+    pub body: String,
+}
+
+/// Pose one request to the daemon at `socket` and read its response.
+pub fn client_request(
+    socket: &Path,
+    request: &ClientRequest,
+) -> Result<ClientResponse, ServeError> {
+    let mut stream = UnixStream::connect(socket)?;
+    match request {
+        ClientRequest::Run {
+            source,
+            jobs,
+            warm_key,
+        } => {
+            let mode = match warm_key {
+                Some(key) => {
+                    if key.is_empty() || key.contains([' ', '\n']) {
+                        return Err(ServeError::Protocol(
+                            "warm key must be nonempty, without spaces or newlines".to_owned(),
+                        ));
+                    }
+                    format!("warm:{key}")
+                }
+                None => "cold".to_owned(),
+            };
+            stream.write_all(format!("RUN {jobs} {mode} {}\n", source.len()).as_bytes())?;
+            stream.write_all(source.as_bytes())?;
+        }
+        ClientRequest::Ping => stream.write_all(b"PING\n")?,
+        ClientRequest::Stats => stream.write_all(b"STATS\n")?,
+        ClientRequest::Shutdown => stream.write_all(b"SHUTDOWN\n")?,
+    }
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let header = header.trim_end_matches('\n');
+    let (ok, len) = match header.split_once(' ') {
+        Some(("OK", len)) => (true, len),
+        Some(("ERR", len)) => (false, len),
+        _ => {
+            return Err(ServeError::Protocol(format!(
+                "bad response header {header:?}"
+            )))
+        }
+    };
+    let len: usize = len
+        .parse()
+        .map_err(|_| ServeError::Protocol(format!("bad response length in {header:?}")))?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ServeError::Protocol("response body is not UTF-8".to_owned()))?;
+    Ok(ClientResponse { ok, body })
+}
