@@ -34,6 +34,20 @@
 //! latency distribution (p50/p90/p99) read back from `viewcap-obs`'s
 //! log-bucketed histograms.
 //!
+//! A seventh suite, **space persistence** (`BENCH_PR9.json` by default,
+//! `--out-space`), prices the candidate-space snapshot layer: a
+//! level-5-deep membership batch decided cold (fresh engine, fresh
+//! cache, full bounded enumeration) versus cold-with-snapshot (fresh
+//! engine and *fresh verdict cache*, but a persisted `SpaceLibrary`
+//! hydrating every context — so the measured gap is purely
+//! enumeration-rebuild vs snapshot-replay). The same library then
+//! warm-starts the workload on a catalog declared in a permuted order,
+//! asserting zero rebuilt levels and identical verdicts — the
+//! content-addressed key plus declaration-order-canonical enumeration at
+//! work. A thousand-relation candidate-join microbench (the `wide`
+//! family) rides along, pitting the byte-trie tuple index's per-tag
+//! buckets against a flat every-pair scan at fleet-catalog scale.
+//!
 //! ```console
 //! $ viewcap-bench               # full run: BENCH_PR4/PR5/PR6 .json
 //! $ viewcap-bench --smoke       # 1 iteration + counter asserts
@@ -62,6 +76,7 @@ struct Config {
     out_cross: std::path::PathBuf,
     out_norm: std::path::PathBuf,
     out_obs: std::path::PathBuf,
+    out_space: std::path::PathBuf,
     scenarios_dir: std::path::PathBuf,
 }
 
@@ -653,6 +668,349 @@ fn bench_telemetry(config: &Config) -> TelemetryReport {
     }
 }
 
+/// The space-persistence workload: one view of four defining queries over
+/// a three-relation chain schema, with membership goals whose reduced
+/// templates reach five atoms — deep enough that building the candidate
+/// space dominates a cold batch, which is exactly the cost a persisted
+/// snapshot amortizes away.
+fn space_workload_ordered(permuted: bool) -> (Catalog, View, Vec<(String, Query)>) {
+    let mut cat = Catalog::new();
+    if permuted {
+        cat.relation("T", &["E", "D"]).unwrap();
+        cat.relation("S", &["D", "C"]).unwrap();
+        cat.relation("R", &["C", "B", "A"]).unwrap();
+    } else {
+        cat.relation("R", &["A", "B", "C"]).unwrap();
+        cat.relation("S", &["C", "D"]).unwrap();
+        cat.relation("T", &["D", "E"]).unwrap();
+    }
+    let ab = cat.scheme(&["A", "B"]).unwrap();
+    let bc = cat.scheme(&["B", "C"]).unwrap();
+    let cd = cat.scheme(&["C", "D"]).unwrap();
+    let de = cat.scheme(&["D", "E"]).unwrap();
+    let v1 = cat.fresh_relation("v1", ab);
+    let v2 = cat.fresh_relation("v2", bc);
+    let v3 = cat.fresh_relation("v3", cd);
+    let v4 = cat.fresh_relation("v4", de);
+    let view = View::from_exprs(
+        vec![
+            (parse_expr("pi{A,B}(R)", &cat).unwrap(), v1),
+            (parse_expr("pi{B,C}(R)", &cat).unwrap(), v2),
+            (parse_expr("pi{C,D}(S)", &cat).unwrap(), v3),
+            (parse_expr("pi{D,E}(T)", &cat).unwrap(), v4),
+        ],
+        &cat,
+    )
+    .unwrap();
+    // The two 5-atom goals pin the enumeration depth: the all-singleton
+    // member and — the expensive one — a 5-atom NON-member, which forces
+    // the exhaustive level-5 sweep every cold run repays.
+    let goals = [
+        // Members.
+        "pi{A}(R) * pi{B}(R) * pi{C}(R) * pi{D}(S) * pi{E}(T)",
+        "pi{A,B}(R) * pi{B,C}(R) * pi{C,D}(S) * pi{D,E}(T)",
+        "pi{A,B}(R) * pi{C}(R) * pi{D}(S) * pi{E}(T)",
+        "pi{A}(R) * pi{B,C}(R) * pi{C,D}(S) * pi{E}(T)",
+        "pi{B,D}(pi{B,C}(R) * pi{C,D}(S)) * pi{A}(R) * pi{E}(T)",
+        "pi{A,B}(R)",
+        "pi{A,C}(pi{A,B}(R) * pi{B,C}(R)) * pi{D,E}(T)",
+        // Non-members.
+        "pi{A,B}(R) * pi{B,C}(R) * pi{A,C}(R) * pi{C,D}(S) * pi{D,E}(T)",
+        "pi{A,C}(R) * pi{B}(R) * pi{C,D}(S) * pi{D,E}(T)",
+        "R * pi{D}(S) * pi{E}(T)",
+        "pi{A,D}(R * S) * pi{B}(R) * pi{E}(T)",
+        "pi{A,E}(R * S * T)",
+    ]
+    .iter()
+    .map(|src| {
+        (
+            (*src).to_owned(),
+            Query::from_expr(parse_expr(src, &cat).unwrap(), &cat),
+        )
+    })
+    .collect();
+    (cat, view, goals)
+}
+
+struct SpacePersistenceReport {
+    checks: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+    cold_levels_rebuilt: u64,
+    warm_levels_hydrated: u64,
+    warm_levels_rebuilt: u64,
+    library_spaces: usize,
+    library_bytes: usize,
+    verdicts_equal: bool,
+    permuted_levels_hydrated: u64,
+    permuted_levels_rebuilt: u64,
+    permuted_verdicts_equal: bool,
+}
+
+/// The space-persistence suite (the PR 9 suite): the deep workload cold
+/// versus cold-with-snapshot (the verdict cache is fresh both times, so
+/// the gap is purely enumeration rebuild vs hydration), plus the same
+/// snapshot driving the workload on a permuted catalog.
+fn bench_space_persistence(config: &Config) -> SpacePersistenceReport {
+    use std::sync::{Arc, Mutex};
+    use viewcap_engine::SpaceLibrary;
+
+    let (cat, view, goals) = space_workload_ordered(false);
+    let workload_of = |view: &View, goals: &[(String, Query)]| {
+        let mut load = Workload::new();
+        for (label, goal) in goals {
+            load.push(
+                label.clone(),
+                Check::Member {
+                    view: view.clone(),
+                    goal: goal.clone(),
+                },
+            );
+        }
+        load
+    };
+    let verdicts_of = |outcome: &viewcap_engine::BatchOutcome| -> Vec<bool> {
+        outcome
+            .results
+            .iter()
+            .map(|r| r.as_ref().unwrap().verdict.is_yes())
+            .collect()
+    };
+    let workload = workload_of(&view, &goals);
+
+    // Cold: a fresh engine per iteration pays the full bounded
+    // enumeration.
+    let mut cold_verdicts = Vec::new();
+    let mut cold_stats = viewcap_engine::EnumStats::default();
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        let engine = Engine::new();
+        let outcome = engine.run_batch(&workload, &cat, 1);
+        cold_verdicts = verdicts_of(&outcome);
+        cold_stats = engine.enum_stats();
+    }
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+
+    // Seed the persisted library from one separate run.
+    let library = Arc::new(Mutex::new(SpaceLibrary::new()));
+    {
+        let engine = Engine::new().with_space_library(Arc::clone(&library));
+        engine.run_batch(&workload, &cat, 1);
+        engine.harvest_spaces();
+    }
+    let (library_spaces, library_bytes) = {
+        let lib = library.lock().expect("space library lock");
+        (lib.len(), lib.to_bytes().len())
+    };
+
+    // Cold-with-snapshot: a fresh engine *and a fresh verdict cache* per
+    // iteration — only the candidate spaces are warm.
+    let mut warm_verdicts = Vec::new();
+    let mut warm_stats = viewcap_engine::EnumStats::default();
+    let start = Instant::now();
+    for _ in 0..config.iters {
+        let engine = Engine::new().with_space_library(Arc::clone(&library));
+        let outcome = engine.run_batch(&workload, &cat, 1);
+        warm_verdicts = verdicts_of(&outcome);
+        warm_stats = engine.enum_stats();
+    }
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3 / config.iters as f64;
+
+    // The same library against the catalog declared in a permuted order:
+    // content-addressed keys plus canonical enumeration make the snapshot
+    // bytes valid verbatim.
+    let (pcat, pview, pgoals) = space_workload_ordered(true);
+    let pworkload = workload_of(&pview, &pgoals);
+    let pengine = Engine::new().with_space_library(Arc::clone(&library));
+    let poutcome = pengine.run_batch(&pworkload, &pcat, 1);
+    let permuted_verdicts = verdicts_of(&poutcome);
+    let pstats = pengine.enum_stats();
+
+    SpacePersistenceReport {
+        checks: workload.len(),
+        cold_ms,
+        warm_ms,
+        speedup: cold_ms / warm_ms.max(1e-9),
+        cold_levels_rebuilt: cold_stats.levels_rebuilt,
+        warm_levels_hydrated: warm_stats.levels_hydrated,
+        warm_levels_rebuilt: warm_stats.levels_rebuilt,
+        library_spaces,
+        library_bytes,
+        verdicts_equal: cold_verdicts == warm_verdicts,
+        permuted_levels_hydrated: pstats.levels_hydrated,
+        permuted_levels_rebuilt: pstats.levels_rebuilt,
+        permuted_verdicts_equal: cold_verdicts == permuted_verdicts,
+    }
+}
+
+struct ThousandRelReport {
+    relations: usize,
+    dst_tuples: usize,
+    flat_pairs: u64,
+    trie_pairs: u64,
+    flat_ms: f64,
+    trie_ms: f64,
+    lists_identical: bool,
+}
+
+/// Thousand-relation candidate-join microbench: the `wide` family's
+/// 1000-tag destination template against sources of 1–8 tuples. The flat
+/// scan examines every (source, target) pair; the byte-trie index only
+/// its per-tag buckets — a `|catalog|`-factor gap at fleet scale.
+fn bench_thousand_relations(config: &Config) -> ThousandRelReport {
+    use viewcap_gen::{wide_join_expr, wide_world};
+    use viewcap_template::{candidate_lists, template_of_expr, Template};
+
+    let world = wide_world(1000);
+    let cat = &world.catalog;
+    let dst: Template = template_of_expr(&wide_join_expr(&world), cat);
+    let srcs: Vec<Template> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&k| {
+            let atoms: Vec<String> = (0..k)
+                .map(|i| {
+                    let j = i * (1000 / k.max(1));
+                    format!("pi{{K,V{j}}}(T{j})")
+                })
+                .collect();
+            template_of_expr(&parse_expr(&atoms.join(" * "), cat).unwrap(), cat)
+        })
+        .collect();
+
+    let mut lists_identical = true;
+    let mut flat_pairs = 0u64;
+    let mut trie_pairs = 0u64;
+    for src in &srcs {
+        flat_pairs += (src.len() * dst.len()) as u64;
+        let index = dst.tuple_index();
+        for st in src.tuples() {
+            trie_pairs += index.by_tag(st.rel()).len() as u64;
+        }
+        lists_identical &= candidate_lists(src, &dst) == flat_candidate_lists(src, &dst);
+    }
+
+    let reps = if config.smoke { 5 } else { 200 };
+    let start = Instant::now();
+    for _ in 0..reps {
+        for src in &srcs {
+            std::hint::black_box(flat_candidate_lists(src, &dst));
+        }
+    }
+    let flat_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for src in &srcs {
+            std::hint::black_box(candidate_lists(src, &dst));
+        }
+    }
+    let trie_ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    ThousandRelReport {
+        relations: world.rels.len(),
+        dst_tuples: dst.len(),
+        flat_pairs,
+        trie_pairs,
+        flat_ms,
+        trie_ms,
+        lists_identical,
+    }
+}
+
+/// Flat reference scan for the candidate-join benches: every same-tag
+/// (source, target) pair, checked positionally.
+fn flat_candidate_lists(
+    src: &viewcap_template::Template,
+    dst: &viewcap_template::Template,
+) -> Option<Vec<Vec<usize>>> {
+    let mut out = Vec::with_capacity(src.len());
+    for st in src.tuples() {
+        let mut cands = Vec::new();
+        'target: for (j, dt) in dst.tuples().iter().enumerate() {
+            if dt.rel() != st.rel() {
+                continue;
+            }
+            for (a, b) in st.row().iter().zip(dt.row()) {
+                if a.is_distinguished() && a != b {
+                    continue 'target;
+                }
+            }
+            cands.push(j);
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        out.push(cands);
+    }
+    Some(out)
+}
+
+fn space_json_report(
+    config: &Config,
+    space: &SpacePersistenceReport,
+    wide: &ThousandRelReport,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"BENCH_PR9\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"space_persistence\": {{");
+    let _ = writeln!(s, "    \"checks\": {},", space.checks);
+    let _ = writeln!(s, "    \"iters\": {},", config.iters);
+    let _ = writeln!(s, "    \"cold_ms\": {:.3},", space.cold_ms);
+    let _ = writeln!(s, "    \"cold_with_snapshot_ms\": {:.3},", space.warm_ms);
+    let _ = writeln!(s, "    \"speedup\": {:.2},", space.speedup);
+    let _ = writeln!(
+        s,
+        "    \"cold_levels_rebuilt\": {},",
+        space.cold_levels_rebuilt
+    );
+    let _ = writeln!(
+        s,
+        "    \"warm_levels_hydrated\": {},",
+        space.warm_levels_hydrated
+    );
+    let _ = writeln!(
+        s,
+        "    \"warm_levels_rebuilt\": {},",
+        space.warm_levels_rebuilt
+    );
+    let _ = writeln!(s, "    \"library_spaces\": {},", space.library_spaces);
+    let _ = writeln!(s, "    \"library_bytes\": {},", space.library_bytes);
+    let _ = writeln!(s, "    \"verdicts_equal\": {},", space.verdicts_equal);
+    let _ = writeln!(
+        s,
+        "    \"permuted_levels_hydrated\": {},",
+        space.permuted_levels_hydrated
+    );
+    let _ = writeln!(
+        s,
+        "    \"permuted_levels_rebuilt\": {},",
+        space.permuted_levels_rebuilt
+    );
+    let _ = writeln!(
+        s,
+        "    \"permuted_verdicts_equal\": {}",
+        space.permuted_verdicts_equal
+    );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"thousand_relations\": {{");
+    let _ = writeln!(s, "    \"relations\": {},", wide.relations);
+    let _ = writeln!(s, "    \"dst_tuples\": {},", wide.dst_tuples);
+    let _ = writeln!(s, "    \"flat_pairs\": {},", wide.flat_pairs);
+    let _ = writeln!(s, "    \"trie_pairs\": {},", wide.trie_pairs);
+    let _ = writeln!(s, "    \"flat_ms\": {:.4},", wide.flat_ms);
+    let _ = writeln!(s, "    \"trie_ms\": {:.4},", wide.trie_ms);
+    let _ = writeln!(s, "    \"lists_identical\": {}", wide.lists_identical);
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
 fn norm_json_report(config: &Config, norm: &NormalizationReport) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -808,7 +1166,7 @@ fn json_report(
 fn usage() -> ExitCode {
     eprintln!(
         "usage: viewcap-bench [--smoke] [--iters N] [--out PATH] [--out-cross PATH] \
-         [--out-norm PATH] [--out-obs PATH] [--scenarios DIR]"
+         [--out-norm PATH] [--out-obs PATH] [--out-space PATH] [--scenarios DIR]"
     );
     ExitCode::FAILURE
 }
@@ -821,6 +1179,7 @@ fn main() -> ExitCode {
         out_cross: "BENCH_PR5.json".into(),
         out_norm: "BENCH_PR6.json".into(),
         out_obs: "BENCH_PR7.json".into(),
+        out_space: "BENCH_PR9.json".into(),
         scenarios_dir: "scenarios".into(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -851,6 +1210,10 @@ fn main() -> ExitCode {
                 Some(p) => config.out_obs = p.into(),
                 None => return usage(),
             },
+            "--out-space" => match it.next() {
+                Some(p) => config.out_space = p.into(),
+                None => return usage(),
+            },
             "--scenarios" => match it.next() {
                 Some(p) => config.scenarios_dir = p.into(),
                 None => return usage(),
@@ -864,6 +1227,8 @@ fn main() -> ExitCode {
     let scenarios = bench_scenarios(&config);
     let cross = bench_cross_catalog(&config);
     let norm = bench_normalization(&config);
+    let space = bench_space_persistence(&config);
+    let wide = bench_thousand_relations(&config);
     // Last, so flipping the global telemetry flag cannot touch the other
     // suites' measurements.
     let obs = bench_telemetry(&config);
@@ -943,6 +1308,34 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", config.out_norm.display());
+
+    println!(
+        "space-persistence: {} checks, cold {:.2} ms / with-snapshot {:.2} ms ({:.2}x), \
+         {} level(s) rebuilt -> {} hydrated / {} rebuilt, permuted {} hydrated / {} rebuilt",
+        space.checks,
+        space.cold_ms,
+        space.warm_ms,
+        space.speedup,
+        space.cold_levels_rebuilt,
+        space.warm_levels_hydrated,
+        space.warm_levels_rebuilt,
+        space.permuted_levels_hydrated,
+        space.permuted_levels_rebuilt
+    );
+    println!(
+        "thousand-relations: {} tags, join index {} -> {} pairs examined \
+         ({:.4} -> {:.4} ms)",
+        wide.relations, wide.flat_pairs, wide.trie_pairs, wide.flat_ms, wide.trie_ms
+    );
+    let space_report = space_json_report(&config, &space, &wide);
+    if let Err(e) = std::fs::write(&config.out_space, &space_report) {
+        eprintln!(
+            "viewcap-bench: cannot write `{}`: {e}",
+            config.out_space.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", config.out_space.display());
 
     println!(
         "telemetry: disabled {:.2} ms / enabled {:.2} ms ({:+.1}%), {} check(s), \
@@ -1028,6 +1421,42 @@ fn main() -> ExitCode {
         }
         if !norm.join_lists_identical {
             failures.push("trie candidate lists diverged from the flat scan".to_owned());
+        }
+        if space.cold_levels_rebuilt == 0 {
+            failures.push("cold space runs rebuilt no levels (workload is dead)".to_owned());
+        }
+        if space.warm_levels_rebuilt != 0 {
+            failures.push(format!(
+                "snapshot-warmed run rebuilt {} level(s)",
+                space.warm_levels_rebuilt
+            ));
+        }
+        if space.warm_levels_hydrated == 0 {
+            failures.push("snapshot-warmed run hydrated no levels".to_owned());
+        }
+        if space.permuted_levels_rebuilt != 0 {
+            failures.push(format!(
+                "permuted-catalog snapshot run rebuilt {} level(s)",
+                space.permuted_levels_rebuilt
+            ));
+        }
+        if !space.verdicts_equal {
+            failures.push("snapshot-warmed verdicts diverged from cold".to_owned());
+        }
+        if !space.permuted_verdicts_equal {
+            failures.push("permuted-catalog snapshot verdicts diverged from cold".to_owned());
+        }
+        if space.library_spaces == 0 {
+            failures.push("harvest produced an empty space library".to_owned());
+        }
+        if wide.trie_pairs >= wide.flat_pairs {
+            failures.push(format!(
+                "thousand-relation trie examined {} pairs, not below the flat scan's {}",
+                wide.trie_pairs, wide.flat_pairs
+            ));
+        }
+        if !wide.lists_identical {
+            failures.push("thousand-relation candidate lists diverged".to_owned());
         }
         if obs.check_hist.count == 0 {
             failures.push("telemetry recorded no per-check latencies".to_owned());

@@ -28,11 +28,20 @@ use viewcap_base::{Catalog, RelId};
 use viewcap_expr::Expr;
 use viewcap_obs as obs;
 use viewcap_template::{
-    equivalent_templates, substitute, Assignment, CandidateSpace, SearchLimits, SearchOptions,
-    SearchOverflow, SearchStats, Template,
+    equivalent_templates, load_space, save_space, space_digest, substitute, Assignment,
+    CandidateSpace, SearchLimits, SearchOptions, SearchOverflow, SearchStats, Substitution,
+    Template,
 };
 
 use crate::view::View;
+
+/// Space hydrate/persist telemetry. Counters are workload-deterministic
+/// (the jobs-determinism suite pins them); only the `*_ns` histogram
+/// carries timing.
+static SPACE_LOAD_HIST: obs::Hist = obs::Hist::new("space.load_ns");
+static SPACE_HYDRATES: obs::Counter = obs::Counter::new("space.hydrates");
+static SPACE_LEVELS_REUSED: obs::Counter = obs::Counter::new("space.levels_reused");
+static SPACE_HYDRATE_REJECTS: obs::Counter = obs::Counter::new("space.hydrate_rejects");
 
 /// Budget knobs for the bounded search.
 #[derive(Clone, Debug, Default)]
@@ -127,6 +136,13 @@ pub struct ClosureContext {
     budget: SearchBudget,
     /// Goals probed so far (for reuse reporting).
     probes: u64,
+    /// A staged snapshot, applied lazily on the first probe (building a
+    /// context must stay cheap — prewarm creates contexts it may never
+    /// probe).
+    pending_snapshot: Option<Vec<u8>>,
+    /// Levels supplied by a hydrated snapshot (0 when cold). The space may
+    /// extend past this in memory; `export_space` re-persists only then.
+    hydrated_levels: usize,
 }
 
 impl ClosureContext {
@@ -159,7 +175,85 @@ impl ClosureContext {
             space,
             budget: budget.clone(),
             probes: 0,
+            pending_snapshot: None,
+            hydrated_levels: 0,
         }
+    }
+
+    /// Content digest addressing this context's candidate space: the
+    /// search options plus the ordered sequence of λ-atom schemes, by
+    /// attribute *name* — identical across catalogs declaring the same
+    /// relations in any order, and shared by any query set with the same
+    /// TRS sequence.
+    pub fn space_key(&self) -> u128 {
+        space_digest(&self.scratch, &self.atoms(), SearchOptions::default())
+    }
+
+    fn atoms(&self) -> Vec<RelId> {
+        self.lambda_queries.iter().map(|&(lam, _)| lam).collect()
+    }
+
+    /// Stage serialized snapshot bytes for this context's space. Nothing
+    /// is parsed here; hydration happens lazily on the first probe, so
+    /// contexts that are never probed never pay the load.
+    pub fn stage_snapshot(&mut self, bytes: Vec<u8>) {
+        self.pending_snapshot = Some(bytes);
+    }
+
+    /// Apply a staged snapshot, if any. A snapshot that fails validation
+    /// (corrupt, version-skewed, or describing a different space) is
+    /// discarded and the context stays cold — hydration is an
+    /// optimization, never a correctness dependency.
+    fn hydrate_pending(&mut self) {
+        let Some(bytes) = self.pending_snapshot.take() else {
+            return;
+        };
+        if self.space.built_levels() > 0 {
+            return;
+        }
+        let t0 = obs::now_ns();
+        match load_space(
+            &bytes,
+            &self.scratch,
+            &self.atoms(),
+            SearchOptions::default(),
+        ) {
+            Ok(space) => {
+                self.hydrated_levels = space.built_levels();
+                self.space = space;
+                SPACE_HYDRATES.add(1);
+                SPACE_LEVELS_REUSED.add(self.hydrated_levels as u64);
+            }
+            Err(_) => {
+                SPACE_HYDRATE_REJECTS.add(1);
+            }
+        }
+        if obs::enabled() {
+            SPACE_LOAD_HIST.record(obs::now_ns().saturating_sub(t0));
+        }
+    }
+
+    /// Serialize this context's space — `Some` only when it holds levels
+    /// beyond what hydration supplied, i.e. exactly when persisting would
+    /// save future processes work a snapshot has not already captured.
+    /// Returns the space key alongside the snapshot bytes.
+    pub fn export_space(&self) -> Option<(u128, Vec<u8>)> {
+        if self.space.built_levels() == 0 || self.space.built_levels() <= self.hydrated_levels {
+            return None;
+        }
+        Some((self.space_key(), save_space(&self.space, &self.scratch)))
+    }
+
+    /// Levels a hydrated snapshot supplied (0 for a cold context).
+    pub fn hydrated_levels(&self) -> usize {
+        self.hydrated_levels
+    }
+
+    /// Levels built by in-process enumeration (beyond any snapshot).
+    pub fn rebuilt_levels(&self) -> usize {
+        self.space
+            .built_levels()
+            .saturating_sub(self.hydrated_levels)
     }
 
     /// Decide `goal ∈ closure(queries)` by probing the shared candidate
@@ -176,6 +270,7 @@ impl ClosureContext {
         let mut span = PROBE_SPAN.start();
         span.arg("goal_atoms", goal.template().len() as u64);
         self.probes += 1;
+        self.hydrate_pending();
         if self.lambda_queries.is_empty() {
             return Ok(None);
         }
@@ -234,6 +329,92 @@ impl ClosureContext {
             },
         )?;
         Ok(proof)
+    }
+
+    /// Enumerate every construction of `goal` from the query set — each
+    /// normalized λ-skeleton within the atom bound whose substitution is
+    /// equivalent to the goal — through the same shared candidate space as
+    /// [`ClosureContext::contains`]. Where `contains` breaks at the first
+    /// witness, this keeps visiting until the callback breaks; the
+    /// essential-tuple procedures (Sections 3.2–3.3) are built on it, so
+    /// they amortize enumeration across calls instead of re-enumerating
+    /// per invocation.
+    ///
+    /// Returns `Ok(true)` when the callback broke early.
+    pub fn for_each_construction(
+        &mut self,
+        goal: &Query,
+        f: &mut dyn FnMut(&Expr, &Template, &Substitution) -> ControlFlow<()>,
+    ) -> Result<bool, SearchOverflow> {
+        self.probes += 1;
+        self.hydrate_pending();
+        if self.lambda_queries.is_empty() {
+            return Ok(false);
+        }
+        // Same quick rejection as `contains`: equivalent mappings have equal
+        // RN sets, so no construction exists for goals mentioning names
+        // outside the queries' union.
+        if !goal.rel_names().iter().all(|r| self.union_rn.contains(r)) {
+            return Ok(false);
+        }
+
+        let max_atoms = self
+            .budget
+            .max_atoms_override
+            .unwrap_or_else(|| goal.template().len());
+        let goal_trs = goal.trs();
+        let goal_rn = goal.rel_names();
+
+        let ClosureContext {
+            scratch,
+            beta,
+            rn_of_lambda,
+            space,
+            budget,
+            ..
+        } = self;
+        let scratch: &Catalog = scratch;
+        let mut broke = false;
+        space.probe(
+            scratch,
+            max_atoms,
+            Some(&goal_trs),
+            &budget.limits,
+            &mut |expr, skel| {
+                let skel_rn: BTreeSet<RelId> = skel
+                    .rel_names()
+                    .into_iter()
+                    .flat_map(|lam| rn_of_lambda[&lam].iter().copied())
+                    .collect();
+                if skel_rn != goal_rn {
+                    return ControlFlow::Continue(());
+                }
+                let sub = substitute(skel, beta, scratch).expect("every λ is assigned");
+                if !equivalent_templates(&sub.result, goal.template()) {
+                    return ControlFlow::Continue(());
+                }
+                if f(expr, skel, &sub).is_break() {
+                    broke = true;
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )?;
+        Ok(broke)
+    }
+
+    /// The scratch catalog (the caller's catalog plus the minted λ names) —
+    /// constructions enumerated by [`ClosureContext::for_each_construction`]
+    /// live in it.
+    pub fn scratch_catalog(&self) -> &Catalog {
+        &self.scratch
+    }
+
+    /// `(λ, index into the query set)` for every scratch name, in query-set
+    /// order.
+    pub fn lambda_queries(&self) -> &[(RelId, usize)] {
+        &self.lambda_queries
     }
 
     /// Cumulative enumeration counters of the underlying candidate space —

@@ -26,14 +26,14 @@
 //! essential tuples are exactly the union of the essential components) are
 //! exercised in the crate tests and the integration suite.
 
-use crate::capacity::SearchBudget;
+use crate::capacity::{ClosureContext, SearchBudget};
 use crate::query::Query;
 use std::ops::ControlFlow;
 use viewcap_base::{Catalog, RelId};
 use viewcap_expr::Expr;
 use viewcap_template::{
-    connected_components, equivalent_templates, for_each_homomorphism, substitute, Assignment,
-    Homomorphism, SearchOverflow, Substitution, Template,
+    connected_components, for_each_homomorphism, Homomorphism, SearchOverflow, Substitution,
+    Template,
 };
 
 /// An exhibited construction `(E → β, f)` of `queries[goal_idx]` from
@@ -181,6 +181,12 @@ pub struct Lineage {
 /// every (deduplicated) construction within the capacity bound, with every
 /// homomorphism.
 ///
+/// One-shot wrapper over [`for_each_exhibited_construction_in`]; callers
+/// enumerating against one query set repeatedly (different goals, or the
+/// two passes of [`construction_with_essential_descendants`]) should build
+/// a [`ClosureContext`] once and use the `_in` variant — the candidate
+/// space is goal-independent and amortizes across calls.
+///
 /// Returns `Ok(true)` when the callback broke early.
 pub fn for_each_exhibited_construction(
     queries: &[Query],
@@ -189,63 +195,50 @@ pub fn for_each_exhibited_construction(
     budget: &SearchBudget,
     f: &mut dyn FnMut(&ExhibitedConstruction) -> ControlFlow<()>,
 ) -> Result<bool, SearchOverflow> {
+    let mut ctx = ClosureContext::new(queries, catalog, budget);
+    for_each_exhibited_construction_in(&mut ctx, queries, goal_idx, f)
+}
+
+/// [`for_each_exhibited_construction`] through a shared [`ClosureContext`]
+/// built over the same `queries` — reuses the context's memoized
+/// [`CandidateSpace`](viewcap_template::CandidateSpace) instead of
+/// re-enumerating skeletons per call.
+///
+/// Sharing is sound for the same reason goal probes share: the space
+/// depends only on the query set; the goal merely selects from it. Only
+/// the *skeleton* enumeration is memoized — homomorphisms (the tuple-level
+/// provenance) are recomputed per construction, since they depend on the
+/// goal's template, not just its type.
+pub fn for_each_exhibited_construction_in(
+    ctx: &mut ClosureContext,
+    queries: &[Query],
+    goal_idx: usize,
+    f: &mut dyn FnMut(&ExhibitedConstruction) -> ControlFlow<()>,
+) -> Result<bool, SearchOverflow> {
     let goal = &queries[goal_idx];
-    let mut scratch = catalog.clone();
-    let mut beta = Assignment::new();
-    let mut lambda_queries = Vec::with_capacity(queries.len());
-    let mut atoms = Vec::with_capacity(queries.len());
-    for (i, q) in queries.iter().enumerate() {
-        let lam = scratch.fresh_relation("lam", q.trs());
-        beta.set(lam, q.template().clone(), &scratch)
-            .expect("λ type minted to match");
-        lambda_queries.push((lam, i));
-        atoms.push(lam);
-    }
-
-    let max_atoms = budget
-        .max_atoms_override
-        .unwrap_or_else(|| goal.template().len());
-    let goal_trs = goal.trs();
-
-    let mut broke = false;
-    viewcap_template::for_each_candidate(
-        &scratch,
-        &atoms,
-        max_atoms,
-        Some(&goal_trs),
-        &budget.limits,
-        &mut |expr, skel| {
-            let sub = substitute(skel, &beta, &scratch).expect("every λ assigned");
-            if !equivalent_templates(&sub.result, goal.template()) {
-                return ControlFlow::Continue(());
-            }
-            let mut flow = ControlFlow::Continue(());
-            let _ = for_each_homomorphism(goal.template(), &sub.result, &mut |h| {
-                let ec = ExhibitedConstruction {
-                    goal_idx,
-                    skeleton: expr.clone(),
-                    catalog: scratch.clone(),
-                    lambda_queries: lambda_queries.clone(),
-                    skeleton_template: skel.clone(),
-                    substitution: sub.clone(),
-                    hom: h.clone(),
-                };
-                flow = f(&ec);
-                if flow.is_break() {
-                    ControlFlow::Break(())
-                } else {
-                    ControlFlow::Continue(())
-                }
-            });
+    let scratch = ctx.scratch_catalog().clone();
+    let lambda_queries = ctx.lambda_queries().to_vec();
+    ctx.for_each_construction(goal, &mut |expr, skel, sub| {
+        let mut flow = ControlFlow::Continue(());
+        let _ = for_each_homomorphism(goal.template(), &sub.result, &mut |h| {
+            let ec = ExhibitedConstruction {
+                goal_idx,
+                skeleton: expr.clone(),
+                catalog: scratch.clone(),
+                lambda_queries: lambda_queries.clone(),
+                skeleton_template: skel.clone(),
+                substitution: sub.clone(),
+                hom: h.clone(),
+            };
+            flow = f(&ec);
             if flow.is_break() {
-                broke = true;
                 ControlFlow::Break(())
             } else {
                 ControlFlow::Continue(())
             }
-        },
-    )?;
-    Ok(broke)
+        });
+        flow
+    })
 }
 
 /// Decide essentiality for every tuple of `queries[t_idx]` at once
@@ -257,9 +250,22 @@ pub fn essential_tuples(
     catalog: &Catalog,
     budget: &SearchBudget,
 ) -> Result<Vec<bool>, SearchOverflow> {
+    let mut ctx = ClosureContext::new(queries, catalog, budget);
+    essential_tuples_in(&mut ctx, queries, t_idx)
+}
+
+/// [`essential_tuples`] through a shared [`ClosureContext`] built over the
+/// same `queries` — the skeleton enumeration comes from the context's
+/// candidate space, so deciding essentiality for several members (or
+/// mixing essentiality with capacity probes) pays the enumeration once.
+pub fn essential_tuples_in(
+    ctx: &mut ClosureContext,
+    queries: &[Query],
+    t_idx: usize,
+) -> Result<Vec<bool>, SearchOverflow> {
     let m = queries[t_idx].template().len();
     let mut essential = vec![true; m];
-    for_each_exhibited_construction(queries, t_idx, catalog, budget, &mut |ec| {
+    for_each_exhibited_construction_in(ctx, queries, t_idx, &mut |ec| {
         for (rho, flag) in essential.iter_mut().enumerate() {
             if *flag && !ec.is_self_descendent(rho, t_idx) {
                 *flag = false;
@@ -300,10 +306,14 @@ pub fn construction_with_essential_descendants(
     catalog: &Catalog,
     budget: &SearchBudget,
 ) -> Result<Option<ExhibitedConstruction>, SearchOverflow> {
-    let essential = essential_tuples(queries, t_idx, catalog, budget)?;
+    // One context for both passes: the essentiality decision for `t_idx`
+    // and the construction search for `goal_idx` enumerate the same
+    // goal-independent candidate space.
+    let mut ctx = ClosureContext::new(queries, catalog, budget);
+    let essential = essential_tuples_in(&mut ctx, queries, t_idx)?;
     let m = queries[goal_idx].template().len();
     let mut found: Option<ExhibitedConstruction> = None;
-    for_each_exhibited_construction(queries, goal_idx, catalog, budget, &mut |ec| {
+    for_each_exhibited_construction_in(&mut ctx, queries, goal_idx, &mut |ec| {
         let all_essential = (0..m).all(|rho| match ec.immediate_descendant(rho, t_idx) {
             Some(d) => essential[d],
             None => true, // non-T-block child: no constraint
@@ -538,6 +548,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shared_context_agrees_with_one_shot_and_reuses_the_space() {
+        let cat = setup();
+        let set = [q(&cat, "pi{A,B}(R)"), q(&cat, "pi{B,C}(R)")];
+        let budget = SearchBudget::default();
+        let mut ctx = ClosureContext::new(&set, &cat, &budget);
+        let e0 = essential_tuples_in(&mut ctx, &set, 0).unwrap();
+        let combos_after_first = ctx.search_stats().combos;
+        let e1 = essential_tuples_in(&mut ctx, &set, 1).unwrap();
+        assert_eq!(e0, essential_tuples(&set, 0, &cat, &budget).unwrap());
+        assert_eq!(e1, essential_tuples(&set, 1, &cat, &budget).unwrap());
+        // Both members have single-tuple templates, so the second call's
+        // atom bound is covered by levels the first call already built:
+        // no fresh enumeration work.
+        assert_eq!(ctx.search_stats().combos, combos_after_first);
+        assert_eq!(ctx.probes(), 2);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::fingerprint::{
     ordered_view_fingerprint, query_fingerprint, view_fingerprint, view_query_fingerprints,
     Fingerprint,
 };
+use crate::spacestore::SpaceLibrary;
 use crate::verdict::{CheckKind, Verdict};
 use crate::workload::{Check, Workload};
 use std::collections::HashMap;
@@ -46,6 +47,7 @@ static NORMALIZE_NS: obs::Hist = obs::Hist::new("engine.normalize_ns");
 static CTX_BUILD: obs::Counter = obs::Counter::new("engine.ctx.build");
 static CTX_REUSE: obs::Counter = obs::Counter::new("engine.ctx.reuse");
 static CTX_RETIRE: obs::Counter = obs::Counter::new("engine.ctx.retire");
+static CTX_STAGE: obs::Counter = obs::Counter::new("engine.ctx.stage");
 static NORM_CTX_BUILD: obs::Counter = obs::Counter::new("engine.norm_ctx.build");
 static NORM_CTX_REUSE: obs::Counter = obs::Counter::new("engine.norm_ctx.reuse");
 static NORM_CTX_RETIRE: obs::Counter = obs::Counter::new("engine.norm_ctx.retire");
@@ -141,6 +143,12 @@ pub struct EnumStats {
     pub combos: u64,
     /// Candidate roots kept across all shared candidate spaces.
     pub roots: u64,
+    /// Enumeration levels supplied by hydrated snapshots (the persisted
+    /// cold-start path) across all closure contexts.
+    pub levels_hydrated: u64,
+    /// Enumeration levels built by in-process enumeration — 0 on a fully
+    /// snapshot-served run, which is what the CI cold-start job asserts.
+    pub levels_rebuilt: u64,
 }
 
 impl EnumStats {
@@ -153,6 +161,8 @@ impl EnumStats {
             probes: self.probes.saturating_add(other.probes),
             combos: self.combos.saturating_add(other.combos),
             roots: self.roots.saturating_add(other.roots),
+            levels_hydrated: self.levels_hydrated.saturating_add(other.levels_hydrated),
+            levels_rebuilt: self.levels_rebuilt.saturating_add(other.levels_rebuilt),
         }
     }
 }
@@ -161,8 +171,14 @@ impl fmt::Display for EnumStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} context(s), {} probe(s), {} combination(s) examined, {} root(s) kept",
-            self.contexts, self.probes, self.combos, self.roots
+            "{} context(s), {} probe(s), {} combination(s) examined, {} root(s) kept, \
+             {} level(s) hydrated, {} level(s) rebuilt",
+            self.contexts,
+            self.probes,
+            self.combos,
+            self.roots,
+            self.levels_hydrated,
+            self.levels_rebuilt
         )
     }
 }
@@ -219,14 +235,18 @@ impl ContextPool {
 
     /// The context for `view`'s defining query set, created on first use.
     ///
-    /// Creation is cheap (no enumeration runs until the first probe). Past
+    /// Creation is cheap (no enumeration runs until the first probe): when
+    /// a space library holds a snapshot for the new context's space key,
+    /// the *bytes* are staged now but parsed only on the first probe. Past
     /// [`MAX_CONTEXTS`] the least-recently-used other context is retired,
-    /// its counters folded into the pool's totals.
+    /// its counters folded into the pool's totals and any enumeration
+    /// levels it grew harvested back into the library.
     fn for_view(
         &self,
         view: &View,
         catalog: &Catalog,
         budget: &SearchBudget,
+        spaces: Option<&Mutex<SpaceLibrary>>,
     ) -> Arc<Mutex<ClosureContext>> {
         let key = view_query_fingerprints(view, catalog);
         let mut inner = self.inner.lock().expect("context pool lock");
@@ -245,11 +265,15 @@ impl ContextPool {
                     "engine",
                     &[("queries", key.len() as u64)],
                 );
-                let context = Arc::new(Mutex::new(ClosureContext::new(
-                    view.query_set().queries(),
-                    catalog,
-                    budget,
-                )));
+                let mut fresh = ClosureContext::new(view.query_set().queries(), catalog, budget);
+                if let Some(spaces) = spaces {
+                    let library = spaces.lock().expect("space library lock");
+                    if let Some(bytes) = library.get(fresh.space_key()) {
+                        fresh.stage_snapshot(bytes.to_vec());
+                        CTX_STAGE.add(1);
+                    }
+                }
+                let context = Arc::new(Mutex::new(fresh));
                 inner.map.insert(
                     key,
                     PooledContext {
@@ -272,8 +296,10 @@ impl ContextPool {
             let Some(retiree) = inner.map.remove(&victim) else {
                 break;
             };
-            // Harvest the retiree's counters. Safe to lock here: workers
-            // never hold a context lock while touching the pool.
+            // Harvest the retiree's counters — and any enumeration levels
+            // it grew, so retirement never loses persisted-space progress.
+            // Safe to lock here: workers never hold a context lock while
+            // touching the pool.
             let retiree = retiree.context.lock().expect("context lock");
             let s = retiree.search_stats();
             CTX_RETIRE.add(1);
@@ -286,6 +312,16 @@ impl ContextPool {
             inner.retired.probes += retiree.probes();
             inner.retired.combos += s.combos;
             inner.retired.roots += s.roots_visited;
+            inner.retired.levels_hydrated += retiree.hydrated_levels() as u64;
+            inner.retired.levels_rebuilt += retiree.rebuilt_levels() as u64;
+            if let Some(spaces) = spaces {
+                if let Some((key, bytes)) = retiree.export_space() {
+                    spaces
+                        .lock()
+                        .expect("space library lock")
+                        .insert(key, bytes);
+                }
+            }
         }
         context
     }
@@ -294,13 +330,20 @@ impl ContextPool {
     /// sequentially for a batch's cache misses before workers start, so
     /// context creation order — and therefore which fingerprint-equal view
     /// defines a shared context — is submission-order-deterministic.
-    fn prewarm(&self, check: &Check, flipped: bool, catalog: &Catalog, budget: &SearchBudget) {
+    fn prewarm(
+        &self,
+        check: &Check,
+        flipped: bool,
+        catalog: &Catalog,
+        budget: &SearchBudget,
+        spaces: Option<&Mutex<SpaceLibrary>>,
+    ) {
         match check {
             Check::Member { view, .. } => {
-                self.for_view(view, catalog, budget);
+                self.for_view(view, catalog, budget, spaces);
             }
             Check::Dominates { dominator, .. } => {
-                self.for_view(dominator, catalog, budget);
+                self.for_view(dominator, catalog, budget, spaces);
             }
             Check::Equivalent { left, right } => {
                 let (v, w) = if flipped {
@@ -308,10 +351,31 @@ impl ContextPool {
                 } else {
                     (left, right)
                 };
-                self.for_view(v, catalog, budget);
-                self.for_view(w, catalog, budget);
+                self.for_view(v, catalog, budget, spaces);
+                self.for_view(w, catalog, budget, spaces);
             }
         }
+    }
+
+    /// Export every live context's grown space into `spaces` (retired
+    /// contexts already exported on the way out). Returns how many
+    /// snapshots changed the library.
+    fn harvest(&self, spaces: &Mutex<SpaceLibrary>) -> usize {
+        let inner = self.inner.lock().expect("context pool lock");
+        let mut harvested = 0;
+        for pooled in inner.map.values() {
+            let context = pooled.context.lock().expect("context lock");
+            if let Some((key, bytes)) = context.export_space() {
+                if spaces
+                    .lock()
+                    .expect("space library lock")
+                    .insert(key, bytes)
+                {
+                    harvested += 1;
+                }
+            }
+        }
+        harvested
     }
 
     fn stats(&self) -> EnumStats {
@@ -324,6 +388,8 @@ impl ContextPool {
             out.probes += context.probes();
             out.combos += s.combos;
             out.roots += s.roots_visited;
+            out.levels_hydrated += context.hydrated_levels() as u64;
+            out.levels_rebuilt += context.rebuilt_levels() as u64;
         }
         out
     }
@@ -472,6 +538,12 @@ pub struct Engine {
     budget: SearchBudget,
     contexts: ContextPool,
     norms: NormPool,
+    /// Optional persisted-snapshot library: new contexts stage a matching
+    /// snapshot from it (hydrated lazily on first probe), and grown spaces
+    /// are harvested back into it. Shareable across engines the same way
+    /// the verdict cache is — snapshots are content-addressed and validated
+    /// against the loading catalog at hydration time.
+    spaces: Option<Arc<Mutex<SpaceLibrary>>>,
 }
 
 impl Default for Engine {
@@ -508,6 +580,32 @@ impl Engine {
             budget,
             contexts: ContextPool::new(),
             norms: NormPool::new(),
+            spaces: None,
+        }
+    }
+
+    /// Attach a candidate-space library: contexts built from here on stage
+    /// matching snapshots (the persisted cold-start path), and
+    /// [`Engine::harvest_spaces`] / context retirement write grown spaces
+    /// back. Builder-style so call sites read
+    /// `Engine::with_cache(..).with_space_library(lib)`.
+    pub fn with_space_library(mut self, spaces: Arc<Mutex<SpaceLibrary>>) -> Self {
+        self.spaces = Some(spaces);
+        self
+    }
+
+    /// A shared handle on the engine's space library, if one is attached.
+    pub fn shared_spaces(&self) -> Option<Arc<Mutex<SpaceLibrary>>> {
+        self.spaces.clone()
+    }
+
+    /// Export every live context's space grown past its hydrated bound
+    /// into the attached library. Returns how many snapshots changed the
+    /// library (0 when no library is attached or nothing grew).
+    pub fn harvest_spaces(&self) -> usize {
+        match &self.spaces {
+            Some(spaces) => self.contexts.harvest(spaces),
+            None => 0,
         }
     }
 
@@ -640,7 +738,9 @@ impl Engine {
         let _span = CHECK_SPAN.start();
         let (verdict, left_view) = match check {
             Check::Member { view, goal } => {
-                let context = self.contexts.for_view(view, catalog, &self.budget);
+                let context =
+                    self.contexts
+                        .for_view(view, catalog, &self.budget, self.spaces.as_deref());
                 let proof = context.lock().expect("context lock").contains(goal)?;
                 (Verdict::Member(proof), view)
             }
@@ -648,7 +748,12 @@ impl Engine {
                 dominator,
                 dominated,
             } => {
-                let context = self.contexts.for_view(dominator, catalog, &self.budget);
+                let context = self.contexts.for_view(
+                    dominator,
+                    catalog,
+                    &self.budget,
+                    self.spaces.as_deref(),
+                );
                 let witness = dominates_via(&mut context.lock().expect("context lock"), dominated)?;
                 (Verdict::Dominates(witness), dominator)
             }
@@ -661,12 +766,19 @@ impl Engine {
                 } else {
                     (left, right)
                 };
-                let context = self.contexts.for_view(v, catalog, &self.budget);
+                let context =
+                    self.contexts
+                        .for_view(v, catalog, &self.budget, self.spaces.as_deref());
                 let v_dominates_w = dominates_via(&mut context.lock().expect("context lock"), w)?;
                 let witness = match v_dominates_w {
                     None => None,
                     Some(v_dominates_w) => {
-                        let context = self.contexts.for_view(w, catalog, &self.budget);
+                        let context = self.contexts.for_view(
+                            w,
+                            catalog,
+                            &self.budget,
+                            self.spaces.as_deref(),
+                        );
                         let w_dominates_v =
                             dominates_via(&mut context.lock().expect("context lock"), v)?;
                         w_dominates_v.map(|w_dominates_v| EquivalenceWitness {
@@ -850,7 +962,13 @@ impl Engine {
         //    order never depends on worker scheduling.
         for &slot in &todo {
             let (_, check, flipped) = representatives[slot];
-            self.contexts.prewarm(check, flipped, catalog, &self.budget);
+            self.contexts.prewarm(
+                check,
+                flipped,
+                catalog,
+                &self.budget,
+                self.spaces.as_deref(),
+            );
         }
         let workers = effective_jobs(jobs).min(todo.len());
         if workers <= 1 {
@@ -1145,6 +1263,49 @@ mod tests {
         );
         assert_eq!(stats.probes, total as u64);
         assert_eq!(engine.live_contexts(), super::MAX_CONTEXTS);
+    }
+
+    #[test]
+    fn space_library_eliminates_cold_start_rebuilds() {
+        let (cat, view, goals) = shared_goal_setup();
+        let mut workload = Workload::new();
+        for (i, goal) in goals.iter().enumerate() {
+            workload.push(
+                format!("goal {i}"),
+                Check::Member {
+                    view: view.clone(),
+                    goal: goal.clone(),
+                },
+            );
+        }
+        let lib = Arc::new(Mutex::new(SpaceLibrary::new()));
+
+        // Cold process: builds every level, harvests the grown space.
+        let cold = Engine::new().with_space_library(Arc::clone(&lib));
+        let first = cold.run_batch(&workload, &cat, 2);
+        assert_eq!(cold.harvest_spaces(), 1, "one context, one snapshot");
+        let cold_stats = cold.enum_stats();
+        assert!(cold_stats.levels_rebuilt > 0);
+        assert_eq!(cold_stats.levels_hydrated, 0);
+
+        // Fresh process (fresh verdict cache, so everything recomputes)
+        // warm-started from the library: zero rebuilt levels, zero fresh
+        // enumeration work, identical witnesses.
+        let warm = Engine::new().with_space_library(Arc::clone(&lib));
+        let second = warm.run_batch(&workload, &cat, 2);
+        let warm_stats = warm.enum_stats();
+        assert_eq!(warm_stats.levels_rebuilt, 0, "stats: {warm_stats}");
+        assert_eq!(warm_stats.levels_hydrated, cold_stats.levels_rebuilt);
+        // Counters travel with the snapshot (extension must keep numbering
+        // identically), so the warm run reports the same combos without
+        // having re-examined any.
+        assert_eq!(warm_stats.combos, cold_stats.combos);
+        for (a, b) in first.results.iter().zip(&second.results) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(format!("{:?}", a.verdict), format!("{:?}", b.verdict));
+        }
+        // Nothing grew past the snapshot, so there is nothing to re-persist.
+        assert_eq!(warm.harvest_spaces(), 0);
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub mod engine;
 pub mod fingerprint;
 pub mod persist;
 pub mod pilestore;
+pub mod spacestore;
 pub mod verdict;
 pub mod workload;
 
@@ -94,6 +95,7 @@ pub use persist::{
     save_cache_to_path, validate_cache_bytes, write_bytes_atomic, CompactReport, ImportTables,
     MergeReport, PersistError,
 };
-pub use pilestore::{PileStore, PileStoreError, CACHE_RECORD_KIND};
+pub use pilestore::{PileStore, PileStoreError, CACHE_RECORD_KIND, SPACE_RECORD_KIND};
+pub use spacestore::{SpaceLibrary, SpaceStoreError, SPACE_LIB_MAGIC, SPACE_LIB_VERSION};
 pub use verdict::{CheckKind, Verdict};
 pub use workload::{Check, Request, Workload};

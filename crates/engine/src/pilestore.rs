@@ -26,6 +26,7 @@ use crate::cache::VerdictCache;
 use crate::persist::{
     merge_cache_bytes, save_cache, validate_cache_bytes, MergeReport, PersistError,
 };
+use crate::spacestore::{SpaceLibrary, SpaceStoreError};
 use std::fmt;
 use std::path::Path;
 use viewcap_base::Catalog;
@@ -33,6 +34,12 @@ use viewcap_pile::{Pile, PileError, RecoveryReport};
 
 /// Record kind of a cache snapshot (a whole version-2 cache file).
 pub const CACHE_RECORD_KIND: u8 = 1;
+
+/// Record kind of a candidate-space snapshot (a whole
+/// [`SpaceLibrary`] file). Rides the same pile as verdict records —
+/// readers of either kind skip the other — so one append-only file
+/// carries a catalog's full warm-start state.
+pub const SPACE_RECORD_KIND: u8 = 2;
 
 /// Why a pile-store operation failed.
 #[derive(Debug)]
@@ -42,6 +49,9 @@ pub enum PileStoreError {
     /// A record's cache payload failed to parse, or an import candidate
     /// was rejected before being appended.
     Persist(PersistError),
+    /// A record's space-library payload failed to parse, or an import
+    /// candidate was rejected before being appended.
+    Space(SpaceStoreError),
 }
 
 impl fmt::Display for PileStoreError {
@@ -49,6 +59,7 @@ impl fmt::Display for PileStoreError {
         match self {
             PileStoreError::Pile(e) => write!(f, "{e}"),
             PileStoreError::Persist(e) => write!(f, "{e}"),
+            PileStoreError::Space(e) => write!(f, "{e}"),
         }
     }
 }
@@ -64,6 +75,12 @@ impl From<PileError> for PileStoreError {
 impl From<PersistError> for PileStoreError {
     fn from(e: PersistError) -> Self {
         PileStoreError::Persist(e)
+    }
+}
+
+impl From<SpaceStoreError> for PileStoreError {
+    fn from(e: SpaceStoreError) -> Self {
+        PileStoreError::Space(e)
     }
 }
 
@@ -156,6 +173,49 @@ impl PileStore {
     /// Number of cache records currently in the pile.
     pub fn record_count(&mut self) -> Result<usize, PileStoreError> {
         Ok(self.cache_payloads()?.len())
+    }
+
+    /// Append a candidate-space library as one record (a complete
+    /// [`SpaceLibrary`] file). An empty library appends nothing. Returns
+    /// the appended record's size in bytes (0 when nothing was appended).
+    pub fn append_spaces(&mut self, spaces: &SpaceLibrary) -> Result<usize, PileStoreError> {
+        if spaces.is_empty() {
+            return Ok(0);
+        }
+        Ok(self.pile.append(SPACE_RECORD_KIND, &spaces.to_bytes())?)
+    }
+
+    /// Import bridge: append an existing space-library file's bytes as one
+    /// record, after fully validating them. Returns the library's entry
+    /// count.
+    pub fn append_space_bytes(&mut self, bytes: &[u8]) -> Result<usize, PileStoreError> {
+        let entries = SpaceLibrary::from_bytes(bytes)?.len();
+        self.pile.append(SPACE_RECORD_KIND, bytes)?;
+        Ok(entries)
+    }
+
+    /// The union of every space record, merged in append order (per space
+    /// key, the snapshot with the most levels wins). An empty or
+    /// space-record-free pile loads an empty library.
+    pub fn load_spaces(&mut self) -> Result<SpaceLibrary, PileStoreError> {
+        let mut out = SpaceLibrary::new();
+        for record in self.pile.records()? {
+            if record.kind != SPACE_RECORD_KIND {
+                continue;
+            }
+            out.merge(SpaceLibrary::from_bytes(&record.payload)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of space records currently in the pile.
+    pub fn space_record_count(&mut self) -> Result<usize, PileStoreError> {
+        Ok(self
+            .pile
+            .records()?
+            .into_iter()
+            .filter(|r| r.kind == SPACE_RECORD_KIND)
+            .count())
     }
 }
 
@@ -284,6 +344,44 @@ mod tests {
         let (exported, _) = store.merged_bytes().unwrap();
         let (expected, _) = merge_cache_bytes(std::slice::from_ref(&file)).unwrap();
         assert_eq!(exported, expected);
+    }
+
+    #[test]
+    fn space_records_ride_alongside_cache_records() {
+        let (cat, view) = setup();
+        let path = tmp("spaces");
+
+        // A verdict record and a space record, interleaved.
+        let engine = Engine::new();
+        decide(&engine, &cat, &view, "pi{A}(R)");
+        let mut store = PileStore::open(&path).unwrap();
+        store.append_cache(engine.cache(), &cat).unwrap();
+
+        let mut lib = SpaceLibrary::new();
+        lib.insert(99, vec![1, 2, 3]);
+        assert!(store.append_spaces(&lib).unwrap() > 0);
+        assert!(store.append_spaces(&SpaceLibrary::new()).unwrap() == 0);
+
+        let mut lib2 = SpaceLibrary::new();
+        lib2.insert(99, vec![1, 2, 3, 4]); // more levels for the same key
+        lib2.insert(7, vec![9]);
+        store.append_spaces(&lib2).unwrap();
+
+        // Cache loads skip space records; space loads skip cache records.
+        let mut reader = PileStore::open(&path).unwrap();
+        assert_eq!(reader.record_count().unwrap(), 1);
+        assert_eq!(reader.space_record_count().unwrap(), 2);
+        assert_eq!(reader.load(None).unwrap().stats().entries, 1);
+        let merged = reader.load_spaces().unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.get(99), Some(&[1, 2, 3, 4][..]), "most levels win");
+
+        // The import bridge validates before appending.
+        assert_eq!(store.append_space_bytes(&lib.to_bytes()).unwrap(), 1);
+        assert!(matches!(
+            store.append_space_bytes(b"garbage"),
+            Err(PileStoreError::Space(_))
+        ));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 pub mod families;
 pub mod random;
 
-pub use families::{chain_join_expr, chain_world, star_join_expr, star_world, StructuredWorld};
+pub use families::{
+    chain_join_expr, chain_world, star_join_expr, star_world, wide_join_expr, wide_world,
+    StructuredWorld,
+};
 pub use random::{
     random_expr, random_instantiation, random_query, random_view, random_world, WorldSpec,
 };

@@ -42,6 +42,7 @@ pub mod ops;
 pub mod recognize;
 pub mod reduce;
 pub mod search;
+pub mod snapshot;
 pub mod subst;
 pub mod template;
 
@@ -61,6 +62,9 @@ pub use reduce::reduce;
 pub use search::{
     for_each_candidate, for_each_candidate_with, CandidateSpace, SearchLimits, SearchOptions,
     SearchOverflow, SearchStats,
+};
+pub use snapshot::{
+    load_space, save_space, space_digest, SnapshotError, SPACE_FORMAT_VERSION, SPACE_MAGIC,
 };
 pub use subst::{apply_assignment, substitute, Assignment, Substitution};
 pub use template::{TaggedTuple, Template};

@@ -126,10 +126,31 @@ use viewcap_expr::Expr;
 /// Callback type for the combination enumerator.
 type ComboSink<'a> = &'a mut dyn FnMut(&[(usize, usize)]) -> Result<(), SearchOverflow>;
 
+/// Proper nonempty subsets of `trs` in *content* order: by length, then by
+/// the sequence of attribute-name ranks.
+///
+/// `Scheme` stores attributes sorted by [`viewcap_base::AttrId`] — interning
+/// order, a catalog-declaration artifact — so the raw
+/// [`Scheme::proper_nonempty_subsets`] order varies across catalogs that
+/// declare the same relations in different orders. Sorting by name rank
+/// (`ranks` from [`Catalog::attr_name_ranks`]) makes level expansion — and
+/// therefore which equivalent witness the search keeps first — identical
+/// across permuted catalogs, which is what lets cold runs emit
+/// byte-identical witnesses and makes persisted spaces portable.
+fn canonical_proper_subsets(trs: &Scheme, ranks: &[u32]) -> Vec<Scheme> {
+    let mut subs = trs.proper_nonempty_subsets();
+    subs.sort_by_cached_key(|s| {
+        let mut key: Vec<u32> = s.iter().map(|a| ranks[a.index()]).collect();
+        key.sort_unstable();
+        (s.len(), key)
+    });
+    subs
+}
+
 /// A deduplicated candidate: an expression and its reduced template.
-struct Part {
-    expr: Expr,
-    tpl: Template,
+pub(crate) struct Part {
+    pub(crate) expr: Expr,
+    pub(crate) tpl: Template,
 }
 
 /// Semantic dedup: canonical-key buckets confirmed by equivalence.
@@ -137,14 +158,14 @@ struct Part {
 /// Insertions are journaled so a partially built level can be rolled back
 /// (see [`CandidateSpace::ensure_level`]); [`Dedup::commit`] discards the
 /// journal once a level is final.
-struct Dedup {
+pub(crate) struct Dedup {
     enabled: bool,
     buckets: HashMap<CanonKey, Vec<Template>>,
     trail: Vec<CanonKey>,
 }
 
 impl Dedup {
-    fn new(enabled: bool) -> Self {
+    pub(crate) fn new(enabled: bool) -> Self {
         Dedup {
             enabled,
             buckets: HashMap::new(),
@@ -153,7 +174,7 @@ impl Dedup {
     }
 
     /// Returns `true` when an equivalent template was already recorded.
-    fn seen(&mut self, t: &Template, stats: &mut SearchStats) -> bool {
+    pub(crate) fn seen(&mut self, t: &Template, stats: &mut SearchStats) -> bool {
         if !self.enabled {
             return false;
         }
@@ -196,27 +217,31 @@ impl Dedup {
     }
 
     /// Forget the journal (the recorded insertions are now permanent).
-    fn commit(&mut self) {
+    pub(crate) fn commit(&mut self) {
         self.trail.clear();
     }
 }
 
 /// One fully built enumeration level of a [`CandidateSpace`].
-struct Level {
+pub(crate) struct Level {
     /// Cumulative join combinations examined after completing this level —
     /// the deterministic, goal-independent visit count a fresh search would
     /// have consumed. Probes compare it against their own
     /// [`SearchLimits::max_visits`] to reproduce per-probe overflow.
-    visits_after: u64,
+    pub(crate) visits_after: u64,
     /// Parts kept at this level (what a fresh search checks against
     /// [`SearchLimits::max_level_parts`]).
-    parts_kept: usize,
+    pub(crate) parts_kept: usize,
     /// Deduplicated candidate roots in fresh visit order (new parts, then
     /// new joins).
-    roots: Vec<Part>,
+    pub(crate) roots: Vec<Part>,
     /// Root indices keyed by target relation scheme (rendered as bytes),
     /// preserving order within a scheme.
-    roots_by_trs: ByteTrie,
+    pub(crate) roots_by_trs: ByteTrie,
+    /// The joins committed at this level, in enumeration order — kept so a
+    /// snapshot can replay `join_dedup` exactly (roots alone lose joins
+    /// that earlier roots deduplicated away).
+    pub(crate) joins: Vec<Part>,
 }
 
 /// A persistent, lazily extended memo of the bounded enumeration.
@@ -243,18 +268,18 @@ struct Level {
 /// minted in) — callers such as `viewcap-core`'s `ClosureContext` own the
 /// scratch catalog and the space side by side.
 pub struct CandidateSpace {
-    atoms: Vec<RelId>,
-    options: SearchOptions,
+    pub(crate) atoms: Vec<RelId>,
+    pub(crate) options: SearchOptions,
     /// `parts[k]` = deduplicated parts of exactly `k` atoms (index 0 unused).
-    parts: Vec<Vec<Part>>,
-    levels: Vec<Level>,
-    part_dedup: Dedup,
-    join_dedup: Dedup,
-    root_dedup: Dedup,
+    pub(crate) parts: Vec<Vec<Part>>,
+    pub(crate) levels: Vec<Level>,
+    pub(crate) part_dedup: Dedup,
+    pub(crate) join_dedup: Dedup,
+    pub(crate) root_dedup: Dedup,
     /// Cumulative counters over all committed build work.
-    stats: SearchStats,
+    pub(crate) stats: SearchStats,
     /// Probes served (for reuse reporting).
-    probes: u64,
+    pub(crate) probes: u64,
 }
 
 impl CandidateSpace {
@@ -416,6 +441,7 @@ impl CandidateSpace {
         // Visits continue cumulatively across levels, exactly as one fresh
         // bottom-up search would count them.
         let mut visits: u64 = levels.last().map_or(0, |l| l.visits_after);
+        let ranks = catalog.attr_name_ranks();
 
         // -------- new parts of size k (and, for k ≥ 2, new joins of size k)
         let mut new_parts: Vec<Part> = Vec::new();
@@ -430,8 +456,8 @@ impl CandidateSpace {
                         tpl: tpl.clone(),
                     });
                 }
-                // Proper projections of the atom.
-                for x in tpl.trs().proper_nonempty_subsets() {
+                // Proper projections of the atom, in content order.
+                for x in canonical_proper_subsets(&tpl.trs(), &ranks) {
                     let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
                     if !part_dedup.seen(&p, stats) {
                         new_parts.push(Part {
@@ -464,8 +490,9 @@ impl CandidateSpace {
                     }
                     let expr = Expr::join(children.iter().map(|c| c.expr.clone()).collect())
                         .expect("≥ 2 children");
-                    // Proper projections become parts of size k.
-                    for x in tpl.trs().proper_nonempty_subsets() {
+                    // Proper projections become parts of size k, in
+                    // content order.
+                    for x in canonical_proper_subsets(&tpl.trs(), &ranks) {
                         let p = maybe_reduce(&project_template(&tpl, &x).expect("X ⊆ TRS"));
                         if !part_dedup.seen(&p, stats) {
                             new_parts.push(Part {
@@ -512,6 +539,7 @@ impl CandidateSpace {
             parts_kept: new_parts.len(),
             roots,
             roots_by_trs,
+            joins: new_joins,
         });
         parts.push(new_parts);
         Ok(())

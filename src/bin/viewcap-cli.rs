@@ -55,6 +55,20 @@
 //! snapshots) and repair crash damage (`pile recover` truncates a torn
 //! suffix back to the last valid record).
 //!
+//! `--space-file PATH` persists the engine's *candidate spaces* across
+//! runs: the enumeration levels each context pool rebuilds from scratch on
+//! a cold start. An existing space library hydrates every matching context
+//! lazily on its first probe (a corrupted file is rejected with an error;
+//! a corrupted entry inside a valid library is skipped and rebuilt), and
+//! any levels the run grew beyond the snapshot are harvested and saved
+//! back atomically. Keys are catalog-content-addressed like cache
+//! fingerprints, so one space file serves every scenario declaring the
+//! same relations in any declaration order. The `space` subcommands bridge
+//! to piles: `space import` appends library files as space records,
+//! `space export` merges a pile's space records back out to one library
+//! file (per key, the snapshot with the most levels wins), and
+//! `space stats` describes a library file.
+//!
 //! `serve --socket PATH [--pile PATH]` starts a resident daemon (unix
 //! socket, line-delimited protocol; see [`viewcap::serve`]) answering
 //! scenario requests without per-run process start-up or cache reload;
@@ -66,7 +80,7 @@ use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
 use viewcap_core::SearchBudget;
 use viewcap_engine::{
     compact_cache_bytes, load_cache_from_path, merge_cache_bytes, save_cache_to_path,
-    write_bytes_atomic, Engine, PileStore, VerdictCache,
+    write_bytes_atomic, Engine, PileStore, SpaceLibrary, VerdictCache,
 };
 
 const DEMO: &str = r#"
@@ -107,13 +121,17 @@ recheck
 fn usage() -> ExitCode {
     eprintln!(
         "usage: viewcap-cli [--jobs N] [--stats] [--cache-file PATH | --pile PATH] \
-         [--cache-max N] [--trace-out PATH] [--metrics-out PATH] <scenario-file> | --demo\n       \
+         [--cache-max N] [--space-file PATH] [--trace-out PATH] [--metrics-out PATH] \
+         <scenario-file> | --demo\n       \
          viewcap-cli cache merge <in.vcapcache...> --out <out.vcapcache>\n       \
          viewcap-cli cache compact <file.vcapcache> [--out <out.vcapcache>] [--max N]\n       \
          viewcap-cli pile import <in.vcapcache...> --pile <file.vcappile>\n       \
          viewcap-cli pile export <file.vcappile> --out <out.vcapcache>\n       \
          viewcap-cli pile recover <file.vcappile>\n       \
          viewcap-cli pile stats <file.vcappile>\n       \
+         viewcap-cli space import <in.vcapspaces...> --pile <file.vcappile>\n       \
+         viewcap-cli space export <file.vcappile> --out <out.vcapspaces>\n       \
+         viewcap-cli space stats <file.vcapspaces>\n       \
          viewcap-cli serve --socket PATH [--pile PATH] [--cache-max N]\n       \
          viewcap-cli client --socket PATH [--jobs N] [--warm KEY] \
          (<scenario-file> | --demo | --ping | --stats | --shutdown)"
@@ -245,6 +263,125 @@ fn pile_command(args: &[String]) -> ExitCode {
                 }
                 (Err(e), _) | (_, Err(e)) => {
                     eprintln!("viewcap-cli: pile stats: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// `viewcap-cli space import|export|stats ...`.
+fn space_command(args: &[String]) -> ExitCode {
+    let Some((sub, rest)) = args.split_first() else {
+        return usage();
+    };
+    let mut inputs: Vec<std::path::PathBuf> = Vec::new();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut pile: Option<std::path::PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.into()),
+                None => return usage(),
+            },
+            "--pile" => match it.next() {
+                Some(p) => pile = Some(p.into()),
+                None => return usage(),
+            },
+            path if !path.starts_with('-') => inputs.push(path.into()),
+            _ => return usage(),
+        }
+    }
+    match sub.as_str() {
+        "import" => {
+            let Some(pile) = pile else {
+                eprintln!("viewcap-cli: space import needs --pile");
+                return ExitCode::FAILURE;
+            };
+            if inputs.is_empty() {
+                eprintln!("viewcap-cli: space import needs at least one input file");
+                return ExitCode::FAILURE;
+            }
+            let mut store = match PileStore::open(&pile) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("viewcap-cli: {}: {e}", pile.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            for path in &inputs {
+                let bytes = match std::fs::read(path) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        eprintln!("viewcap-cli: cannot read `{}`: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match store.append_space_bytes(&bytes) {
+                    Ok(entries) => println!(
+                        "imported {entries} space(s) from {} -> {}",
+                        path.display(),
+                        pile.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("viewcap-cli: space import `{}`: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let ([input], Some(out)) = (inputs.as_slice(), out) else {
+                eprintln!("viewcap-cli: space export takes one pile file and --out");
+                return ExitCode::FAILURE;
+            };
+            let mut store = match PileStore::open(input) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("viewcap-cli: {}: {e}", input.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match store.load_spaces() {
+                Ok(library) => {
+                    if let Err(e) = library.save(&out) {
+                        eprintln!("viewcap-cli: cannot write `{}`: {e}", out.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("exported {} space(s) -> {}", library.len(), out.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("viewcap-cli: space export: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "stats" => {
+            let [input] = inputs.as_slice() else {
+                eprintln!("viewcap-cli: space stats takes exactly one library file");
+                return ExitCode::FAILURE;
+            };
+            let bytes = match std::fs::read(input) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    eprintln!("viewcap-cli: cannot read `{}`: {e}", input.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match SpaceLibrary::from_bytes(&bytes) {
+                Ok(library) => {
+                    println!("{} space(s), {} byte(s)", library.len(), bytes.len());
+                    for (digest, payload) in library.iter() {
+                        println!("  {digest:032x}  {} byte(s)", payload.len());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("viewcap-cli: space stats `{}`: {e}", input.display());
                     ExitCode::FAILURE
                 }
             }
@@ -465,6 +602,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("cache") => return cache_command(&args[1..]),
         Some("pile") => return pile_command(&args[1..]),
+        Some("space") => return space_command(&args[1..]),
         #[cfg(unix)]
         Some("serve") => return serve_command(&args[1..]),
         #[cfg(unix)]
@@ -481,6 +619,7 @@ fn main() -> ExitCode {
     let mut cache_file: Option<std::path::PathBuf> = None;
     let mut pile_file: Option<std::path::PathBuf> = None;
     let mut cache_max: Option<usize> = None;
+    let mut space_file: Option<std::path::PathBuf> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut source: Option<String> = None;
@@ -517,6 +656,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 cache_max = (n > 0).then_some(n);
+            }
+            "--space-file" => {
+                let Some(path) = it.next() else {
+                    eprintln!("viewcap-cli: --space-file needs a path");
+                    return ExitCode::FAILURE;
+                };
+                space_file = Some(path.into());
             }
             "--trace-out" => {
                 let Some(path) = it.next() else {
@@ -587,7 +733,24 @@ fn main() -> ExitCode {
         },
         _ => VerdictCache::bounded(cache_max),
     };
-    let engine = Engine::with_cache(SearchBudget::default(), cache);
+    // With `--space-file`, a persisted candidate-space library hydrates the
+    // engine's context pool (lazily, per matching context) and the run's
+    // grown spaces are harvested and saved back after success. A missing
+    // file starts empty; a corrupt one is rejected, never silently dropped.
+    let spaces = match &space_file {
+        Some(path) => match SpaceLibrary::load(path) {
+            Ok(library) => Some(std::sync::Arc::new(std::sync::Mutex::new(library))),
+            Err(e) => {
+                eprintln!("viewcap-cli: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut engine = Engine::with_cache(SearchBudget::default(), cache);
+    if let Some(spaces) = &spaces {
+        engine = engine.with_space_library(std::sync::Arc::clone(spaces));
+    }
 
     match run_scenario_with_engine(&source, &options, &engine) {
         Ok(outcome) => {
@@ -615,6 +778,19 @@ fn main() -> ExitCode {
                         store.path().display()
                     );
                     return ExitCode::FAILURE;
+                }
+            }
+            if let (Some(path), Some(spaces)) = (&space_file, &spaces) {
+                // Fold every live context's grown space into the library,
+                // then rewrite the file only when something actually grew
+                // (saving is atomic either way).
+                let harvested = engine.harvest_spaces();
+                if harvested > 0 || !path.exists() {
+                    let library = spaces.lock().expect("space library lock");
+                    if let Err(e) = library.save(path) {
+                        eprintln!("viewcap-cli: cannot save spaces `{}`: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
             // The cache save above belongs in the telemetry too, so the

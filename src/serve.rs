@@ -36,6 +36,13 @@
 //! warm caches from the pile's merged verdict set, and appends every
 //! request's verdicts after answering. Killing the daemon at any moment
 //! costs at most the in-flight append.
+//!
+//! Warm keys also get a per-key candidate-space library: seeded from the
+//! pile's space records on first use, attached to every warm request's
+//! engine (contexts hydrate their enumeration levels instead of
+//! rebuilding them), and — whenever a request grew a space — appended
+//! back to the pile, so even a daemon restart skips the cold-start
+//! enumeration. `cold` requests get no shared state of any kind.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -46,7 +53,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::scenario::{run_scenario_with_engine, ScenarioOptions};
 use viewcap_core::SearchBudget;
-use viewcap_engine::{Engine, PileStore, VerdictCache};
+use viewcap_engine::{Engine, PileStore, SpaceLibrary, VerdictCache};
 
 /// Configuration of one [`serve`] daemon.
 #[derive(Clone, Debug)]
@@ -93,6 +100,12 @@ impl From<std::io::Error> for ServeError {
 struct Daemon {
     /// Warm verdict caches, one per client-supplied catalog key.
     warm: Mutex<HashMap<String, Arc<VerdictCache>>>,
+    /// Warm candidate-space libraries, one per client-supplied catalog
+    /// key. Like the caches they are seeded from the pile (its space
+    /// records) on first use, and every warm request's grown spaces are
+    /// harvested back — so a restarted daemon skips the enumeration
+    /// rebuild, not just the verdict recompute.
+    spaces: Mutex<HashMap<String, Arc<Mutex<SpaceLibrary>>>>,
     pile: Option<Mutex<PileStore>>,
     cache_max: Option<usize>,
     served: Mutex<u64>,
@@ -119,6 +132,29 @@ impl Daemon {
         Ok(cache)
     }
 
+    /// The warm space library for `key`, created on first use — seeded
+    /// from the pile's space records when a pile is configured. A pile
+    /// whose space records fail to load seeds an empty library instead of
+    /// failing the request: hydration is an optimization, never
+    /// correctness.
+    fn warm_spaces(&self, key: &str) -> Arc<Mutex<SpaceLibrary>> {
+        let mut spaces = self.spaces.lock().expect("warm spaces lock");
+        if let Some(library) = spaces.get(key) {
+            return Arc::clone(library);
+        }
+        let library = match &self.pile {
+            Some(pile) => pile
+                .lock()
+                .expect("pile lock")
+                .load_spaces()
+                .unwrap_or_default(),
+            None => SpaceLibrary::new(),
+        };
+        let library = Arc::new(Mutex::new(library));
+        spaces.insert(key.to_owned(), Arc::clone(&library));
+        library
+    }
+
     /// Answer one `RUN`: build the request's engine, run the scenario,
     /// append the verdicts to the pile. Returns the exact batch-CLI
     /// stdout, or the scenario error text.
@@ -127,17 +163,28 @@ impl Daemon {
             Some(key) => {
                 let cache = self.warm_cache(key).map_err(|e| e.to_string())?;
                 Engine::with_shared_cache(SearchBudget::default(), cache)
+                    .with_space_library(self.warm_spaces(key))
             }
             None => Engine::with_budget(SearchBudget::default()),
         };
         let options = ScenarioOptions { jobs };
         let outcome =
             run_scenario_with_engine(source, &options, &engine).map_err(|e| e.to_string())?;
+        // Fold the request's grown candidate spaces back into the warm
+        // library before persisting anything, so the pile append below
+        // carries them too.
+        let harvested = engine.harvest_spaces();
         if let Some(pile) = &self.pile {
-            pile.lock()
-                .expect("pile lock")
-                .append_cache(engine.cache(), &outcome.catalog)
+            let mut pile = pile.lock().expect("pile lock");
+            pile.append_cache(engine.cache(), &outcome.catalog)
                 .map_err(|e| format!("pile append failed: {e}"))?;
+            if harvested > 0 {
+                if let Some(spaces) = engine.shared_spaces() {
+                    let library = spaces.lock().expect("space library lock");
+                    pile.append_spaces(&library)
+                        .map_err(|e| format!("pile space append failed: {e}"))?;
+                }
+            }
         }
         *self.served.lock().expect("served lock") += 1;
         Ok(format!(
@@ -158,11 +205,22 @@ impl Daemon {
         for (key, cache) in keys {
             body.push_str(&format!("warm[{key}]: {}\n", cache.stats()));
         }
+        let spaces = self.spaces.lock().expect("warm spaces lock");
+        let mut space_keys: Vec<_> = spaces.iter().collect();
+        space_keys.sort_by_key(|(key, _)| key.as_str());
+        for (key, library) in space_keys {
+            let library = library.lock().expect("space library lock");
+            body.push_str(&format!("spaces[{key}]: {} space(s)\n", library.len()));
+        }
         if let Some(pile) = &self.pile {
             let mut pile = pile.lock().expect("pile lock");
             match pile.record_count() {
                 Ok(n) => body.push_str(&format!("pile records: {n}\n")),
                 Err(e) => body.push_str(&format!("pile: {e}\n")),
+            }
+            match pile.space_record_count() {
+                Ok(n) => body.push_str(&format!("pile space records: {n}\n")),
+                Err(e) => body.push_str(&format!("pile spaces: {e}\n")),
             }
         }
         body
@@ -192,6 +250,7 @@ pub fn serve(config: &ServeConfig) -> Result<(), ServeError> {
     };
     let daemon = Daemon {
         warm: Mutex::new(HashMap::new()),
+        spaces: Mutex::new(HashMap::new()),
         pile,
         cache_max: config.cache_max,
         served: Mutex::new(0),
