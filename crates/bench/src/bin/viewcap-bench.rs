@@ -48,6 +48,14 @@
 //! family) rides along, pitting the byte-trie tuple index's per-tag
 //! buckets against a flat every-pair scan at fleet-catalog scale.
 //!
+//! An eighth suite, **throughput** (`BENCH_PR10.json` by default,
+//! `--out-throughput`), replays the generated fleet streams — the mixed
+//! zipf request stream, the capacity-frontier diffing workload, and the
+//! multi-edit transaction workload — through a cold scenario engine at
+//! `--jobs` 1/4/8, reporting sustained checks/sec plus the p50/p99
+//! per-check latencies read back from the engine's `engine.check_ns`
+//! histogram (no bench-side timing of individual checks).
+//!
 //! ```console
 //! $ viewcap-bench               # full run: BENCH_PR4/PR5/PR6 .json
 //! $ viewcap-bench --smoke       # 1 iteration + counter asserts
@@ -66,7 +74,7 @@ use std::time::Instant;
 use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
 use viewcap_base::Catalog;
 use viewcap_core::{ClosureContext, Query, SearchBudget, View};
-use viewcap_engine::{Check, Engine, Workload};
+use viewcap_engine::{Check, Engine, EngineConfig, Workload};
 use viewcap_expr::parse_expr;
 
 struct Config {
@@ -77,6 +85,7 @@ struct Config {
     out_norm: std::path::PathBuf,
     out_obs: std::path::PathBuf,
     out_space: std::path::PathBuf,
+    out_throughput: std::path::PathBuf,
     scenarios_dir: std::path::PathBuf,
 }
 
@@ -323,10 +332,11 @@ fn bench_cross_catalog(config: &Config) -> CrossCatalogReport {
     let mut warm_executed = 0;
     let start = Instant::now();
     for _ in 0..config.iters {
-        let engine = Engine::with_cache(
-            SearchBudget::default(),
-            viewcap_engine::load_cache(&merged, None).expect("merged cache loads"),
-        );
+        let engine = Engine::from_config(
+            EngineConfig::new()
+                .cache(viewcap_engine::load_cache(&merged, None).expect("merged cache loads")),
+        )
+        .unwrap();
         let outcome = engine.run_batch(&pworkload, &pcat, 1);
         warm_verdicts = outcome
             .results
@@ -668,6 +678,159 @@ fn bench_telemetry(config: &Config) -> TelemetryReport {
     }
 }
 
+struct ThroughputJobRun {
+    jobs: usize,
+    wall_ms: f64,
+    checks_per_sec: f64,
+    yes: usize,
+    no: usize,
+    latency_samples: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+}
+
+struct ThroughputStreamReport {
+    name: &'static str,
+    views: usize,
+    checks: usize,
+    edits: usize,
+    rechecks: usize,
+    diffs: usize,
+    txns: usize,
+    runs: Vec<ThroughputJobRun>,
+}
+
+/// The throughput suite (the PR 10 suite, `BENCH_PR10.json` by default,
+/// `--out-throughput`): the three generated fleet streams — the mixed
+/// zipf request stream, the capacity-frontier diffing workload, and the
+/// multi-edit transaction workload — each replayed end to end through a
+/// cold scenario engine at `--jobs` 1/4/8. Sustained checks/sec comes
+/// from the wall clock over the stream's decided verdicts; the p50/p99
+/// latency columns are read back from the engine's existing
+/// `engine.check_ns` histogram in `viewcap-obs` — the suite adds no
+/// timing code of its own. Toggles the global telemetry flag, so it must
+/// run with the telemetry suite, after every wall-time-sensitive suite.
+fn bench_throughput(config: &Config) -> Vec<ThroughputStreamReport> {
+    use viewcap_gen::{fleet_stream, frontier_diff_stream, txn_stream, FleetSpec};
+
+    let spec = if config.smoke {
+        FleetSpec {
+            views: 48,
+            events: 60,
+            batch_size: 4,
+            ..FleetSpec::default()
+        }
+    } else {
+        FleetSpec::default()
+    };
+    let streams: Vec<(&'static str, viewcap_gen::FleetScenario)> = vec![
+        ("fleet_zipf", fleet_stream(0xF1EE7, &spec)),
+        ("frontier_diff", frontier_diff_stream(0xD1FF, &spec)),
+        ("multi_edit_txn", txn_stream(0x7A9, &spec)),
+    ];
+    let mut out = Vec::new();
+    for (name, stream) in streams {
+        let mut runs = Vec::new();
+        for jobs in [1usize, 4, 8] {
+            viewcap_obs::reset();
+            viewcap_obs::set_enabled(true);
+            let engine = Engine::new();
+            let start = Instant::now();
+            let outcome =
+                run_scenario_with_engine(&stream.source, &ScenarioOptions { jobs }, &engine)
+                    .unwrap_or_else(|e| panic!("throughput stream `{name}` failed: {e}"));
+            let wall = start.elapsed().as_secs_f64();
+            viewcap_obs::set_enabled(false);
+            let snapshot = viewcap_obs::snapshot();
+            viewcap_obs::reset();
+            let hist = snapshot
+                .histograms
+                .get("engine.check_ns")
+                .cloned()
+                .unwrap_or_default();
+            let decided = outcome.yes + outcome.no;
+            let (hits, misses) = (outcome.stats.hits, outcome.stats.misses);
+            runs.push(ThroughputJobRun {
+                jobs,
+                wall_ms: wall * 1e3,
+                checks_per_sec: decided as f64 / wall.max(1e-9),
+                yes: outcome.yes,
+                no: outcome.no,
+                latency_samples: hist.count,
+                p50_ns: hist.p50(),
+                p99_ns: hist.p99(),
+                cache_hits: hits,
+                cache_misses: misses,
+                hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+            });
+        }
+        out.push(ThroughputStreamReport {
+            name,
+            views: stream.views,
+            checks: stream.checks,
+            edits: stream.edits,
+            rechecks: stream.rechecks,
+            diffs: stream.diffs,
+            txns: stream.txns,
+            runs,
+        });
+    }
+    out
+}
+
+fn throughput_json_report(config: &Config, streams: &[ThroughputStreamReport]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"BENCH_PR10\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if config.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"streams\": [");
+    for (i, st) in streams.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", st.name);
+        let _ = writeln!(s, "      \"views\": {},", st.views);
+        let _ = writeln!(s, "      \"checks\": {},", st.checks);
+        let _ = writeln!(s, "      \"edits\": {},", st.edits);
+        let _ = writeln!(s, "      \"rechecks\": {},", st.rechecks);
+        let _ = writeln!(s, "      \"diffs\": {},", st.diffs);
+        let _ = writeln!(s, "      \"txns\": {},", st.txns);
+        let _ = writeln!(s, "      \"runs\": [");
+        for (j, r) in st.runs.iter().enumerate() {
+            let comma = if j + 1 == st.runs.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "        {{\"jobs\": {}, \"wall_ms\": {:.3}, \"checks_per_sec\": {:.1}, \
+                 \"yes\": {}, \"no\": {}, \"latency_samples\": {}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+                 \"hit_rate\": {:.3}}}{comma}",
+                r.jobs,
+                r.wall_ms,
+                r.checks_per_sec,
+                r.yes,
+                r.no,
+                r.latency_samples,
+                r.p50_ns,
+                r.p99_ns,
+                r.cache_hits,
+                r.cache_misses,
+                r.hit_rate
+            );
+        }
+        let _ = writeln!(s, "      ]");
+        let comma = if i + 1 == streams.len() { "" } else { "," };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
 /// The space-persistence workload: one view of four defining queries over
 /// a three-relation chain schema, with membership goals whose reduced
 /// templates reach five atoms — deep enough that building the candidate
@@ -795,7 +958,8 @@ fn bench_space_persistence(config: &Config) -> SpacePersistenceReport {
     // Seed the persisted library from one separate run.
     let library = Arc::new(Mutex::new(SpaceLibrary::new()));
     {
-        let engine = Engine::new().with_space_library(Arc::clone(&library));
+        let engine =
+            Engine::from_config(EngineConfig::new().shared_spaces(Arc::clone(&library))).unwrap();
         engine.run_batch(&workload, &cat, 1);
         engine.harvest_spaces();
     }
@@ -810,7 +974,8 @@ fn bench_space_persistence(config: &Config) -> SpacePersistenceReport {
     let mut warm_stats = viewcap_engine::EnumStats::default();
     let start = Instant::now();
     for _ in 0..config.iters {
-        let engine = Engine::new().with_space_library(Arc::clone(&library));
+        let engine =
+            Engine::from_config(EngineConfig::new().shared_spaces(Arc::clone(&library))).unwrap();
         let outcome = engine.run_batch(&workload, &cat, 1);
         warm_verdicts = verdicts_of(&outcome);
         warm_stats = engine.enum_stats();
@@ -822,7 +987,8 @@ fn bench_space_persistence(config: &Config) -> SpacePersistenceReport {
     // bytes valid verbatim.
     let (pcat, pview, pgoals) = space_workload_ordered(true);
     let pworkload = workload_of(&pview, &pgoals);
-    let pengine = Engine::new().with_space_library(Arc::clone(&library));
+    let pengine =
+        Engine::from_config(EngineConfig::new().shared_spaces(Arc::clone(&library))).unwrap();
     let poutcome = pengine.run_batch(&pworkload, &pcat, 1);
     let permuted_verdicts = verdicts_of(&poutcome);
     let pstats = pengine.enum_stats();
@@ -1166,7 +1332,8 @@ fn json_report(
 fn usage() -> ExitCode {
     eprintln!(
         "usage: viewcap-bench [--smoke] [--iters N] [--out PATH] [--out-cross PATH] \
-         [--out-norm PATH] [--out-obs PATH] [--out-space PATH] [--scenarios DIR]"
+         [--out-norm PATH] [--out-obs PATH] [--out-space PATH] [--out-throughput PATH] \
+         [--scenarios DIR]"
     );
     ExitCode::FAILURE
 }
@@ -1180,6 +1347,7 @@ fn main() -> ExitCode {
         out_norm: "BENCH_PR6.json".into(),
         out_obs: "BENCH_PR7.json".into(),
         out_space: "BENCH_PR9.json".into(),
+        out_throughput: "BENCH_PR10.json".into(),
         scenarios_dir: "scenarios".into(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -1214,6 +1382,10 @@ fn main() -> ExitCode {
                 Some(p) => config.out_space = p.into(),
                 None => return usage(),
             },
+            "--out-throughput" => match it.next() {
+                Some(p) => config.out_throughput = p.into(),
+                None => return usage(),
+            },
             "--scenarios" => match it.next() {
                 Some(p) => config.scenarios_dir = p.into(),
                 None => return usage(),
@@ -1230,8 +1402,11 @@ fn main() -> ExitCode {
     let space = bench_space_persistence(&config);
     let wide = bench_thousand_relations(&config);
     // Last, so flipping the global telemetry flag cannot touch the other
-    // suites' measurements.
+    // suites' measurements. The throughput suite also drives the flag
+    // (its p50/p99 columns come from the `engine.check_ns` histogram),
+    // so it rides in the same tail position.
     let obs = bench_telemetry(&config);
+    let throughput = bench_throughput(&config);
 
     println!(
         "shared-goal: {} goals, baseline {:.2} ms / shared {:.2} ms ({:.2}x), \
@@ -1358,6 +1533,32 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", config.out_obs.display());
 
+    for st in &throughput {
+        for r in &st.runs {
+            println!(
+                "throughput {} --jobs {}: {:.0} checks/sec over {:.2} ms, \
+                 p50 {} ns / p99 {} ns ({} sample(s)), hit-rate {:.2}",
+                st.name,
+                r.jobs,
+                r.checks_per_sec,
+                r.wall_ms,
+                r.p50_ns,
+                r.p99_ns,
+                r.latency_samples,
+                r.hit_rate
+            );
+        }
+    }
+    let throughput_report = throughput_json_report(&config, &throughput);
+    if let Err(e) = std::fs::write(&config.out_throughput, &throughput_report) {
+        eprintln!(
+            "viewcap-bench: cannot write `{}`: {e}",
+            config.out_throughput.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", config.out_throughput.display());
+
     if config.smoke {
         // The counters must be live and the sharing real, or PR 4's whole
         // premise regressed.
@@ -1482,6 +1683,63 @@ fn main() -> ExitCode {
         }
         if obs.trace_events == 0 {
             failures.push("enabled run emitted no trace events".to_owned());
+        }
+        for st in &throughput {
+            let mut verdicts = None;
+            for r in &st.runs {
+                if r.checks_per_sec <= 0.0 {
+                    failures.push(format!(
+                        "throughput {} --jobs {}: checks/sec not positive",
+                        st.name, r.jobs
+                    ));
+                }
+                if r.latency_samples == 0 {
+                    failures.push(format!(
+                        "throughput {} --jobs {}: no engine.check_ns samples (p99 missing)",
+                        st.name, r.jobs
+                    ));
+                }
+                if r.p50_ns > r.p99_ns {
+                    failures.push(format!(
+                        "throughput {} --jobs {}: p50 {} above p99 {}",
+                        st.name, r.jobs, r.p50_ns, r.p99_ns
+                    ));
+                }
+                match verdicts {
+                    None => verdicts = Some((r.yes, r.no)),
+                    Some(v) => {
+                        if v != (r.yes, r.no) {
+                            failures.push(format!(
+                                "throughput {}: verdict counts depend on --jobs",
+                                st.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // The zipf head plus toggled-back edits must keep the verdict
+        // cache warm: popular checks repeat, so the mixed stream's
+        // hit-rate is a liveness signal for the whole premise.
+        if let Some(fleet) = throughput.iter().find(|s| s.name == "fleet_zipf") {
+            for r in &fleet.runs {
+                if r.hit_rate < 0.25 {
+                    failures.push(format!(
+                        "fleet_zipf --jobs {}: warm hit-rate {:.3} below 0.25",
+                        r.jobs, r.hit_rate
+                    ));
+                }
+            }
+        }
+        if let Some(diffs) = throughput.iter().find(|s| s.name == "frontier_diff") {
+            if diffs.diffs == 0 {
+                failures.push("frontier_diff stream generated no diff commands".to_owned());
+            }
+        }
+        if let Some(txns) = throughput.iter().find(|s| s.name == "multi_edit_txn") {
+            if txns.txns == 0 {
+                failures.push("multi_edit_txn stream generated no txn blocks".to_owned());
+            }
         }
         if !failures.is_empty() {
             for f in &failures {

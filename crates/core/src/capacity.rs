@@ -404,6 +404,44 @@ impl ClosureContext {
         Ok(broke)
     }
 
+    /// Enumerate every candidate construction over the query set with at
+    /// most `max_atoms` skeleton atoms — all roots of the shared space, no
+    /// goal filter — each with its substituted template over the underlying
+    /// schema. `crate::closure::ClosureContext::for_each_member` builds the
+    /// deduplicated closure frontier on top; routing through the context
+    /// shares the lazily extended space across repeated frontier sweeps
+    /// (the scenario `diff` command grows `k` against one context this way).
+    pub fn for_each_substitution(
+        &mut self,
+        max_atoms: usize,
+        f: &mut dyn FnMut(&Expr, &Template, &Substitution) -> ControlFlow<()>,
+    ) -> Result<(), SearchOverflow> {
+        self.probes += 1;
+        self.hydrate_pending();
+        if self.lambda_queries.is_empty() {
+            return Ok(());
+        }
+        let ClosureContext {
+            scratch,
+            beta,
+            space,
+            budget,
+            ..
+        } = self;
+        let scratch: &Catalog = scratch;
+        space.probe(
+            scratch,
+            max_atoms,
+            None,
+            &budget.limits,
+            &mut |expr, skel| {
+                let sub = substitute(skel, beta, scratch).expect("every λ is assigned");
+                f(expr, skel, &sub)
+            },
+        )?;
+        Ok(())
+    }
+
     /// The scratch catalog (the caller's catalog plus the minted λ names) —
     /// constructions enumerated by [`ClosureContext::for_each_construction`]
     /// live in it.

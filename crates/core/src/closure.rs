@@ -8,7 +8,7 @@
 //! view exposes, for the uniqueness experiments, and for the benchmark
 //! harness.
 
-use crate::capacity::SearchBudget;
+use crate::capacity::{ClosureContext, SearchBudget};
 use crate::query::Query;
 use crate::view::View;
 use std::ops::ControlFlow;
@@ -95,6 +95,97 @@ pub fn closure_members(
     Ok(out)
 }
 
+impl ClosureContext {
+    /// Enumerate the bounded closure frontier through this shared context —
+    /// identical members, in the identical order, to
+    /// [`for_each_closure_member`] over the same query set, but reusing the
+    /// context's lazily extended candidate space across sweeps (repeated or
+    /// growing-`k` frontier requests pay only the incremental levels).
+    pub fn for_each_member(
+        &mut self,
+        max_atoms: usize,
+        f: &mut dyn FnMut(&ClosureMember) -> ControlFlow<()>,
+    ) -> Result<(), SearchOverflow> {
+        let mut seen: Vec<Query> = Vec::new();
+        self.for_each_substitution(max_atoms, &mut |expr, _skel, sub| {
+            let member = Query::from_template(&sub.result);
+            if seen.iter().any(|s| s.equiv(&member)) {
+                return ControlFlow::Continue(());
+            }
+            seen.push(member.clone());
+            f(&ClosureMember {
+                query: member,
+                skeleton: expr.clone(),
+                construction_size: expr.atom_count(),
+            })
+        })?;
+        Ok(())
+    }
+
+    /// Collect the bounded frontier as a vector (see
+    /// [`ClosureContext::for_each_member`]).
+    pub fn members(&mut self, max_atoms: usize) -> Result<Vec<ClosureMember>, SearchOverflow> {
+        let mut out = Vec::new();
+        self.for_each_member(max_atoms, &mut |m| {
+            out.push(m.clone());
+            ControlFlow::Continue(())
+        })?;
+        Ok(out)
+    }
+}
+
+/// The capacity-frontier diff between two view versions: which bounded
+/// frontier members one version exposes and the other does not, by query
+/// equivalence. Equals the set difference of two independent
+/// [`closure_members`] sweeps — the `diff` conformance suite pins this.
+#[derive(Clone, Debug, Default)]
+pub struct FrontierDiff {
+    /// Members derivable from the left version only (capabilities *lost*
+    /// by an edit when left is the pre-edit version).
+    pub only_left: Vec<ClosureMember>,
+    /// Members derivable from the right version only (capabilities
+    /// *gained*).
+    pub only_right: Vec<ClosureMember>,
+    /// Number of members common to both frontiers.
+    pub common: usize,
+}
+
+impl FrontierDiff {
+    /// True when both frontiers expose exactly the same members.
+    pub fn is_empty(&self) -> bool {
+        self.only_left.is_empty() && self.only_right.is_empty()
+    }
+}
+
+/// Diff the bounded capacity frontiers of two versions through their shared
+/// contexts. Each context amortizes its candidate space across calls, so
+/// re-diffing the same version pair (or growing `max_atoms`) pays only the
+/// incremental enumeration.
+pub fn frontier_diff(
+    left: &mut ClosureContext,
+    right: &mut ClosureContext,
+    max_atoms: usize,
+) -> Result<FrontierDiff, SearchOverflow> {
+    let lm = left.members(max_atoms)?;
+    let rm = right.members(max_atoms)?;
+    let only_left: Vec<ClosureMember> = lm
+        .iter()
+        .filter(|m| !rm.iter().any(|n| n.query.equiv(&m.query)))
+        .cloned()
+        .collect();
+    let only_right: Vec<ClosureMember> = rm
+        .iter()
+        .filter(|m| !lm.iter().any(|n| n.query.equiv(&m.query)))
+        .cloned()
+        .collect();
+    let common = lm.len() - only_left.len();
+    Ok(FrontierDiff {
+        only_left,
+        only_right,
+        common,
+    })
+}
+
 /// Audit a view: the pairwise-inequivalent queries its users can answer
 /// with constructions of at most `max_atoms` atoms (Theorem 1.5.2 frontier).
 pub fn capacity_members(
@@ -176,6 +267,62 @@ mod tests {
         let sizes: Vec<usize> = members.iter().map(|m| m.construction_size).collect();
         assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
         assert!(sizes.iter().all(|&s| s <= 3));
+    }
+
+    #[test]
+    fn context_frontier_matches_one_shot_enumeration() {
+        let cat = setup();
+        let base = [q(&cat, "pi{A,B}(R)"), q(&cat, "pi{B,C}(R)")];
+        let budget = SearchBudget::default();
+        let mut context = ClosureContext::new(&base, &cat, &budget);
+        for k in [1usize, 2, 3] {
+            let shared = context.members(k).unwrap();
+            let fresh = closure_members(&base, k, &cat, &budget).unwrap();
+            assert_eq!(shared.len(), fresh.len(), "k={k}");
+            for (s, f) in shared.iter().zip(fresh.iter()) {
+                assert!(s.query.equiv(&f.query), "k={k}: member order diverged");
+                assert_eq!(format!("{:?}", s.skeleton), format!("{:?}", f.skeleton));
+                assert_eq!(s.construction_size, f.construction_size);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_diff_is_the_set_difference() {
+        let cat = setup();
+        let budget = SearchBudget::default();
+        let old = [q(&cat, "pi{A,B}(R)"), q(&cat, "pi{B,C}(R)")];
+        let new = [q(&cat, "pi{A,B}(R)")];
+        let mut left = ClosureContext::new(&old, &cat, &budget);
+        let mut right = ClosureContext::new(&new, &cat, &budget);
+        let diff = frontier_diff(&mut left, &mut right, 2).unwrap();
+        let lm = closure_members(&old, 2, &cat, &budget).unwrap();
+        let rm = closure_members(&new, 2, &cat, &budget).unwrap();
+        let expect_left: Vec<&ClosureMember> = lm
+            .iter()
+            .filter(|m| !rm.iter().any(|n| n.query.equiv(&m.query)))
+            .collect();
+        let expect_right: Vec<&ClosureMember> = rm
+            .iter()
+            .filter(|m| !lm.iter().any(|n| n.query.equiv(&m.query)))
+            .collect();
+        assert_eq!(diff.only_left.len(), expect_left.len());
+        assert_eq!(diff.only_right.len(), expect_right.len());
+        for (d, e) in diff.only_left.iter().zip(expect_left) {
+            assert!(d.query.equiv(&e.query));
+        }
+        for (d, e) in diff.only_right.iter().zip(expect_right) {
+            assert!(d.query.equiv(&e.query));
+        }
+        assert_eq!(diff.common, lm.len() - diff.only_left.len());
+        // Dropping π_BC loses capabilities and gains none.
+        assert!(!diff.only_left.is_empty());
+        assert!(diff.only_right.is_empty());
+        // A version diffed against itself is empty.
+        let mut same = ClosureContext::new(&old, &cat, &budget);
+        let refl = frontier_diff(&mut left, &mut same, 2).unwrap();
+        assert!(refl.is_empty());
+        assert_eq!(refl.common, lm.len());
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod simplify;
 pub mod view;
 
 pub use capacity::{cap_contains, closure_contains, ClosureContext, ClosureProof, SearchBudget};
-pub use closure::{capacity_members, closure_members, ClosureMember};
+pub use closure::{
+    capacity_members, closure_members, for_each_closure_member, frontier_diff, ClosureMember,
+    FrontierDiff,
+};
 pub use equivalence::{dominates, equivalent, DominanceWitness, EquivalenceWitness};
 pub use error::CoreError;
 pub use norm::NormContext;

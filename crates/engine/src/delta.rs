@@ -312,6 +312,95 @@ impl DeltaWorkload {
         invalidated
     }
 
+    /// Apply a multi-edit transaction: every `(old, new)` pair in `edits`
+    /// becomes one sweep over the standing workload, invalidating each
+    /// touched request once even when several edits hit it. Per request the
+    /// pairs apply *in order* — an edit whose `old` is a previous edit's
+    /// `new` composes exactly as sequential [`DeltaWorkload::replace_view`]
+    /// calls would — so verdicts and witnesses after the next run are
+    /// byte-identical to the sequential path (the txn differential suite
+    /// pins this); only the invalidation accounting is batched. Returns how
+    /// many requests were invalidated.
+    pub fn replace_views(&mut self, edits: &[(View, View)], catalog: &Catalog) -> usize {
+        if edits.is_empty() {
+            return 0;
+        }
+        let fps: Vec<Fingerprint> = edits
+            .iter()
+            .map(|(old, _)| view_fingerprint(old, catalog))
+            .collect();
+        let mut invalidated = 0;
+        for i in 0..self.standing.len() {
+            let s = &mut self.standing[i];
+            let mut touched = false;
+            for ((old, new), &old_fp) in edits.iter().zip(&fps) {
+                // Fast path: fingerprint dependency tracking (recomputed
+                // after a hit, since an earlier pair may have swapped an
+                // operand this pair's `old` now matches).
+                if !s.view_deps.contains(&old_fp) {
+                    continue;
+                }
+                let swap = |v: &View| -> Option<View> {
+                    same_view(v, old_fp, old, catalog).then(|| new.clone())
+                };
+                let mut hit = false;
+                match &mut s.request.check {
+                    Check::Member { view, .. } => {
+                        if let Some(n) = swap(view) {
+                            *view = n;
+                            hit = true;
+                        }
+                    }
+                    Check::Dominates {
+                        dominator,
+                        dominated,
+                    } => {
+                        for v in [dominator, dominated] {
+                            if let Some(n) = swap(v) {
+                                *v = n;
+                                hit = true;
+                            }
+                        }
+                    }
+                    Check::Equivalent { left, right } => {
+                        for v in [left, right] {
+                            if let Some(n) = swap(v) {
+                                *v = n;
+                                hit = true;
+                            }
+                        }
+                    }
+                }
+                if hit {
+                    s.view_deps = view_deps(&s.request.check, catalog);
+                    touched = true;
+                }
+            }
+            if touched {
+                let old_key = s.key;
+                let new_key = Engine::cache_key(&s.request.check, catalog);
+                let label = s.request.label.clone();
+                s.key = new_key;
+                s.decision = None;
+                invalidated += 1;
+                if new_key != old_key {
+                    self.index_remove(old_key, &label, i);
+                    self.index_insert(new_key, &label, i);
+                }
+            }
+        }
+        DELTA_INVALIDATED.add(invalidated as u64);
+        obs::instant(
+            "engine.delta.replace_views",
+            "engine",
+            &[
+                ("edits", edits.len() as u64),
+                ("invalidated", invalidated as u64),
+            ],
+        );
+        invalidated
+    }
+
     /// Remove every standing request that touches `view` (a view being
     /// dropped from the catalog). Returns how many were removed.
     pub fn remove_view(&mut self, view: &View, catalog: &Catalog) -> usize {

@@ -553,45 +553,28 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Engine with the default search budget.
+    /// Engine with the default search budget and a fresh unbounded cache —
+    /// shorthand for [`crate::EngineConfig::default`]. Every other shape
+    /// (bounded / file-loaded / shared caches, space libraries, piles)
+    /// goes through [`Engine::from_config`] or [`crate::Session::open`].
     pub fn new() -> Self {
-        Engine::with_budget(SearchBudget::default())
+        Engine::assemble(SearchBudget::default(), Arc::new(VerdictCache::new()), None)
     }
 
-    /// Engine with an explicit search budget.
-    pub fn with_budget(budget: SearchBudget) -> Self {
-        Engine::with_cache(budget, VerdictCache::new())
-    }
-
-    /// Engine over a caller-provided verdict cache — a bounded one
-    /// ([`VerdictCache::bounded`]) or one warmed from disk
-    /// ([`crate::persist::load_cache`]).
-    pub fn with_cache(budget: SearchBudget, cache: VerdictCache) -> Self {
-        Engine::with_shared_cache(budget, Arc::new(cache))
-    }
-
-    /// Engine over a verdict cache shared with other engines (or other
-    /// holders — a resident daemon keeping one warm cache per catalog).
-    /// All sharing engines see each other's verdicts immediately; the
-    /// cache is fully concurrent.
-    pub fn with_shared_cache(budget: SearchBudget, cache: Arc<VerdictCache>) -> Self {
+    /// Assemble an engine from resolved parts. The only constructor;
+    /// callers outside the crate go through [`crate::EngineConfig`].
+    pub(crate) fn assemble(
+        budget: SearchBudget,
+        cache: Arc<VerdictCache>,
+        spaces: Option<Arc<Mutex<SpaceLibrary>>>,
+    ) -> Self {
         Engine {
             cache,
             budget,
             contexts: ContextPool::new(),
             norms: NormPool::new(),
-            spaces: None,
+            spaces,
         }
-    }
-
-    /// Attach a candidate-space library: contexts built from here on stage
-    /// matching snapshots (the persisted cold-start path), and
-    /// [`Engine::harvest_spaces`] / context retirement write grown spaces
-    /// back. Builder-style so call sites read
-    /// `Engine::with_cache(..).with_space_library(lib)`.
-    pub fn with_space_library(mut self, spaces: Arc<Mutex<SpaceLibrary>>) -> Self {
-        self.spaces = Some(spaces);
-        self
     }
 
     /// A shared handle on the engine's space library, if one is attached.
@@ -634,7 +617,7 @@ impl Engine {
     }
 
     /// A shared handle on the engine's verdict cache, for building further
-    /// engines over the same store ([`Engine::with_shared_cache`]).
+    /// engines over the same store ([`crate::EngineConfig::shared_cache`]).
     pub fn shared_cache(&self) -> Arc<VerdictCache> {
         Arc::clone(&self.cache)
     }
@@ -1281,7 +1264,8 @@ mod tests {
         let lib = Arc::new(Mutex::new(SpaceLibrary::new()));
 
         // Cold process: builds every level, harvests the grown space.
-        let cold = Engine::new().with_space_library(Arc::clone(&lib));
+        let cold = Engine::from_config(crate::EngineConfig::new().shared_spaces(Arc::clone(&lib)))
+            .unwrap();
         let first = cold.run_batch(&workload, &cat, 2);
         assert_eq!(cold.harvest_spaces(), 1, "one context, one snapshot");
         let cold_stats = cold.enum_stats();
@@ -1291,7 +1275,8 @@ mod tests {
         // Fresh process (fresh verdict cache, so everything recomputes)
         // warm-started from the library: zero rebuilt levels, zero fresh
         // enumeration work, identical witnesses.
-        let warm = Engine::new().with_space_library(Arc::clone(&lib));
+        let warm = Engine::from_config(crate::EngineConfig::new().shared_spaces(Arc::clone(&lib)))
+            .unwrap();
         let second = warm.run_batch(&workload, &cat, 2);
         let warm_stats = warm.enum_stats();
         assert_eq!(warm_stats.levels_rebuilt, 0, "stats: {warm_stats}");

@@ -74,6 +74,7 @@
 //! ```
 
 pub mod cache;
+pub mod config;
 pub mod delta;
 pub mod engine;
 pub mod fingerprint;
@@ -84,6 +85,7 @@ pub mod verdict;
 pub mod workload;
 
 pub use cache::{CacheKey, CacheStats, VerdictCache};
+pub use config::{ConfigError, EngineConfig, PersistSummary, Session};
 pub use delta::{DeltaOutcome, DeltaWorkload};
 pub use engine::{effective_jobs, BatchOutcome, Decision, Engine, EnumStats};
 pub use fingerprint::{

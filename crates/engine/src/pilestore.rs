@@ -158,7 +158,7 @@ impl PileStore {
 
     /// Load the pile's union verdict set as a cache bounded by
     /// `max_entries` (`None` = unbounded), ready for
-    /// [`crate::Engine::with_cache`]. Entries load `foreign` and translate
+    /// [`crate::EngineConfig::cache`]. Entries load `foreign` and translate
     /// into the live catalog on first hit, exactly as file-loaded caches
     /// do.
     pub fn load(&mut self, max_entries: Option<usize>) -> Result<VerdictCache, PileStoreError> {
@@ -292,7 +292,7 @@ mod tests {
 
         // And a third engine over the loaded cache answers all three goals
         // from it.
-        let e3 = Engine::with_cache(Default::default(), warmed);
+        let e3 = Engine::from_config(crate::EngineConfig::new().cache(warmed)).unwrap();
         for goal in ["pi{A}(R)", "pi{B}(R)", "pi{C}(R)"] {
             decide(&e3, &cat, &view, goal);
         }

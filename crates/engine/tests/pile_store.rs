@@ -21,7 +21,7 @@ use std::sync::mpsc;
 use viewcap_base::Catalog;
 use viewcap_core::{Query, View};
 use viewcap_engine::{
-    merge_cache_bytes, save_cache, validate_cache_bytes, Check, Engine, PileStore,
+    merge_cache_bytes, save_cache, validate_cache_bytes, Check, Engine, EngineConfig, PileStore,
 };
 use viewcap_expr::parse_expr;
 use viewcap_pile::PileReader;
@@ -176,7 +176,7 @@ fn concurrent_appends_never_tear_and_reload_equals_merge() {
     // And the loaded cache actually answers: hits for every worker's goals.
     let warmed = store.load(None).unwrap();
     let cache_entries = warmed.stats().entries;
-    let engine = Engine::with_cache(Default::default(), warmed);
+    let engine = Engine::from_config(EngineConfig::new().cache(warmed)).unwrap();
     let mut cat = fleet_catalog();
     for w in 0..WORKERS {
         let view = worker_view(&mut cat, w);

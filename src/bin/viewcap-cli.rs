@@ -77,10 +77,9 @@
 
 use std::process::ExitCode;
 use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
-use viewcap_core::SearchBudget;
 use viewcap_engine::{
-    compact_cache_bytes, load_cache_from_path, merge_cache_bytes, save_cache_to_path,
-    write_bytes_atomic, Engine, PileStore, SpaceLibrary, VerdictCache,
+    compact_cache_bytes, merge_cache_bytes, write_bytes_atomic, EngineConfig, PileStore, Session,
+    SpaceLibrary,
 };
 
 const DEMO: &str = r#"
@@ -697,62 +696,33 @@ fn main() -> ExitCode {
         viewcap_obs::set_enabled(true);
     }
 
-    if cache_file.is_some() && pile_file.is_some() {
-        eprintln!("viewcap-cli: --cache-file and --pile are mutually exclusive");
-        return ExitCode::FAILURE;
+    // One `EngineConfig` names everything the run needs — cache source
+    // (file, pile, or a fresh bounded cache), space library, worker count —
+    // and `Session::open` loads it all eagerly: a corrupt file errors here,
+    // never a silent cold start.
+    let mut config = EngineConfig::new().cache_max(cache_max).jobs(options.jobs);
+    if let Some(path) = &cache_file {
+        config = config.cache_file(path);
     }
-    // With `--pile`, the store handle opens once: the warm cache loads from
-    // it before the run, the run's verdicts append to it after.
-    let mut pile_store = match &pile_file {
-        Some(path) => match PileStore::open(path) {
-            Ok(store) => Some(store),
-            Err(e) => {
-                eprintln!(
-                    "viewcap-cli: {}: {e} (try `viewcap-cli pile recover`)",
-                    path.display()
-                );
-                return ExitCode::FAILURE;
-            }
-        },
-        None => None,
-    };
-    let cache = match (&cache_file, &mut pile_store) {
-        (Some(path), _) if path.exists() => match load_cache_from_path(path, cache_max) {
-            Ok(cache) => cache,
-            Err(e) => {
-                eprintln!("viewcap-cli: {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        },
-        (_, Some(store)) => match store.load(cache_max) {
-            Ok(cache) => cache,
-            Err(e) => {
-                eprintln!("viewcap-cli: {}: {e}", store.path().display());
-                return ExitCode::FAILURE;
-            }
-        },
-        _ => VerdictCache::bounded(cache_max),
-    };
-    // With `--space-file`, a persisted candidate-space library hydrates the
-    // engine's context pool (lazily, per matching context) and the run's
-    // grown spaces are harvested and saved back after success. A missing
-    // file starts empty; a corrupt one is rejected, never silently dropped.
-    let spaces = match &space_file {
-        Some(path) => match SpaceLibrary::load(path) {
-            Ok(library) => Some(std::sync::Arc::new(std::sync::Mutex::new(library))),
-            Err(e) => {
-                eprintln!("viewcap-cli: {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        },
-        None => None,
-    };
-    let mut engine = Engine::with_cache(SearchBudget::default(), cache);
-    if let Some(spaces) = &spaces {
-        engine = engine.with_space_library(std::sync::Arc::clone(spaces));
+    if let Some(path) = &pile_file {
+        config = config.pile(path);
     }
+    if let Some(path) = &space_file {
+        config = config.space_file(path);
+    }
+    let mut session = match Session::open(config) {
+        Ok(session) => session,
+        Err(e) if pile_file.is_some() => {
+            eprintln!("viewcap-cli: {e} (try `viewcap-cli pile recover`)");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("viewcap-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    match run_scenario_with_engine(&source, &options, &engine) {
+    match run_scenario_with_engine(&source, &options, session.engine()) {
         Ok(outcome) => {
             print!("{}", outcome.report);
             println!(
@@ -762,36 +732,13 @@ fn main() -> ExitCode {
             if stats {
                 // Diagnostics go to stderr: stdout is the pinned scenario
                 // transcript, byte-identical under every flag combination.
-                eprintln!("-- cache: {}", outcome.stats);
-                eprintln!("-- enumeration: {}", outcome.enum_stats);
+                eprint!("{}", outcome.run_stats());
             }
-            if let Some(path) = &cache_file {
-                if let Err(e) = save_cache_to_path(engine.cache(), &outcome.catalog, path) {
-                    eprintln!("viewcap-cli: cannot save cache `{}`: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
-            }
-            if let Some(store) = &mut pile_store {
-                if let Err(e) = store.append_cache(engine.cache(), &outcome.catalog) {
-                    eprintln!(
-                        "viewcap-cli: cannot append to pile `{}`: {e}",
-                        store.path().display()
-                    );
-                    return ExitCode::FAILURE;
-                }
-            }
-            if let (Some(path), Some(spaces)) = (&space_file, &spaces) {
-                // Fold every live context's grown space into the library,
-                // then rewrite the file only when something actually grew
-                // (saving is atomic either way).
-                let harvested = engine.harvest_spaces();
-                if harvested > 0 || !path.exists() {
-                    let library = spaces.lock().expect("space library lock");
-                    if let Err(e) = library.save(path) {
-                        eprintln!("viewcap-cli: cannot save spaces `{}`: {e}", path.display());
-                        return ExitCode::FAILURE;
-                    }
-                }
+            // Write back everything the configuration promised: the cache
+            // file, the pile append, the harvested candidate spaces.
+            if let Err(e) = session.persist(&outcome.catalog) {
+                eprintln!("viewcap-cli: cannot persist: {e}");
+                return ExitCode::FAILURE;
             }
             // The cache save above belongs in the telemetry too, so the
             // snapshot and trace are written last.

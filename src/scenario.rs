@@ -42,9 +42,24 @@
 //!   drop Extra            # remove the pair named Extra
 //! }
 //!
+//! # several edits as one transaction: each standing check invalidates
+//! # once however many edits touch it
+//! txn {
+//!   edit V {
+//!     Joined = pi{A,B}(R)
+//!   }
+//!   edit W {
+//!     drop Right
+//!   }
+//! }
+//!
 //! # re-decide the standing workload incrementally: only checks touching
 //! # edited views recompute, everything else is reused
 //! recheck
+//!
+//! # capacity-frontier diff of two view versions at atom bound 2:
+//! # what V can answer that W cannot, and vice versa
+//! diff V W 2
 //! ```
 //!
 //! Execution is deterministic; every command appends lines to the report.
@@ -62,13 +77,14 @@
 //! a fresh catalog relation (the display name gains a `$n` suffix), since
 //! a relation name's type is fixed at declaration.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use viewcap_base::{Catalog, RelId};
 use viewcap_core::closure::capacity_members;
-use viewcap_core::{Query, SearchBudget, View};
+use viewcap_core::{frontier_diff, ClosureContext, Query, SearchBudget, View};
 use viewcap_engine::{
-    CacheStats, Check, Decision, DeltaWorkload, Engine, EnumStats, Request, Verdict, Workload,
+    view_fingerprint, CacheStats, Check, Decision, DeltaWorkload, Engine, EnumStats, Fingerprint,
+    Request, Verdict, Workload,
 };
 use viewcap_expr::display::{display_expr, display_scheme};
 use viewcap_expr::parse_expr;
@@ -113,6 +129,42 @@ pub struct ScenarioOutcome {
     pub catalog: Catalog,
 }
 
+impl ScenarioOutcome {
+    /// Every diagnostic counter of the run behind one accessor: the
+    /// verdict-cache counters, the candidate-space enumeration counters,
+    /// and the telemetry snapshot. `Display` renders exactly the stderr
+    /// block the CLI prints under `--stats` (`-- cache: …` /
+    /// `-- enumeration: …`), so drivers fold diagnostics in without
+    /// re-assembling format strings by hand.
+    pub fn run_stats(&self) -> RunStats<'_> {
+        RunStats {
+            cache: &self.stats,
+            enumeration: &self.enum_stats,
+            metrics: &self.metrics,
+        }
+    }
+}
+
+/// Borrowed bundle of a run's diagnostic counters
+/// ([`ScenarioOutcome::run_stats`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats<'a> {
+    /// Verdict-cache counters accumulated over the run.
+    pub cache: &'a CacheStats,
+    /// Candidate-space reuse counters from the engine's context pools.
+    pub enumeration: &'a EnumStats,
+    /// The telemetry registry snapshot taken as the run finished (empty
+    /// unless [`viewcap_obs::set_enabled`] was on).
+    pub metrics: &'a MetricsSnapshot,
+}
+
+impl std::fmt::Display for RunStats<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "-- cache: {}", self.cache)?;
+        writeln!(f, "-- enumeration: {}", self.enumeration)
+    }
+}
+
 /// Errors from scenario parsing or execution.
 #[derive(Debug)]
 pub struct ScenarioError {
@@ -154,6 +206,11 @@ struct Runner<'a> {
     permute_seed: Option<u64>,
     /// Buffered `(name, attrs)` declarations awaiting the permuted flush.
     rel_buffer: Vec<(String, Vec<String>)>,
+    /// One shared [`ClosureContext`] pair per diffed version pair, keyed by
+    /// the two versions' content fingerprints: re-diffing a pair — or
+    /// growing its atom bound — reuses the lazily extended candidate
+    /// spaces instead of re-enumerating from scratch.
+    diff_contexts: HashMap<(Fingerprint, Fingerprint), (ClosureContext, ClosureContext)>,
 }
 
 /// Run a scenario from source text with default options (sequential).
@@ -166,7 +223,7 @@ pub fn run_scenario_with(
     src: &str,
     options: &ScenarioOptions,
 ) -> Result<ScenarioOutcome, ScenarioError> {
-    let engine = Engine::with_budget(SearchBudget::default());
+    let engine = Engine::new();
     run_scenario_with_engine(src, options, &engine)
 }
 
@@ -192,6 +249,7 @@ pub fn run_scenario_with_engine(
         no: 0,
         permute_seed: None,
         rel_buffer: Vec::new(),
+        diff_contexts: HashMap::new(),
     };
     let err = |line: usize, msg: String| ScenarioError { line, msg };
 
@@ -254,9 +312,18 @@ pub fn run_scenario_with_engine(
                     .ok_or_else(|| err(lineno, "batch block is never closed".into()))?;
                 runner.cmd_batch(&body).map_err(|(l, m)| err(l, m))?;
             }
+            "txn" => {
+                if rest.trim() != "{" {
+                    return Err(err(lineno, "expected `txn {`".into()));
+                }
+                let body = collect_nested_block(&lines, &mut i)
+                    .ok_or_else(|| err(lineno, "txn block is never closed".into()))?;
+                runner.cmd_txn(lineno, &body).map_err(|(l, m)| err(l, m))?;
+            }
             "nonredundant" => runner.cmd_nonredundant(rest).map_err(|m| err(lineno, m))?,
             "simplify" => runner.cmd_simplify(rest).map_err(|m| err(lineno, m))?,
             "frontier" => runner.cmd_frontier(rest).map_err(|m| err(lineno, m))?,
+            "diff" => runner.cmd_diff(rest).map_err(|m| err(lineno, m))?,
             other => return Err(err(lineno, format!("unknown command `{other}`"))),
         }
     }
@@ -283,6 +350,32 @@ fn collect_block(lines: &[&str], i: &mut usize) -> Option<Vec<(usize, String)>> 
         *i += 1;
         if stripped == "}" {
             return Some(body);
+        }
+        if !stripped.is_empty() {
+            body.push((lineno, stripped));
+        }
+    }
+}
+
+/// Like [`collect_block`], but brace-depth aware: lines opening nested
+/// blocks (ending in `{`) and their closing `}` lines are kept in the body;
+/// only the `}` matching the outer opener terminates it. `txn` blocks need
+/// this — their bodies hold whole `edit NAME { ... }` blocks.
+fn collect_nested_block(lines: &[&str], i: &mut usize) -> Option<Vec<(usize, String)>> {
+    let mut body = Vec::new();
+    let mut depth = 0usize;
+    loop {
+        let line = lines.get(*i)?;
+        let stripped = strip_comment(line).trim().to_owned();
+        let lineno = *i + 1;
+        *i += 1;
+        if stripped == "}" {
+            if depth == 0 {
+                return Some(body);
+            }
+            depth -= 1;
+        } else if stripped.ends_with('{') {
+            depth += 1;
         }
         if !stripped.is_empty() {
             body.push((lineno, stripped));
@@ -568,6 +661,26 @@ impl Runner<'_> {
         name: &str,
         body: &[(usize, String)],
     ) -> Result<(), (usize, String)> {
+        let (old, new_view) = self.apply_edit(lineno, name, body)?;
+        let invalidated = self.delta.replace_view(&old, &new_view, &self.catalog);
+        let _ = writeln!(
+            self.report,
+            "edit {name}: {} defining relation(s), {invalidated} standing check(s) invalidated",
+            new_view.len()
+        );
+        Ok(())
+    }
+
+    /// Parse and apply one edit body to the named view, updating the view
+    /// table and returning the `(old, new)` version pair — standing-check
+    /// invalidation is the caller's job (`cmd_edit` invalidates per edit,
+    /// `cmd_txn` batches one sweep over the whole transaction).
+    fn apply_edit(
+        &mut self,
+        lineno: usize,
+        name: &str,
+        body: &[(usize, String)],
+    ) -> Result<(View, View), (usize, String)> {
         let named = self
             .views
             .get(name)
@@ -623,18 +736,70 @@ impl Runner<'_> {
         let new_view = View::new(pairs, &self.catalog).map_err(|e| (lineno, e.to_string()))?;
         // Warm the canonical-key memos, as `cmd_view` does.
         let _ = viewcap_engine::view_fingerprint(&new_view, &self.catalog);
-        let invalidated = self.delta.replace_view(&old, &new_view, &self.catalog);
-        let _ = writeln!(
-            self.report,
-            "edit {name}: {} defining relation(s), {invalidated} standing check(s) invalidated",
-            new_view.len()
-        );
         self.views.insert(
             name.to_owned(),
             NamedView {
-                view: new_view,
+                view: new_view.clone(),
                 logical,
             },
+        );
+        Ok((old, new_view))
+    }
+
+    /// Apply a `txn { edit NAME { ... } ... }` block: every edit is applied
+    /// to the view table in order, then the standing workload is
+    /// invalidated in *one* sweep ([`DeltaWorkload::replace_views`]) — each
+    /// touched check is invalidated once however many edits hit it.
+    /// Verdicts and witnesses after the next `recheck` are byte-identical
+    /// to the same edits applied as individual `edit` blocks; only the
+    /// invalidation accounting differs.
+    fn cmd_txn(&mut self, lineno: usize, body: &[(usize, String)]) -> Result<(), (usize, String)> {
+        let mut edits: Vec<(View, View)> = Vec::new();
+        let mut j = 0usize;
+        while j < body.len() {
+            let (ln, entry) = &body[j];
+            j += 1;
+            let (head, rest) = split_word(entry);
+            if head != "edit" {
+                return Err((
+                    *ln,
+                    format!("txn blocks only hold `edit` blocks, got `{head}`"),
+                ));
+            }
+            let name = rest.trim_end_matches('{').trim().to_owned();
+            if name.is_empty() {
+                return Err((*ln, "edit needs a view name".into()));
+            }
+            if !entry.ends_with('{') {
+                return Err((*ln, "expected `{` to open the edit block".into()));
+            }
+            let mut inner: Vec<(usize, String)> = Vec::new();
+            loop {
+                let Some((iln, ientry)) = body.get(j) else {
+                    return Err((*ln, format!("edit `{name}` is never closed")));
+                };
+                j += 1;
+                if ientry == "}" {
+                    break;
+                }
+                inner.push((*iln, ientry.clone()));
+            }
+            let (old, new) = self.apply_edit(*ln, &name, &inner)?;
+            let _ = writeln!(
+                self.report,
+                "txn edit {name}: {} defining relation(s)",
+                new.len()
+            );
+            edits.push((old, new));
+        }
+        if edits.is_empty() {
+            return Err((lineno, "txn block holds no edits".into()));
+        }
+        let invalidated = self.delta.replace_views(&edits, &self.catalog);
+        let _ = writeln!(
+            self.report,
+            "txn: {} edit(s), {invalidated} standing check(s) invalidated",
+            edits.len()
         );
         Ok(())
     }
@@ -787,6 +952,65 @@ impl Runner<'_> {
             let _ = writeln!(
                 self.report,
                 "  TRS {} (construction size {})",
+                display_scheme(&m.query.trs(), &self.catalog),
+                m.construction_size
+            );
+        }
+        Ok(())
+    }
+
+    /// `diff A B K` — the capacity-frontier diff of two view versions at
+    /// atom bound `K`: which bounded frontier members `A` exposes and `B`
+    /// does not (`-` lines, capabilities lost going A→B) and vice versa
+    /// (`+` lines, gained). Equals the set difference of two independent
+    /// `frontier` sweeps; each version pair shares one [`ClosureContext`]
+    /// pair across diffs, so repeated or growing-`K` diffs pay only the
+    /// incremental enumeration.
+    fn cmd_diff(&mut self, rest: &str) -> Result<(), String> {
+        let (a, rest) = split_word(rest);
+        let (b, k_src) = split_word(rest);
+        let left_view = self.view(a)?.clone();
+        let right_view = self.view(b)?.clone();
+        let k: usize = k_src
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad atom bound `{k_src}`"))?;
+        let key = (
+            view_fingerprint(&left_view, &self.catalog),
+            view_fingerprint(&right_view, &self.catalog),
+        );
+        let Runner {
+            diff_contexts,
+            catalog,
+            budget,
+            ..
+        } = self;
+        let (left, right) = diff_contexts.entry(key).or_insert_with(|| {
+            (
+                ClosureContext::new(left_view.query_set().queries(), catalog, budget),
+                ClosureContext::new(right_view.query_set().queries(), catalog, budget),
+            )
+        });
+        let diff = frontier_diff(left, right, k).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            self.report,
+            "diff {a} {b} {k}: {} member(s) only in {a}, {} only in {b}, {} shared",
+            diff.only_left.len(),
+            diff.only_right.len(),
+            diff.common
+        );
+        for m in &diff.only_left {
+            let _ = writeln!(
+                self.report,
+                "  - TRS {} (construction size {})",
+                display_scheme(&m.query.trs(), &self.catalog),
+                m.construction_size
+            );
+        }
+        for m in &diff.only_right {
+            let _ = writeln!(
+                self.report,
+                "  + TRS {} (construction size {})",
                 display_scheme(&m.query.trs(), &self.catalog),
                 m.construction_size
             );
@@ -1025,5 +1249,132 @@ simplify V
         let src = "rel R(A, B)\nview V {\n  P = pi{A}(R)\n}\nfrontier V 2\n";
         let out = run_scenario(src).unwrap();
         assert!(out.report.contains("frontier V 2: 1 distinct member(s)"));
+    }
+
+    #[test]
+    fn diff_command_reports_the_frontier_set_difference() {
+        let src = "rel R(A, B, C)\n\
+                   view V {\n  L = pi{A,B}(R)\n  Rt = pi{B,C}(R)\n}\n\
+                   view W {\n  L2 = pi{A,B}(R)\n}\n\
+                   diff V W 2\n\
+                   diff W V 2\n\
+                   diff V V 2\n\
+                   diff V W 2\n";
+        let out = run_scenario(src).unwrap();
+        // W's frontier is a subset of V's: nothing is gained V→W.
+        assert!(
+            out.report
+                .contains("diff V W 2: 8 member(s) only in V, 0 only in W, 4 shared"),
+            "report:\n{}",
+            out.report
+        );
+        // The reverse orientation swaps the sides.
+        assert!(out
+            .report
+            .contains("diff W V 2: 0 member(s) only in W, 8 only in V, 4 shared"));
+        // A version diffed against itself is empty.
+        assert!(out
+            .report
+            .contains("diff V V 2: 0 member(s) only in V, 0 only in V, 12 shared"));
+        // The repeated diff reuses the cached context pair and renders
+        // byte-identically.
+        let first = out.report.find("diff V W 2:").unwrap();
+        let last = out.report.rfind("diff V W 2:").unwrap();
+        assert_ne!(first, last);
+        let block = |start: usize| {
+            let mut lines = out.report[start..].lines();
+            let mut block = vec![lines.next().unwrap()];
+            block.extend(lines.take_while(|l| l.starts_with("  ")));
+            block.join("\n")
+        };
+        assert_eq!(block(first), block(last));
+    }
+
+    #[test]
+    fn txn_block_invalidates_each_standing_check_once() {
+        // Both edits touch views the two checks depend on; the equivalence
+        // check depends on both views yet invalidates once, not twice.
+        let src = "rel R(A, B, C)\n\
+                   view V {\n  X = pi{A,B}(R)\n}\n\
+                   view W {\n  Y = pi{A,B}(R)\n}\n\
+                   check equivalent V W\n\
+                   check member V pi{A}(R)\n\
+                   txn {\n\
+                   \x20 edit V {\n\
+                   \x20   X = pi{A,B}(R) * pi{B,C}(R)\n\
+                   \x20 }\n\
+                   \x20 edit W {\n\
+                   \x20   Y = R\n\
+                   \x20 }\n\
+                   }\n\
+                   recheck\n";
+        let out = run_scenario(src).unwrap();
+        assert!(
+            out.report
+                .contains("txn: 2 edit(s), 2 standing check(s) invalidated"),
+            "report:\n{}",
+            out.report
+        );
+        assert!(out.report.contains(
+            "recheck: 2 check(s), 0 reused, 2 recomputed (0 from verdict cache, 2 executed)"
+        ));
+    }
+
+    #[test]
+    fn txn_verdicts_match_sequential_edits() {
+        // The differential core: the same edits as one txn and as
+        // sequential edit blocks must yield byte-identical check lines
+        // (verdicts and witnesses) after recheck.
+        let checks = "check member V pi{A}(R)\n\
+                      check equivalent V W\n\
+                      check dominates V W\n";
+        let prologue = format!(
+            "rel R(A, B, C)\n\
+             view V {{\n  X = pi{{A,B}}(R)\n  X2 = pi{{B,C}}(R)\n}}\n\
+             view W {{\n  Y = pi{{A,B}}(R)\n}}\n\
+             {checks}"
+        );
+        let txn = format!(
+            "{prologue}\
+             txn {{\n\
+             \x20 edit V {{\n    drop X2\n  }}\n\
+             \x20 edit V {{\n    X = pi{{A}}(R)\n  }}\n\
+             \x20 edit W {{\n    Y = pi{{A}}(R)\n  }}\n\
+             }}\n\
+             recheck\n"
+        );
+        let seq = format!(
+            "{prologue}\
+             edit V {{\n  drop X2\n}}\n\
+             edit V {{\n  X = pi{{A}}(R)\n}}\n\
+             edit W {{\n  Y = pi{{A}}(R)\n}}\n\
+             recheck\n"
+        );
+        let txn_out = run_scenario(&txn).unwrap();
+        let seq_out = run_scenario(&seq).unwrap();
+        let check_lines = |r: &str| {
+            r.lines()
+                .filter(|l| l.starts_with("check "))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            check_lines(&txn_out.report),
+            check_lines(&seq_out.report),
+            "txn:\n{}\nseq:\n{}",
+            txn_out.report,
+            seq_out.report
+        );
+        assert_eq!((txn_out.yes, txn_out.no), (seq_out.yes, seq_out.no));
+    }
+
+    #[test]
+    fn txn_blocks_reject_non_edit_commands() {
+        let err = run_scenario("rel R(A)\ntxn {\n  check member V R\n}\n").unwrap_err();
+        assert!(err.to_string().contains("only hold `edit` blocks"), "{err}");
+        let err = run_scenario("rel R(A)\ntxn {\n}\n").unwrap_err();
+        assert!(err.to_string().contains("holds no edits"), "{err}");
+        let err = run_scenario("rel R(A)\ntxn {\n  edit V {\n").unwrap_err();
+        assert!(err.to_string().contains("never closed"), "{err}");
     }
 }

@@ -52,8 +52,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::scenario::{run_scenario_with_engine, ScenarioOptions};
-use viewcap_core::SearchBudget;
-use viewcap_engine::{Engine, PileStore, SpaceLibrary, VerdictCache};
+use viewcap_engine::{Engine, EngineConfig, PileStore, SpaceLibrary, VerdictCache};
 
 /// Configuration of one [`serve`] daemon.
 #[derive(Clone, Debug)]
@@ -162,10 +161,14 @@ impl Daemon {
         let engine = match warm_key {
             Some(key) => {
                 let cache = self.warm_cache(key).map_err(|e| e.to_string())?;
-                Engine::with_shared_cache(SearchBudget::default(), cache)
-                    .with_space_library(self.warm_spaces(key))
+                Engine::from_config(
+                    EngineConfig::new()
+                        .shared_cache(cache)
+                        .shared_spaces(self.warm_spaces(key)),
+                )
+                .map_err(|e| e.to_string())?
             }
-            None => Engine::with_budget(SearchBudget::default()),
+            None => Engine::new(),
         };
         let options = ScenarioOptions { jobs };
         let outcome =

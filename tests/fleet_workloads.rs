@@ -1,0 +1,145 @@
+//! Fleet workload conformance: generated zipf streams run clean through
+//! the scenario engine, `txn` blocks agree byte-for-byte with sequential
+//! edits, and `diff` agrees with independent frontier enumerations — at
+//! every `--jobs` setting.
+
+use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
+use viewcap_base::Catalog;
+use viewcap_core::{closure_members, Query, SearchBudget};
+use viewcap_engine::Engine;
+use viewcap_expr::parse_expr;
+use viewcap_gen::{fleet_stream, frontier_diff_stream, txn_stream, FleetSpec};
+
+fn small_spec() -> FleetSpec {
+    FleetSpec {
+        views: 24,
+        base_rels: 4,
+        events: 40,
+        batch_size: 4,
+        ..FleetSpec::default()
+    }
+}
+
+fn run(src: &str, jobs: usize) -> (String, usize, usize) {
+    let engine = Engine::new();
+    let options = ScenarioOptions { jobs };
+    let out = run_scenario_with_engine(src, &options, &engine).unwrap();
+    (out.report, out.yes, out.no)
+}
+
+#[test]
+fn fleet_stream_runs_and_is_jobs_invariant() {
+    let spec = small_spec();
+    for seed in [1u64, 7] {
+        let stream = fleet_stream(seed, &spec);
+        let (r1, yes, no) = run(&stream.source, 1);
+        let (r4, _, _) = run(&stream.source, 4);
+        assert_eq!(r1, r4, "seed {seed}: report depends on --jobs");
+        assert!(yes > 0 && no > 0, "seed {seed}: goal mix degenerate");
+        assert!(r1.contains("txn:"), "seed {seed}");
+        assert!(r1.contains("diff V"), "seed {seed}");
+        assert!(r1.contains("recheck:"), "seed {seed}");
+    }
+}
+
+/// Rewrite a generated txn stream into the same edits as plain sequential
+/// `edit` blocks: drop the `txn {` / closing `}` wrapper and outdent the
+/// members. The generated emission is regular, so this is line-exact.
+fn sequentialize(src: &str) -> String {
+    let mut out = String::new();
+    let mut in_txn = false;
+    for line in src.lines() {
+        if line == "txn {" {
+            in_txn = true;
+            continue;
+        }
+        if in_txn && line == "}" {
+            in_txn = false;
+            continue;
+        }
+        if in_txn {
+            out.push_str(line.strip_prefix("  ").unwrap_or(line));
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn txn_stream_verdicts_match_sequential_edits() {
+    let spec = small_spec();
+    for seed in [3u64, 11] {
+        let stream = txn_stream(seed, &spec);
+        let seq_src = sequentialize(&stream.source);
+        assert!(!seq_src.contains("txn {"));
+        for jobs in [1usize, 4] {
+            let (txn_report, tyes, tno) = run(&stream.source, jobs);
+            let (seq_report, syes, sno) = run(&seq_src, jobs);
+            // Verdicts, witnesses, and incremental-recheck accounting are
+            // byte-identical; only the edit/txn report lines differ.
+            let picked = |r: &str| {
+                r.lines()
+                    .filter(|l| l.starts_with("check ") || l.starts_with("recheck:"))
+                    .map(str::to_owned)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                picked(&txn_report),
+                picked(&seq_report),
+                "seed {seed} jobs {jobs}"
+            );
+            assert_eq!((tyes, tno), (syes, sno), "seed {seed} jobs {jobs}");
+        }
+    }
+}
+
+#[test]
+fn diff_stream_matches_independent_frontier_enumeration() {
+    let spec = small_spec();
+    let stream = frontier_diff_stream(5, &spec);
+    let (r1, _, _) = run(&stream.source, 1);
+    let (r4, _, _) = run(&stream.source, 4);
+    assert_eq!(r1, r4, "diff report depends on --jobs");
+
+    // Every generated pair diffs `{pi{Ab,Bb}, pi{Bb,Cb}}` against
+    // `{pi{Ab,Bb}}` over its base relation; compute the expected set
+    // difference with two independent one-shot enumerations.
+    let mut cat = Catalog::new();
+    cat.relation("R", &["A", "B", "C"]).unwrap();
+    let q = |src: &str| Query::from_expr(parse_expr(src, &cat).unwrap(), &cat);
+    let budget = SearchBudget::default();
+    let left = closure_members(
+        &[q("pi{A,B}(R)"), q("pi{B,C}(R)")],
+        spec.atom_bound,
+        &cat,
+        &budget,
+    )
+    .unwrap();
+    let right = closure_members(&[q("pi{A,B}(R)")], spec.atom_bound, &cat, &budget).unwrap();
+    let only_left = left
+        .iter()
+        .filter(|m| !right.iter().any(|n| n.query.equiv(&m.query)))
+        .count();
+    let only_right = right
+        .iter()
+        .filter(|m| !left.iter().any(|n| n.query.equiv(&m.query)))
+        .count();
+    let shared = left.len() - only_left;
+
+    let diff_lines: Vec<&str> = r1.lines().filter(|l| l.starts_with("diff ")).collect();
+    assert_eq!(diff_lines.len(), stream.diffs);
+    // "diff Dpa Dpb k: N member(s) only in Dpa, M only in Dpb, S shared"
+    for line in diff_lines {
+        assert!(
+            line.contains(&format!(": {only_left} member(s) only in D")),
+            "{line}"
+        );
+        assert!(
+            line.contains(&format!(", {only_right} only in D")),
+            "{line}"
+        );
+        assert!(line.ends_with(&format!("{shared} shared")), "{line}");
+    }
+}

@@ -89,8 +89,7 @@ fn incremental_edit_scenario() {
 
 #[test]
 fn persisted_cache_warms_a_rerun_without_changing_verdicts() {
-    use viewcap_core::SearchBudget;
-    use viewcap_engine::{load_cache, save_cache, Engine};
+    use viewcap_engine::{load_cache, save_cache, Engine, EngineConfig};
 
     let src = include_str!("../scenarios/incremental_edit.vcap");
     let options = ScenarioOptions::default();
@@ -101,10 +100,10 @@ fn persisted_cache_warms_a_rerun_without_changing_verdicts() {
     let bytes = save_cache(cold_engine.cache(), &cold.catalog);
 
     // Warm run over the reloaded cache: nothing recomputes...
-    let warm_engine = Engine::with_cache(
-        SearchBudget::default(),
-        load_cache(&bytes, None).expect("round trip"),
-    );
+    let warm_engine = Engine::from_config(
+        EngineConfig::new().cache(load_cache(&bytes, None).expect("round trip")),
+    )
+    .unwrap();
     let warm = run_scenario_with_engine(src, &options, &warm_engine).unwrap();
     assert_eq!(warm.stats.misses, 0, "report:\n{}", warm.report);
     assert!(warm.report.contains(
@@ -128,8 +127,7 @@ fn persisted_cache_warms_a_rerun_without_changing_verdicts() {
 fn cross_catalog_scenarios_share_one_cache() {
     // The shipped two-step fleet demo: the base file's persisted cache
     // fully answers the permuted file, check lines byte-identical.
-    use viewcap_core::SearchBudget;
-    use viewcap_engine::{load_cache, save_cache, Engine};
+    use viewcap_engine::{load_cache, save_cache, Engine, EngineConfig};
 
     let base = include_str!("../scenarios/cross_catalog_base.vcap");
     let permuted = include_str!("../scenarios/cross_catalog_permuted.vcap");
@@ -140,10 +138,10 @@ fn cross_catalog_scenarios_share_one_cache() {
     assert_eq!((cold.yes, cold.no), (7, 1), "report:\n{}", cold.report);
     let bytes = save_cache(engine.cache(), &cold.catalog);
 
-    let warm_engine = Engine::with_cache(
-        SearchBudget::default(),
-        load_cache(&bytes, None).expect("round trip"),
-    );
+    let warm_engine = Engine::from_config(
+        EngineConfig::new().cache(load_cache(&bytes, None).expect("round trip")),
+    )
+    .unwrap();
     let warm = run_scenario_with_engine(permuted, &options, &warm_engine).unwrap();
     assert_eq!(warm.stats.misses, 0, "report:\n{}", warm.report);
     assert!(warm.stats.hits > 0);
@@ -190,8 +188,7 @@ fn normal_form_scenario() {
 /// cold run's relation minting and report lines exactly.
 #[test]
 fn normal_form_warm_rerun_is_cached_and_byte_identical() {
-    use viewcap_core::SearchBudget;
-    use viewcap_engine::{load_cache, save_cache, Engine};
+    use viewcap_engine::{load_cache, save_cache, Engine, EngineConfig};
 
     let src = include_str!("../scenarios/normal_form.vcap");
     let options = ScenarioOptions::default();
@@ -201,10 +198,10 @@ fn normal_form_warm_rerun_is_cached_and_byte_identical() {
     assert_eq!(cold.stats.misses, 2, "one miss per normalization command");
     let bytes = save_cache(cold_engine.cache(), &cold.catalog);
 
-    let warm_engine = Engine::with_cache(
-        SearchBudget::default(),
-        load_cache(&bytes, None).expect("round trip"),
-    );
+    let warm_engine = Engine::from_config(
+        EngineConfig::new().cache(load_cache(&bytes, None).expect("round trip")),
+    )
+    .unwrap();
     let warm = run_scenario_with_engine(src, &options, &warm_engine).unwrap();
     assert_eq!(
         warm.report, cold.report,

@@ -23,7 +23,7 @@
 
 use std::sync::{Arc, Mutex};
 use viewcap::scenario::{run_scenario_with_engine, ScenarioOptions};
-use viewcap_engine::{Engine, SpaceLibrary};
+use viewcap_engine::{Engine, EngineConfig, SpaceLibrary};
 
 /// The shared declarations + workload, minus any permutation directive.
 const BODY: &str = r#"
@@ -92,7 +92,8 @@ fn snapshot_hydration_preserves_transcripts_on_permuted_catalogs() {
 
     // Harvest a space library from one natural-order run.
     let library = Arc::new(Mutex::new(SpaceLibrary::new()));
-    let seeder = Engine::new().with_space_library(Arc::clone(&library));
+    let seeder =
+        Engine::from_config(EngineConfig::new().shared_spaces(Arc::clone(&library))).unwrap();
     run_scenario_with_engine(BODY, &options, &seeder).unwrap();
     assert!(
         seeder.harvest_spaces() > 0,
@@ -111,7 +112,8 @@ fn snapshot_hydration_preserves_transcripts_on_permuted_catalogs() {
         // Same run, hydrated from the natural-order snapshot. The verdict
         // cache is fresh — only the enumeration is warm — and the whole
         // transcript must not move by a byte.
-        let warm_engine = Engine::new().with_space_library(Arc::clone(&library));
+        let warm_engine =
+            Engine::from_config(EngineConfig::new().shared_spaces(Arc::clone(&library))).unwrap();
         let warm = run_scenario_with_engine(&src, &options, &warm_engine).unwrap();
         assert_eq!(
             cold.report, warm.report,
